@@ -1,0 +1,10 @@
+"""Ablation: DHB dynamic blocks vs. static rebuild per batch."""
+
+from repro.bench import ablations
+
+from conftest import run_experiment
+
+
+def test_ablation_dynamic_storage(benchmark, profile):
+    result = run_experiment(benchmark, ablations.run_dynamic_storage_ablation, profile)
+    assert {"dhb_dynamic", "static_rebuild"} == set(result.column("storage"))

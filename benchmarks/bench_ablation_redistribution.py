@@ -1,0 +1,10 @@
+"""Ablation: two-phase counting-sort vs. single-phase comparison-sort routing."""
+
+from repro.bench import ablations
+
+from conftest import run_experiment
+
+
+def test_ablation_redistribution(benchmark, profile):
+    result = run_experiment(benchmark, ablations.run_redistribution_ablation, profile)
+    assert {"two_phase", "single_phase"} <= set(result.column("strategy"))

@@ -1,0 +1,12 @@
+"""Ablation: dynamic algorithm vs. SUMMA as update density grows."""
+
+from repro.bench import ablations
+
+from conftest import run_experiment
+
+
+def test_ablation_summa_crossover(benchmark, profile):
+    result = run_experiment(benchmark, ablations.run_summa_crossover_ablation, profile)
+    speedups = result.column("dynamic_speedup")
+    # the advantage must shrink (or invert) as the update matrix densifies
+    assert speedups[0] >= speedups[-1] * 0.5

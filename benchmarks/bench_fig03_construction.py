@@ -1,0 +1,11 @@
+"""Figure 2/3: matrix construction performance relative to CombBLAS."""
+
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_fig03_construction(benchmark, profile):
+    result = run_experiment(benchmark, experiments_updates.run_construction, profile)
+    assert set(result.column("backend")) >= {"ours", "combblas"}
+    assert all(t > 0 for t in result.column("time_ms"))

@@ -1,0 +1,20 @@
+"""Figure 4: mean insertion performance vs. batch size."""
+
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_fig04_insertions(benchmark, profile):
+    result = run_experiment(benchmark, experiments_updates.run_insertions, profile)
+    ours = {
+        (row[0], row[2]): row[3]
+        for row in result.rows
+        if row[1] == "ours"
+    }
+    # our dynamic structure must beat CombBLAS for the smallest batch size
+    smallest = min(profile.update_batch_sizes)
+    for row in result.rows:
+        instance, backend, batch, time_ms = row[0], row[1], row[2], row[3]
+        if backend == "combblas" and batch == smallest:
+            assert time_ms > ours[(instance, batch)]

@@ -1,0 +1,20 @@
+"""Figure 5a/5b: mean update and deletion performance vs. batch size."""
+
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_fig05a_updates(benchmark, profile):
+    result = run_experiment(
+        benchmark, experiments_updates.run_updates_deletions, profile, operation="update"
+    )
+    assert result.experiment == "figure_5a"
+
+
+def test_fig05b_deletions(benchmark, profile):
+    result = run_experiment(
+        benchmark, experiments_updates.run_updates_deletions, profile, operation="delete"
+    )
+    # PETSc does not support deletions and must be absent (as in the paper)
+    assert "petsc" not in set(result.column("backend"))

@@ -1,0 +1,10 @@
+"""Figure 6: weak scalability of insertions."""
+
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_fig06_weak_scaling(benchmark, profile):
+    result = run_experiment(benchmark, experiments_updates.run_insert_weak_scaling, profile)
+    assert list(result.column("n_ranks")) == list(profile.scaling_ranks)

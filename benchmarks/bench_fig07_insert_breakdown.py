@@ -1,0 +1,11 @@
+"""Figure 7: breakdown of insertion running time."""
+
+from repro.runtime import StatCategory
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_fig07_insert_breakdown(benchmark, profile):
+    result = run_experiment(benchmark, experiments_updates.run_insert_breakdown, profile)
+    assert set(result.column("phase")) == set(StatCategory.INSERTION_BREAKDOWN)

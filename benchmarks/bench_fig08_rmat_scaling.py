@@ -1,0 +1,10 @@
+"""Figure 8: strong and weak scaling of insertions on R-MAT graphs."""
+
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_fig08_rmat_scaling(benchmark, profile):
+    result = run_experiment(benchmark, experiments_updates.run_rmat_scaling, profile)
+    assert {"strong", "weak"} == set(result.column("mode"))

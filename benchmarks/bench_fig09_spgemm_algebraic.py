@@ -1,0 +1,17 @@
+"""Figure 9: dynamic SpGEMM, algebraic case."""
+
+from repro.bench import experiments_spgemm
+
+from conftest import run_experiment
+
+
+def test_fig09_spgemm_algebraic(benchmark, profile):
+    result = run_experiment(benchmark, experiments_spgemm.run_spgemm_algebraic, profile)
+    rows = result.rows
+    smallest = min(profile.spgemm_batch_sizes)
+    ours = {r[2]: r[3] for r in rows if r[1] == "ours"}
+    combblas = {r[2]: r[3] for r in rows if r[1] == "combblas"}
+    # the dynamic algorithm should win for the smallest (most hypersparse)
+    # batch; allow a small tolerance at smoke scale where fixed overheads
+    # dominate.
+    assert ours[smallest] < combblas[smallest] * (1.5 if profile.name == "smoke" else 1.0)

@@ -1,0 +1,16 @@
+"""Figure 10: dynamic SpGEMM, general case."""
+
+from repro.bench import experiments_spgemm
+
+from conftest import run_experiment
+
+
+def test_fig10_spgemm_general(benchmark, profile):
+    result = run_experiment(benchmark, experiments_spgemm.run_spgemm_general, profile)
+    assert {"ours", "combblas"} <= set(result.column("backend"))
+    assert all(t > 0 for t in result.column("mean_time_ms"))
+    # Note: at the scaled-down surrogate sizes the masked recomputation of
+    # Algorithm 2 is dominated by per-call interpreter overhead and does not
+    # necessarily beat a from-scratch SUMMA recompute; EXPERIMENTS.md
+    # discusses this deviation from the paper's Figure 10.  The series is
+    # still produced so the trend with batch size can be inspected.

@@ -1,0 +1,10 @@
+"""Figure 11: weak scalability of the dynamic SpGEMM (algebraic case)."""
+
+from repro.bench import experiments_spgemm
+
+from conftest import run_experiment
+
+
+def test_fig11_spgemm_weak_scaling(benchmark, profile):
+    result = run_experiment(benchmark, experiments_spgemm.run_spgemm_weak_scaling, profile)
+    assert list(result.column("n_ranks")) == list(profile.scaling_ranks)

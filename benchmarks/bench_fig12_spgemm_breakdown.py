@@ -1,0 +1,11 @@
+"""Figure 12: breakdown of the dynamic SpGEMM running time."""
+
+from repro.runtime import StatCategory
+from repro.bench import experiments_spgemm
+
+from conftest import run_experiment
+
+
+def test_fig12_spgemm_breakdown(benchmark, profile):
+    result = run_experiment(benchmark, experiments_spgemm.run_spgemm_breakdown, profile)
+    assert set(result.column("phase")) == set(StatCategory.SPGEMM_BREAKDOWN)

@@ -1,0 +1,10 @@
+"""Table I: instance catalogue and surrogate sizes."""
+
+from repro.bench import experiments_updates
+
+from conftest import run_experiment
+
+
+def test_table1_instances(benchmark, profile):
+    result = run_experiment(benchmark, experiments_updates.run_table1, profile)
+    assert len(result.rows) == 12

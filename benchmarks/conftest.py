@@ -1,0 +1,30 @@
+"""Shared helpers for the pytest-benchmark harness.
+
+Every benchmark wraps one experiment driver from :mod:`repro.bench` and runs
+it exactly once per invocation (``rounds=1``): a driver already aggregates
+multiple batches/instances internally, and the interesting output is the
+figure series it prints, not sub-millisecond timing stability.
+
+Scale is controlled by the ``REPRO_BENCH_PROFILE`` environment variable
+(``smoke`` by default, ``default`` for the numbers recorded in
+EXPERIMENTS.md, ``large`` for a longer run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_profile
+from repro.bench.reporting import ExperimentResult, print_result
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+def run_experiment(benchmark, driver, *args, **kwargs) -> ExperimentResult:
+    """Run a driver once under pytest-benchmark and print its figure series."""
+    result = benchmark.pedantic(driver, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print_result(result)
+    return result

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Dynamic multi-source shortest paths on an evolving road-like network.
+
+The ``(min, +)`` semiring turns SpGEMM into shortest-path relaxation.  This
+example maintains the one-hop distance product ``S·A`` of a time-dependent
+mobility network while edge weights change and edges disappear — the
+workload class the paper's introduction motivates and the reason the
+*general* dynamic SpGEMM (Algorithm 2, Bloom-filter-driven masked
+recomputation) exists: weight increases and deletions cannot be expressed
+as ``min``-additions.
+
+Run with ``python examples/dynamic_shortest_paths.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ProcessGrid, SimMPI
+from repro.apps import DynamicMultiSourceShortestPaths, sssp_reference
+from repro.graphs import erdos_renyi_edges
+
+
+def main() -> None:
+    n_ranks = 16
+    comm = SimMPI(n_ranks)
+    grid = ProcessGrid(n_ranks)
+
+    # A sparse directed "road network" with travel times as weights.
+    n = 300
+    rows, cols = erdos_renyi_edges(n, 2500, seed=11)
+    rng = np.random.default_rng(11)
+    weights = rng.uniform(1.0, 10.0, rows.size)
+    sources = np.array([0, 17, 42, 99], dtype=np.int64)
+
+    app = DynamicMultiSourceShortestPaths(
+        comm, grid, n, rows, cols, weights, sources
+    )
+    print(f"network: {n} junctions, {rows.size} road segments, {len(sources)} sources")
+    print(f"maintained one-hop product has {app.one_hop_distances().nnz} entries")
+
+    # Rush hour: travel times on a subset of segments increase (a general
+    # update: min-plus cannot "undo" the old, smaller values).
+    congested = rng.choice(rows.size, size=60, replace=False)
+    app.update_edges(
+        rows[congested], cols[congested], weights[congested] * 3.0, seed=1
+    )
+    print("applied congestion update (60 segments slowed down 3x)")
+    print(f"  one-hop product still consistent: {app.verify_one_hop()}")
+
+    # Road closures: some segments disappear entirely (deletions).
+    closed = rng.choice(rows.size, size=25, replace=False)
+    app.delete_edges(rows[closed], cols[closed], seed=2)
+    print("applied road closures (25 segments deleted)")
+    print(f"  one-hop product still consistent: {app.verify_one_hop()}")
+
+    # Full shortest-path distances from the maintained adjacency matrix,
+    # validated against NetworkX Dijkstra on the same (updated) network.
+    dist = app.full_distances()
+    adj = app.adjacency.to_coo_global()
+    reference = sssp_reference(n, adj.rows, adj.cols, adj.values, sources)
+    max_err = np.nanmax(
+        np.abs(np.nan_to_num(dist, posinf=0.0) - np.nan_to_num(reference, posinf=0.0))
+    )
+    reachable = np.isfinite(dist).sum(axis=1)
+    for si, s in enumerate(sources):
+        print(
+            f"  source {int(s):3d}: {int(reachable[si])} reachable junctions, "
+            f"mean travel time {np.nanmean(dist[si][np.isfinite(dist[si])]):.2f}"
+        )
+    print(f"max deviation from NetworkX Dijkstra: {max_err:.2e}")
+    print(f"modelled parallel time: {comm.elapsed() * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

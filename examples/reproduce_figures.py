@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper and print the series.
+
+This is the command-line entry point of the benchmark harness (the
+``benchmarks/`` directory wraps the same drivers for ``pytest-benchmark``).
+
+Usage::
+
+    python examples/reproduce_figures.py                 # smoke profile
+    python examples/reproduce_figures.py --profile default
+    python examples/reproduce_figures.py --only figure_4 figure_9
+    python examples/reproduce_figures.py --json results/ # also dump JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.bench import ablations, experiments_spgemm, experiments_updates, get_profile
+from repro.bench.reporting import print_result
+
+DRIVERS = {
+    "table_1": lambda prof: experiments_updates.run_table1(prof),
+    "figure_3": lambda prof: experiments_updates.run_construction(prof),
+    "figure_4": lambda prof: experiments_updates.run_insertions(prof),
+    "figure_5a": lambda prof: experiments_updates.run_updates_deletions(prof, operation="update"),
+    "figure_5b": lambda prof: experiments_updates.run_updates_deletions(prof, operation="delete"),
+    "figure_6": lambda prof: experiments_updates.run_insert_weak_scaling(prof),
+    "figure_7": lambda prof: experiments_updates.run_insert_breakdown(prof),
+    "figure_8": lambda prof: experiments_updates.run_rmat_scaling(prof),
+    "figure_9": lambda prof: experiments_spgemm.run_spgemm_algebraic(prof),
+    "figure_10": lambda prof: experiments_spgemm.run_spgemm_general(prof),
+    "figure_11": lambda prof: experiments_spgemm.run_spgemm_weak_scaling(prof),
+    "figure_12": lambda prof: experiments_spgemm.run_spgemm_breakdown(prof),
+    "ablation_redistribution": lambda prof: ablations.run_redistribution_ablation(prof),
+    "ablation_summa_crossover": lambda prof: ablations.run_summa_crossover_ablation(prof),
+    "ablation_dynamic_storage": lambda prof: ablations.run_dynamic_storage_ablation(prof),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default=None, help="smoke | default | large")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiments to run"
+    )
+    parser.add_argument("--json", default=None, help="directory to dump JSON results")
+    args = parser.parse_args()
+
+    profile = get_profile(args.profile)
+    selected = args.only or list(DRIVERS)
+    unknown = [name for name in selected if name not in DRIVERS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {sorted(DRIVERS)}")
+
+    print(f"running {len(selected)} experiments with profile {profile.name!r}")
+    for name in selected:
+        result = DRIVERS[name](profile)
+        print_result(result)
+        if args.json:
+            os.makedirs(args.json, exist_ok=True)
+            result.save(os.path.join(args.json, f"{name}.json"))
+
+
+if __name__ == "__main__":
+    main()

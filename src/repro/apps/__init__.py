@@ -1,0 +1,27 @@
+"""Algebraic graph applications built on the dynamic SpGEMM API.
+
+The paper motivates dynamic SpGEMM with graph workloads whose inputs change
+over time (Section I).  This package implements three such applications on
+top of :class:`repro.core.DynamicProduct`:
+
+* :mod:`repro.apps.triangle_counting` — triangle counting via the masked
+  product ``(A·A) ∘ A``, maintained as edges are inserted.
+* :mod:`repro.apps.shortest_paths` — multi-source shortest paths in the
+  ``(min, +)`` semiring, maintained under edge insertions, weight changes
+  and deletions (the general-update algorithm).
+* :mod:`repro.apps.contraction` — graph contraction / coarsening expressed
+  as ``Sᵀ·A·S`` with a cluster-membership matrix ``S``.
+"""
+
+from repro.apps.triangle_counting import DynamicTriangleCounter, count_triangles_reference
+from repro.apps.shortest_paths import DynamicMultiSourceShortestPaths, sssp_reference
+from repro.apps.contraction import contract_graph, contraction_matrix
+
+__all__ = [
+    "DynamicTriangleCounter",
+    "count_triangles_reference",
+    "DynamicMultiSourceShortestPaths",
+    "sssp_reference",
+    "contract_graph",
+    "contraction_matrix",
+]

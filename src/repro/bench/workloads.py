@@ -1,0 +1,123 @@
+"""Workload generation for the benchmark experiments.
+
+Reproduces the experimental protocols of Section VII:
+
+* adjacency matrices are built from the (surrogate) instances with a random
+  index permutation for load balancing;
+* insertion experiments pre-load half of the non-zeros and draw batches
+  from the remaining half;
+* update / deletion experiments pre-load the full matrix and draw batches
+  from the existing non-zeros;
+* dynamic-SpGEMM experiments grow the left operand from empty by drawing
+  insertions from the adjacency matrix while the right operand stays fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed import IndexPermutation, partition_tuples_round_robin
+from repro.graphs import generate_instance
+
+__all__ = ["InstanceWorkload", "prepare_instance", "draw_batch", "split_batches"]
+
+TupleArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@dataclass
+class InstanceWorkload:
+    """A prepared (permuted) instance plus update pools."""
+
+    name: str
+    n: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    permutation: IndexPermutation
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    def all_tuples_per_rank(self, n_ranks: int, *, seed: int = 0) -> dict[int, TupleArrays]:
+        """The full adjacency matrix scattered round-robin over ranks."""
+        return partition_tuples_round_robin(
+            self.rows, self.cols, self.values, n_ranks, seed=seed
+        )
+
+    def split_half(self, *, seed: int = 0) -> tuple[TupleArrays, TupleArrays]:
+        """(initial half, insertion pool) split of the non-zeros."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(self.nnz)
+        half = self.nnz // 2
+        first, second = order[:half], order[half:]
+        return (
+            (self.rows[first], self.cols[first], self.values[first]),
+            (self.rows[second], self.cols[second], self.values[second]),
+        )
+
+
+def prepare_instance(
+    name: str,
+    *,
+    scale_divisor: int,
+    seed: int = 0,
+    permute: bool = True,
+    weights: str = "uniform",
+) -> InstanceWorkload:
+    """Generate a surrogate instance and apply the random permutation."""
+    n, rows, cols, values = generate_instance(
+        name, scale_divisor=scale_divisor, seed=seed, weights=weights
+    )
+    perm = IndexPermutation(n, seed=seed + 17) if permute else IndexPermutation.identity(n)
+    rows = perm.apply(rows)
+    cols = perm.apply(cols)
+    return InstanceWorkload(
+        name=name, n=n, rows=rows, cols=cols, values=values, permutation=perm
+    )
+
+
+def draw_batch(
+    pool: TupleArrays,
+    batch_total: int,
+    *,
+    seed: int = 0,
+    replace: bool = True,
+) -> TupleArrays:
+    """Draw a batch of tuples uniformly at random from a pool."""
+    rows, cols, values = pool
+    if rows.size == 0:
+        return rows, cols, values
+    rng = np.random.default_rng(seed)
+    size = int(batch_total) if replace else min(int(batch_total), rows.size)
+    idx = rng.choice(rows.size, size=size, replace=replace)
+    return rows[idx], cols[idx], values[idx]
+
+
+def split_batches(
+    pool: TupleArrays,
+    n_batches: int,
+    batch_total: int,
+    *,
+    seed: int = 0,
+) -> list[TupleArrays]:
+    """Draw ``n_batches`` disjoint batches from a pool (without replacement).
+
+    Used for deletion experiments where deleting the same entry twice would
+    distort the measurement; falls back to sampling with replacement across
+    batches when the pool is too small.
+    """
+    rows, cols, values = pool
+    rng = np.random.default_rng(seed)
+    needed = n_batches * batch_total
+    if rows.size >= needed:
+        idx = rng.choice(rows.size, size=needed, replace=False)
+    else:
+        idx = rng.choice(rows.size, size=needed, replace=True)
+    batches = []
+    for b in range(n_batches):
+        sel = idx[b * batch_total : (b + 1) * batch_total]
+        batches.append((rows[sel], cols[sel], values[sel]))
+    return batches

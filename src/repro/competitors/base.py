@@ -1,0 +1,125 @@
+"""Common interface of all (simulated) backends.
+
+A backend owns one distributed adjacency matrix and exposes the operations
+measured by the paper's data-structure experiments (Figs. 2–8):
+construction from scattered tuples, batched insertions, batched value
+updates and batched deletions.  The benchmark drivers time these calls with
+the simulated clock, so every backend must perform its work through the
+shared :class:`~repro.runtime.simmpi.SimMPI` communicator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.semirings import PLUS_TIMES, Semiring
+from repro.sparse import COOMatrix
+
+__all__ = ["Backend", "UnsupportedOperation", "get_backend", "list_backends"]
+
+TupleArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class UnsupportedOperation(RuntimeError):
+    """Raised when a backend does not support an operation.
+
+    Mirrors the paper's treatment of missing features (e.g. "PETSc does not
+    support an efficient way to mask non-zeros in matrices; thus, we do not
+    compare against PETSc for deletions").
+    """
+
+
+class Backend(abc.ABC):
+    """Abstract distributed-adjacency-matrix backend."""
+
+    #: human-readable name as used in the paper's plots
+    name: str = "abstract"
+    #: whether the backend supports deletions (Fig. 5b)
+    supports_deletions: bool = True
+    #: whether the backend supports arbitrary semirings (Fig. 10)
+    supports_semirings: bool = True
+
+    def __init__(
+        self,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        shape: tuple[int, int],
+        semiring: Semiring = PLUS_TIMES,
+    ) -> None:
+        self.comm = comm
+        self.grid = grid
+        self.shape = shape
+        self.semiring = semiring
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def construct(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
+        """Build the adjacency matrix from per-rank tuple arrays."""
+
+    @abc.abstractmethod
+    def insert_batch(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
+        """Insert a batch of new non-zeros (⊕-combining collisions)."""
+
+    @abc.abstractmethod
+    def update_batch(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
+        """Overwrite the values of existing non-zeros (MERGE semantics)."""
+
+    @abc.abstractmethod
+    def delete_batch(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
+        """Delete the given non-zeros (MASK semantics)."""
+
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Current number of structural non-zeros."""
+
+    @abc.abstractmethod
+    def to_coo_global(self) -> COOMatrix:
+        """Assembled global matrix (verification only)."""
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Metadata used by the benchmark reports."""
+        return {
+            "name": self.name,
+            "supports_deletions": self.supports_deletions,
+            "supports_semirings": self.supports_semirings,
+            "shape": self.shape,
+            "nnz": self.nnz(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz()})"
+
+
+def _registry() -> dict[str, type[Backend]]:
+    from repro.competitors.combblas import CombBLASBackend
+    from repro.competitors.ctf import CTFBackend
+    from repro.competitors.ours import OurBackend
+    from repro.competitors.petsc import PETScBackend
+
+    return {
+        "ours": OurBackend,
+        "combblas": CombBLASBackend,
+        "ctf": CTFBackend,
+        "petsc": PETScBackend,
+    }
+
+
+def list_backends() -> list[str]:
+    """Names of the available backends."""
+    return list(_registry())
+
+
+def get_backend(name: str) -> type[Backend]:
+    """Look up a backend class by name (``ours``/``combblas``/``ctf``/``petsc``)."""
+    registry = _registry()
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(registry)
+        raise KeyError(f"unknown backend {name!r}; known backends: {known}") from None

@@ -1,0 +1,303 @@
+"""High-level API: a maintained (dynamic) distributed matrix product.
+
+:class:`DynamicProduct` owns the two operands ``A`` and ``B`` (dynamic
+distributed matrices), the maintained result ``C = A·B`` and — for the
+general-update mode — the Bloom filter ``F``.  Batches of updates are
+applied through :meth:`DynamicProduct.apply_updates`, which
+
+1. assembles the distributed (hypersparse DCSR) update matrices,
+2. runs the appropriate dynamic SpGEMM algorithm (Algorithm 1 for algebraic
+   updates, Algorithm 2 for general updates) to bring ``C`` up to date, and
+3. applies the updates to the operands themselves.
+
+This is the entry point used by the examples, the applications in
+:mod:`repro.apps`, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.semirings import Semiring, SemiringError
+from repro.sparse import BloomFilterMatrix, COOMatrix, CSRMatrix, spgemm_local
+from repro.distributed import (
+    DynamicDistMatrix,
+    StaticDistMatrix,
+    UpdateBatch,
+    build_update_matrix,
+)
+from repro.core.summa import summa_spgemm
+from repro.core.dynamic_algebraic import dynamic_spgemm_algebraic
+from repro.core.dynamic_general import dynamic_spgemm_general
+
+__all__ = ["DynamicProduct", "UpdateResult"]
+
+
+@dataclass
+class UpdateResult:
+    """Summary of one :meth:`DynamicProduct.apply_updates` call."""
+
+    #: update tuples in the A-side batch (0 if none)
+    a_updates: int
+    #: update tuples in the B-side batch (0 if none)
+    b_updates: int
+    #: result entries touched (algebraic) or recomputed (general)
+    touched_outputs: int
+    #: which algorithm ran: "algebraic", "general" or "noop"
+    algorithm: str
+
+
+class DynamicProduct:
+    """A distributed matrix product maintained under batch updates."""
+
+    def __init__(
+        self,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        a: DynamicDistMatrix,
+        b: DynamicDistMatrix,
+        *,
+        semiring: Semiring | None = None,
+        mode: str = "algebraic",
+        compute_initial: bool = True,
+    ) -> None:
+        if mode not in ("algebraic", "general"):
+            raise ValueError(f"unknown mode {mode!r} (use 'algebraic' or 'general')")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: A {a.shape} x B {b.shape}"
+            )
+        if a is b:
+            raise ValueError(
+                "A and B must be distinct objects (pass a.copy() to maintain "
+                "A·A); the dynamic algorithms need the left operand to stay "
+                "at its pre-update state while the right operand is updated"
+            )
+        self.comm = comm
+        self.grid = grid
+        self.a = a
+        self.b = b
+        self.semiring = semiring if semiring is not None else a.semiring
+        self.mode = mode
+        if self.mode == "algebraic" and self.semiring.name != a.semiring.name:
+            raise ValueError("operands must use the product's semiring")
+        self.c: DynamicDistMatrix
+        self.f: dict[int, BloomFilterMatrix]
+        if compute_initial:
+            c, blooms = summa_spgemm(
+                comm,
+                grid,
+                a,
+                b,
+                semiring=self.semiring,
+                output="dynamic",
+                compute_bloom=(mode == "general"),
+            )
+            self.c = c  # type: ignore[assignment]
+            self.f = blooms if blooms is not None else {}
+        else:
+            self.c = DynamicDistMatrix.empty(
+                comm, grid, (a.shape[0], b.shape[1]), self.semiring
+            )
+            self.f = {
+                rank: BloomFilterMatrix(self.c.dist.block_shape_of_rank(rank))
+                for rank in range(grid.n_ranks)
+            }
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.a.shape[0], self.b.shape[1])
+
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        a_batch: UpdateBatch | None = None,
+        b_batch: UpdateBatch | None = None,
+    ) -> UpdateResult:
+        """Apply one batch of updates to A and/or B and refresh ``C``.
+
+        In ``"algebraic"`` mode every batch must consist of additive
+        insertions (``kind="insert"``); value updates that are not additive
+        and deletions raise :class:`SemiringError`.  In ``"general"`` mode
+        insert/update batches are applied with MERGE semantics and delete
+        batches with MASK semantics, and Algorithm 2 recomputes the affected
+        entries of ``C``.
+        """
+        if a_batch is None and b_batch is None:
+            return UpdateResult(0, 0, 0, "noop")
+        self._validate_batch(a_batch, self.a.shape, "A")
+        self._validate_batch(b_batch, self.b.shape, "B")
+        if self.mode == "algebraic":
+            return self._apply_algebraic(a_batch, b_batch)
+        return self._apply_general(a_batch, b_batch)
+
+    # ------------------------------------------------------------------
+    def _apply_algebraic(
+        self, a_batch: UpdateBatch | None, b_batch: UpdateBatch | None
+    ) -> UpdateResult:
+        for batch, name in ((a_batch, "A"), (b_batch, "B")):
+            if batch is not None and batch.kind != "insert":
+                raise SemiringError(
+                    f"algebraic mode only supports additive insertions; the "
+                    f"{name}-side batch has kind {batch.kind!r} — use "
+                    "mode='general' instead"
+                )
+        a_star = self._build_update(a_batch)
+        b_star = self._build_update(b_batch)
+        # B must become B' *before* Algorithm 1 runs (C* = A*·B' + A·B*),
+        # while A stays at its pre-update state until afterwards.
+        if b_star is not None:
+            self.b.add_update(b_star)
+        touched = dynamic_spgemm_algebraic(
+            self.comm,
+            self.grid,
+            self.a,
+            self.b,
+            a_star if a_star is not None else self._empty_update(self.a.shape),
+            b_star,
+            self.c,
+            semiring=self.semiring,
+        )
+        if a_star is not None:
+            self.a.add_update(a_star)
+        return UpdateResult(
+            a_updates=a_batch.total_tuples if a_batch else 0,
+            b_updates=b_batch.total_tuples if b_batch else 0,
+            touched_outputs=touched,
+            algorithm="algebraic",
+        )
+
+    def _apply_general(
+        self, a_batch: UpdateBatch | None, b_batch: UpdateBatch | None
+    ) -> UpdateResult:
+        a_star = self._build_update(a_batch, marker_values=(a_batch is not None and a_batch.kind == "delete"))
+        b_star = self._build_update(b_batch, marker_values=(b_batch is not None and b_batch.kind == "delete"))
+        # COMPUTE_PATTERN needs the pre-update A for the A·B* term; keep a
+        # copy only when both operands change (otherwise the term vanishes
+        # or the old A is not needed).
+        a_old = self.a.copy() if (a_star is not None and b_star is not None) else self.a
+        # Apply the updates to the operands first: Algorithm 2 recomputes
+        # affected outputs from the *new* operands.
+        self._apply_to_operand(self.b, b_batch, b_star)
+        self._apply_to_operand(self.a, a_batch, a_star)
+        recomputed = dynamic_spgemm_general(
+            self.comm,
+            self.grid,
+            a_old,
+            self.a,
+            self.b,
+            a_star if a_star is not None else self._empty_update(self.a.shape),
+            b_star,
+            self.c,
+            self.f,
+            semiring=self.semiring,
+        )
+        return UpdateResult(
+            a_updates=a_batch.total_tuples if a_batch else 0,
+            b_updates=b_batch.total_tuples if b_batch else 0,
+            touched_outputs=recomputed,
+            algorithm="general",
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_to_operand(
+        self,
+        operand: DynamicDistMatrix,
+        batch: UpdateBatch | None,
+        update: StaticDistMatrix | None,
+    ) -> None:
+        if batch is None or update is None:
+            return
+        if batch.kind == "delete":
+            operand.mask_update(update)
+        elif batch.kind == "update":
+            operand.merge_update(update)
+        else:  # insert
+            if self.mode == "algebraic":
+                operand.add_update(update)
+            else:
+                operand.merge_update(update)
+
+    def _build_update(
+        self, batch: UpdateBatch | None, *, marker_values: bool = False
+    ) -> StaticDistMatrix | None:
+        if batch is None:
+            return None
+        target_dist = self.a.dist if batch.shape == self.a.shape else self.b.dist
+        update = build_update_matrix(
+            self.comm,
+            self.grid,
+            target_dist,
+            batch,
+            self.semiring,
+            layout="dcsr",
+            combine="add" if (self.mode == "algebraic" and batch.kind == "insert") else "last",
+        )
+        if marker_values:
+            # Deletion markers: only the structure matters; normalise the
+            # values to the multiplicative identity so that the pattern
+            # computation cannot be annihilated by semiring zeros.
+            for rank, block in update.blocks.items():
+                block.values[:] = self.semiring.one
+        return update
+
+    def _empty_update(self, shape: tuple[int, int]) -> StaticDistMatrix:
+        empty = StaticDistMatrix.empty(
+            self.comm, self.grid, shape, self.semiring, layout="dcsr"
+        )
+        empty.dist = self.a.dist if shape == self.a.shape else self.b.dist
+        return empty
+
+    def _validate_batch(
+        self, batch: UpdateBatch | None, shape: tuple[int, int], name: str
+    ) -> None:
+        if batch is None:
+            return
+        if batch.shape != shape:
+            raise ValueError(
+                f"{name}-side batch shape {batch.shape} does not match the "
+                f"operand shape {shape}"
+            )
+        if batch.semiring.name != self.semiring.name:
+            raise ValueError(f"{name}-side batch uses a different semiring")
+
+    # ------------------------------------------------------------------
+    # verification helpers
+    # ------------------------------------------------------------------
+    def recompute_reference(self) -> COOMatrix:
+        """Recompute ``A·B`` from scratch, sequentially (for verification).
+
+        Does not touch the simulated clocks; intended for tests and examples
+        that want to check the maintained ``C`` against the ground truth.
+        """
+        a_global = CSRMatrix.from_coo(self.a.to_coo_global())
+        b_global = CSRMatrix.from_coo(self.b.to_coo_global())
+        ref, _ = spgemm_local(a_global, b_global, self.semiring, use_scipy=False)
+        return ref
+
+    def result_coo(self) -> COOMatrix:
+        """The maintained result ``C`` as one global COO matrix."""
+        return self.c.to_coo_global()
+
+    def check_consistency(self, *, rtol: float = 1e-9) -> bool:
+        """``True`` when the maintained ``C`` matches a fresh recomputation.
+
+        Structural zeros that carry the semiring's annihilating value are
+        ignored on both sides so that explicit zeros (which can legitimately
+        differ between the incremental and the from-scratch computation) do
+        not cause false negatives.
+        """
+        import numpy as np
+
+        maintained = self.result_coo().drop_zeros().sort()
+        reference = self.recompute_reference().drop_zeros().sort()
+        if maintained.nnz != reference.nnz:
+            return False
+        return bool(
+            np.array_equal(maintained.rows, reference.rows)
+            and np.array_equal(maintained.cols, reference.cols)
+            and np.allclose(maintained.values, reference.values, rtol=rtol)
+        )

@@ -1,0 +1,203 @@
+"""Sparse aggregation collectives.
+
+The partial products ``X^i_{k,j}`` produced on different ranks have
+*different sparsity patterns*, so a plain ``MPI_Reduce`` over dense buffers
+is not applicable.  Section VI-A describes the solution: "an approach based
+on a custom reduce-scatter implementation for sparse matrices".
+
+:func:`sparse_reduce_to_root` implements that scheme on the simulated
+runtime:
+
+1. every contributing rank splits its local sparse partial result into
+   ``g`` row ranges (one per group member) — the *scatter* pattern;
+2. one ``ALLTOALLV`` inside the group delivers each row range to the rank
+   responsible for it (charged to the *Reduce-Scatter* category of the
+   Fig. 12 breakdown);
+3. each rank ⊕-combines the pieces it received (local work);
+4. the combined row ranges are gathered onto the root (charged to the
+   *Scatter* category, matching the paper's naming of the final
+   redistribution step).
+
+:func:`bloom_reduce_to_root` is the same pattern for Bloom-filter matrices
+with bitwise-OR combination.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.runtime.simmpi import SimMPI
+from repro.runtime.stats import StatCategory
+from repro.semirings import Semiring
+from repro.sparse import BloomFilterMatrix, COOMatrix
+
+__all__ = ["sparse_reduce_to_root", "bloom_reduce_to_root"]
+
+
+def _row_range_offsets(n_rows: int, parts: int) -> np.ndarray:
+    base = n_rows // parts
+    rem = n_rows % parts
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:rem] += 1
+    offsets = np.zeros(parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def sparse_reduce_to_root(
+    comm: SimMPI,
+    group: Sequence[int],
+    root: int,
+    contributions: Mapping[int, COOMatrix],
+    semiring: Semiring,
+    *,
+    scatter_category: str = StatCategory.REDUCE_SCATTER,
+    gather_category: str = StatCategory.SCATTER,
+    combine_category: str = StatCategory.REDUCE_SCATTER,
+) -> COOMatrix:
+    """⊕-reduce sparse partial results of a group onto ``root``.
+
+    ``contributions[rank]`` is the local partial result of ``rank`` (a COO
+    matrix in the *output block's local coordinates*; all contributions must
+    share the same shape).  Returns the combined COO matrix, conceptually
+    residing on ``root``.
+    """
+    group = list(group)
+    if root not in group:
+        raise ValueError(f"reduction root {root} is not part of the group")
+    shapes = {c.shape for c in contributions.values()}
+    if len(shapes) > 1:
+        raise ValueError(f"contributions disagree on the block shape: {shapes}")
+    shape = shapes.pop() if shapes else (0, 0)
+    g = len(group)
+    offsets = _row_range_offsets(shape[0], g)
+
+    # Step 1+2: split by destination row range, exchange within the group.
+    sendbufs: dict[int, dict[int, COOMatrix]] = {}
+    for rank in group:
+        coo = contributions.get(rank)
+        if coo is None:
+            coo = COOMatrix.empty(shape, semiring)
+
+        def _split(coo=coo):
+            pieces: dict[int, COOMatrix] = {}
+            if coo.nnz == 0:
+                return pieces
+            dest = np.searchsorted(offsets, coo.rows, side="right") - 1
+            for slot in np.unique(dest):
+                sel = dest == slot
+                pieces[int(slot)] = COOMatrix(
+                    shape=shape,
+                    rows=coo.rows[sel],
+                    cols=coo.cols[sel],
+                    values=coo.values[sel],
+                    semiring=semiring,
+                )
+            return pieces
+
+        pieces = comm.run_local(rank, _split, category=combine_category)
+        sendbufs[rank] = {
+            group[slot]: piece for slot, piece in pieces.items() if piece.nnz
+        }
+    received = comm.alltoallv(sendbufs, group=group, category=scatter_category)
+
+    # Step 3: locally ⊕-combine the received row-range pieces.
+    combined: dict[int, COOMatrix] = {}
+    for rank in group:
+        pieces = [p for _src, p in sorted(received.get(rank, {}).items())]
+
+        def _combine(pieces=pieces):
+            if not pieces:
+                return COOMatrix.empty(shape, semiring)
+            out = pieces[0]
+            for extra in pieces[1:]:
+                out = out.concatenate(extra)
+            return out.sum_duplicates()
+
+        combined[rank] = comm.run_local(rank, _combine, category=combine_category)
+
+    # Step 4: gather the combined row ranges onto the root.
+    gathered = comm.gather(root, combined, group=group, category=gather_category)
+
+    def _assemble():
+        pieces = [p for _r, p in sorted(gathered.items()) if p is not None and p.nnz]
+        if not pieces:
+            return COOMatrix.empty(shape, semiring)
+        out = pieces[0]
+        for extra in pieces[1:]:
+            out = out.concatenate(extra)
+        # Row ranges are disjoint, so a plain concatenation would suffice;
+        # sum_duplicates keeps the result canonical regardless.
+        return out.sum_duplicates()
+
+    return comm.run_local(root, _assemble, category=combine_category)
+
+
+def bloom_reduce_to_root(
+    comm: SimMPI,
+    group: Sequence[int],
+    root: int,
+    contributions: Mapping[int, BloomFilterMatrix],
+    *,
+    scatter_category: str = StatCategory.REDUCE_SCATTER,
+    gather_category: str = StatCategory.SCATTER,
+    combine_category: str = StatCategory.REDUCE_SCATTER,
+) -> BloomFilterMatrix:
+    """Bitwise-OR reduce Bloom-filter partials of a group onto ``root``."""
+    group = list(group)
+    if root not in group:
+        raise ValueError(f"reduction root {root} is not part of the group")
+    shapes = {c.shape for c in contributions.values()}
+    if len(shapes) > 1:
+        raise ValueError(f"contributions disagree on the block shape: {shapes}")
+    shape = shapes.pop() if shapes else (0, 0)
+    g = len(group)
+    offsets = _row_range_offsets(shape[0], g)
+
+    sendbufs: dict[int, dict[int, BloomFilterMatrix]] = {}
+    for rank in group:
+        bloom = contributions.get(rank)
+        if bloom is None:
+            bloom = BloomFilterMatrix(shape)
+
+        def _split(bloom=bloom):
+            pieces: dict[int, BloomFilterMatrix] = {}
+            for (i, j), bits in bloom.items():
+                slot = int(np.searchsorted(offsets, i, side="right") - 1)
+                piece = pieces.get(slot)
+                if piece is None:
+                    piece = BloomFilterMatrix(shape)
+                    pieces[slot] = piece
+                piece.set_bits(i, j, bits)
+            return pieces
+
+        pieces = comm.run_local(rank, _split, category=combine_category)
+        sendbufs[rank] = {
+            group[slot]: piece for slot, piece in pieces.items() if piece.nnz
+        }
+    received = comm.alltoallv(sendbufs, group=group, category=scatter_category)
+
+    combined: dict[int, BloomFilterMatrix] = {}
+    for rank in group:
+        pieces = [p for _src, p in sorted(received.get(rank, {}).items())]
+
+        def _combine(pieces=pieces):
+            out = BloomFilterMatrix(shape)
+            for piece in pieces:
+                out.or_inplace(piece)
+            return out
+
+        combined[rank] = comm.run_local(rank, _combine, category=combine_category)
+
+    gathered = comm.gather(root, combined, group=group, category=gather_category)
+
+    def _assemble():
+        out = BloomFilterMatrix(shape)
+        for _r, piece in sorted(gathered.items()):
+            if piece is not None:
+                out.or_inplace(piece)
+        return out
+
+    return comm.run_local(root, _assemble, category=combine_category)

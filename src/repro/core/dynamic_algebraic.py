@@ -1,0 +1,339 @@
+"""Algorithm 1 — MPI-parallel dynamic SpGEMM for algebraic updates.
+
+Given ``C = A·B`` and updates expressible as semiring additions
+(``A' = A ⊕ A*``, ``B' = B ⊕ B*``), distributivity yields::
+
+    C' = (A ⊕ A*)·(B ⊕ B*) = C ⊕ A*·B' ⊕ A·B*  =  C ⊕ C*
+
+so only ``C* = A*·B' ⊕ A·B*`` has to be computed.  The static SUMMA
+algorithm would broadcast blocks of the *large* operands ``A`` and ``B'``;
+Algorithm 1 instead broadcasts only the hypersparse ``A*`` / ``B*`` blocks
+(after one transpose send/receive round that moves each block onto the
+process row / column it must be broadcast over) and pays an extra
+*non-local aggregation* of the partial results with the custom sparse
+reduce-scatter of :mod:`repro.core.collectives`.
+
+Per round ``k`` (of ``√p`` rounds), on every rank ``(i, j)``::
+
+    X^i_{k,j} = A*_{k,i} · B'_{i,j}        (aggregated onto rank (k, j))
+    Y^j_{i,k} = A_{i,j}  · B*_{j,k}        (aggregated onto rank (i, k))
+
+After the loop every rank ``(i, j)`` holds ``X_{i,j}`` and ``Y_{i,j}`` and
+applies ``C'_{i,j} = C_{i,j} ⊕ X_{i,j} ⊕ Y_{i,j}`` locally.
+
+:func:`compute_cstar` returns the per-rank local blocks of ``C*`` (and,
+optionally, the Bloom filter ``F*`` required by Algorithm 2 — this is the
+``COMPUTE_PATTERN`` subroutine of the paper);
+:func:`dynamic_spgemm_algebraic` additionally folds ``C*`` into a dynamic
+result matrix ``C``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.runtime.stats import StatCategory
+from repro.semirings import Semiring, SemiringError
+from repro.sparse import BloomFilterMatrix, COOMatrix, spgemm_local
+from repro.distributed import BlockDistribution, DynamicDistMatrix
+from repro.distributed.dist_matrix import DistMatrixBase, StaticDistMatrix
+
+__all__ = ["compute_cstar", "dynamic_spgemm_algebraic"]
+
+
+def _check_operands(
+    grid: ProcessGrid,
+    a: DistMatrixBase,
+    b_prime: DistMatrixBase,
+    a_star: DistMatrixBase,
+    b_star: DistMatrixBase | None,
+) -> tuple[int, int, int]:
+    n, k_dim = a.shape
+    k_dim2, m = b_prime.shape
+    if k_dim != k_dim2:
+        raise ValueError(
+            f"inner dimensions do not match: A {a.shape} x B' {b_prime.shape}"
+        )
+    if a_star.shape != a.shape:
+        raise ValueError(f"A* shape {a_star.shape} does not match A shape {a.shape}")
+    if b_star is not None and b_star.shape != b_prime.shape:
+        raise ValueError(
+            f"B* shape {b_star.shape} does not match B' shape {b_prime.shape}"
+        )
+    for op in (a, b_prime, a_star) + ((b_star,) if b_star is not None else ()):
+        if op.grid.n_ranks != grid.n_ranks:
+            raise ValueError("all operands must live on the same process grid")
+    return n, k_dim, m
+
+
+def compute_cstar(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    a: DistMatrixBase,
+    b_prime: DistMatrixBase,
+    a_star: DistMatrixBase,
+    b_star: DistMatrixBase | None = None,
+    *,
+    semiring: Semiring | None = None,
+    compute_bloom: bool = False,
+) -> tuple[dict[int, COOMatrix], dict[int, BloomFilterMatrix] | None]:
+    """Compute the per-rank local blocks of ``C* = A*·B' ⊕ A·B*``.
+
+    ``b_star=None`` means ``B* = 0`` (the Figure-9 workload, where only the
+    left operand changes).  When ``compute_bloom`` is set the function also
+    returns the Bloom filter ``F*`` of ``C*`` (``COMPUTE_PATTERN`` in
+    Algorithm 2): bit ``k mod 64`` of ``f*_{i,j}`` is set whenever the term
+    with global inner index ``k`` contributed to ``c*_{i,j}``.
+
+    Returns ``(cstar_blocks, fstar_blocks)`` where ``cstar_blocks[rank]`` is
+    a COO matrix in the local coordinates of rank's output block.
+    """
+    semiring = semiring if semiring is not None else a.semiring
+    n, _k_dim, m = _check_operands(grid, a, b_prime, a_star, b_star)
+    q = grid.q
+    out_dist = BlockDistribution(n, m, grid)
+
+    # ------------------------------------------------------------------
+    # Transpose send/receive round: A*_{i,j} -> rank (j,i), B*_{i,j} -> (j,i)
+    # so that the block needed as broadcast root in round k already sits on
+    # the right process row / column.
+    # ------------------------------------------------------------------
+    astar_t = _transpose_exchange(comm, grid, a_star)
+    bstar_t = _transpose_exchange(comm, grid, b_star) if b_star is not None else None
+
+    partials: dict[int, list[COOMatrix]] = {r: [] for r in range(grid.n_ranks)}
+    bloom_parts: dict[int, BloomFilterMatrix] | None = None
+    if compute_bloom:
+        bloom_parts = {
+            r: BloomFilterMatrix(out_dist.block_shape_of_rank(r))
+            for r in range(grid.n_ranks)
+        }
+
+    for k in range(q):
+        # ---------------- X-term: X^i_{k,j} = A*_{k,i} · B'_{i,j} --------
+        astar_blocks_nnz = sum(
+            astar_t[grid.rank_of(i, k)].nnz for i in range(q)
+        )
+        if astar_blocks_nnz:
+            a_recv: dict[int, object] = {}
+            for i in range(q):
+                root = grid.rank_of(i, k)
+                row_ranks = grid.row_group(i)
+                received = comm.bcast(
+                    root,
+                    astar_t[root],
+                    group=row_ranks,
+                    category=StatCategory.BCAST,
+                )
+                for rank in row_ranks:
+                    a_recv[rank] = received[rank]
+
+            for j in range(q):
+                col_ranks = grid.col_group(j)
+                root = grid.rank_of(k, j)
+                contributions: dict[int, COOMatrix] = {}
+                bloom_contribs: dict[int, BloomFilterMatrix] = {}
+                any_nnz = False
+                for i in range(q):
+                    rank = grid.rank_of(i, j)
+                    a_blk = a_recv[rank]
+                    b_blk = b_prime.blocks[rank]
+                    inner_offset = int(a_star.dist.col_offsets[i])
+
+                    def _mult(a_blk=a_blk, b_blk=b_blk, inner_offset=inner_offset):
+                        return spgemm_local(
+                            a_blk,
+                            b_blk,
+                            semiring,
+                            compute_bloom=compute_bloom,
+                            inner_offset=inner_offset,
+                        )
+
+                    coo, bloom = comm.run_local(
+                        rank, _mult, category=StatCategory.LOCAL_MULT
+                    )
+                    contributions[rank] = coo
+                    any_nnz = any_nnz or coo.nnz > 0
+                    if compute_bloom and bloom is not None:
+                        bloom_contribs[rank] = bloom
+                if any_nnz:
+                    from repro.core.collectives import (
+                        bloom_reduce_to_root,
+                        sparse_reduce_to_root,
+                    )
+
+                    reduced = sparse_reduce_to_root(
+                        comm, col_ranks, root, contributions, semiring
+                    )
+                    if reduced.nnz:
+                        partials[root].append(reduced)
+                    if compute_bloom and bloom_parts is not None:
+                        reduced_bloom = bloom_reduce_to_root(
+                            comm, col_ranks, root, bloom_contribs
+                        )
+                        bloom_parts[root].or_inplace(reduced_bloom)
+
+        # ---------------- Y-term: Y^j_{i,k} = A_{i,j} · B*_{j,k} ---------
+        if bstar_t is None:
+            continue
+        bstar_blocks_nnz = sum(
+            bstar_t[grid.rank_of(k, j)].nnz for j in range(q)
+        )
+        if not bstar_blocks_nnz:
+            continue
+        b_recv: dict[int, object] = {}
+        for j in range(q):
+            root = grid.rank_of(k, j)
+            col_ranks = grid.col_group(j)
+            received = comm.bcast(
+                root, bstar_t[root], group=col_ranks, category=StatCategory.BCAST
+            )
+            for rank in col_ranks:
+                b_recv[rank] = received[rank]
+
+        for i in range(q):
+            row_ranks = grid.row_group(i)
+            root = grid.rank_of(i, k)
+            contributions = {}
+            bloom_contribs = {}
+            any_nnz = False
+            for j in range(q):
+                rank = grid.rank_of(i, j)
+                a_blk = a.blocks[rank]
+                b_blk = b_recv[rank]
+                inner_offset = int(a.dist.col_offsets[j])
+
+                def _mult(a_blk=a_blk, b_blk=b_blk, inner_offset=inner_offset):
+                    return spgemm_local(
+                        a_blk,
+                        b_blk,
+                        semiring,
+                        compute_bloom=compute_bloom,
+                        inner_offset=inner_offset,
+                    )
+
+                coo, bloom = comm.run_local(
+                    rank, _mult, category=StatCategory.LOCAL_MULT
+                )
+                contributions[rank] = coo
+                any_nnz = any_nnz or coo.nnz > 0
+                if compute_bloom and bloom is not None:
+                    bloom_contribs[rank] = bloom
+            if any_nnz:
+                from repro.core.collectives import (
+                    bloom_reduce_to_root,
+                    sparse_reduce_to_root,
+                )
+
+                reduced = sparse_reduce_to_root(
+                    comm, row_ranks, root, contributions, semiring
+                )
+                if reduced.nnz:
+                    partials[root].append(reduced)
+                if compute_bloom and bloom_parts is not None:
+                    reduced_bloom = bloom_reduce_to_root(
+                        comm, row_ranks, root, bloom_contribs
+                    )
+                    bloom_parts[root].or_inplace(reduced_bloom)
+
+    # ------------------------------------------------------------------
+    # Per-rank accumulation of the reduced contributions.
+    # ------------------------------------------------------------------
+    cstar_blocks: dict[int, COOMatrix] = {}
+    for rank in range(grid.n_ranks):
+        block_shape = out_dist.block_shape_of_rank(rank)
+        pieces = partials[rank]
+
+        def _accumulate(pieces=pieces, block_shape=block_shape):
+            if not pieces:
+                return COOMatrix.empty(block_shape, semiring)
+            out = pieces[0]
+            for extra in pieces[1:]:
+                out = out.concatenate(extra)
+            return out.sum_duplicates()
+
+        cstar_blocks[rank] = comm.run_local(
+            rank, _accumulate, category=StatCategory.LOCAL_MULT
+        )
+    return cstar_blocks, bloom_parts
+
+
+def dynamic_spgemm_algebraic(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    a: DistMatrixBase,
+    b_prime: DistMatrixBase,
+    a_star: DistMatrixBase,
+    b_star: DistMatrixBase | None,
+    c: DynamicDistMatrix,
+    *,
+    semiring: Semiring | None = None,
+    require_ring: bool = False,
+) -> int:
+    """Apply an algebraic update to the maintained product ``C``.
+
+    Computes ``C* = A*·B' ⊕ A·B*`` with Algorithm 1 and folds it into ``C``
+    (a dynamic distributed matrix) purely locally.  Returns the number of
+    structural non-zeros of ``C*`` (i.e. how many result entries were
+    touched).
+
+    ``require_ring=True`` asserts that the semiring is a ring, i.e. that
+    *every* conceivable update (including deletions) is expressible as an
+    algebraic update; without it the caller is responsible for only feeding
+    updates that are genuine semiring additions.
+    """
+    semiring = semiring if semiring is not None else c.semiring
+    if require_ring and not semiring.is_ring:
+        raise SemiringError(
+            f"semiring {semiring.name!r} is not a ring; general updates must "
+            "use dynamic_spgemm_general"
+        )
+    if c.shape != (a.shape[0], b_prime.shape[1]):
+        raise ValueError(
+            f"result shape {c.shape} does not match A x B' = "
+            f"({a.shape[0]}, {b_prime.shape[1]})"
+        )
+    cstar_blocks, _ = compute_cstar(
+        comm, grid, a, b_prime, a_star, b_star, semiring=semiring, compute_bloom=False
+    )
+    touched = 0
+    for rank, cstar in cstar_blocks.items():
+        if cstar.nnz == 0:
+            continue
+        touched += cstar.nnz
+        block = c.blocks[rank]
+        comm.run_local(
+            rank,
+            block.add_update,
+            cstar,
+            category=StatCategory.LOCAL_ADDITION,
+        )
+    return touched
+
+
+def _transpose_exchange(
+    comm: SimMPI, grid: ProcessGrid, mat
+) -> dict[int, object]:
+    """Send every block to its transposed grid position.
+
+    ``mat`` is either a distributed matrix or a plain ``rank -> block``
+    mapping.  Afterwards the returned mapping holds, for rank ``(r, c)``,
+    the block originally stored on rank ``(c, r)`` — i.e. block ``(c, r)``
+    of the matrix — which is exactly the block that rank must broadcast in
+    round ``r`` (for row broadcasts) or ``c`` (for column broadcasts).
+    """
+    blocks = mat.blocks if hasattr(mat, "blocks") else mat
+    messages = []
+    for rank in range(grid.n_ranks):
+        dst = grid.transpose_rank(rank)
+        messages.append((rank, dst, blocks[rank]))
+    inbox = comm.exchange(messages, category=StatCategory.SEND_RECV)
+    received: dict[int, object] = {}
+    for rank in range(grid.n_ranks):
+        items = inbox.get(rank, [])
+        if len(items) != 1:
+            raise RuntimeError(
+                f"transpose exchange delivered {len(items)} blocks to rank {rank}"
+            )
+        received[rank] = items[0][1]
+    return received

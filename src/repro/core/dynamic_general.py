@@ -1,0 +1,327 @@
+"""Algorithm 2 — MPI-parallel dynamic SpGEMM for general updates.
+
+General updates (e.g. deletions under ``(min, +)`` or value increases under
+an idempotent ``⊕``) cannot be folded into ``C`` by addition, so the
+affected entries of ``C`` must be *recomputed*.  The algorithm limits both
+communication and computation to what the update can actually influence:
+
+1. ``C*, F* ← COMPUTE_PATTERN(A, A*, B', B*)`` — the sparsity pattern of
+   ``C* = A*·B' ⊕ A·B*`` (the entries of ``C`` that may change) and its
+   Bloom filter, computed with the machinery of Algorithm 1
+   (:func:`repro.core.dynamic_algebraic.compute_cstar` with
+   ``compute_bloom=True``).
+2. ``E ← (F | F*)`` masked at the pattern of ``C*`` — a Bloom filter for
+   exactly the output entries that need recomputation.
+3. ``R`` — the row-wise OR of ``E``, reduced across each process row; bit
+   ``k mod 64`` of ``r_i`` says "some output in row ``i`` may need inner
+   index ``k``".
+4. ``A^R`` — ``A'`` filtered by ``R``: only rows with ``r_i ≠ 0`` and within
+   them only columns admitted by the bitfield are kept.  This is the only
+   part of the (large) ``A'`` that is ever communicated.
+5. A SUMMA-like loop broadcasting ``A^R`` over process rows and the ``C*``
+   pattern over process columns; the local multiplication is *masked* at
+   ``C*`` and also produces fresh Bloom bits ``H``.
+6. ``Z`` and ``H`` are aggregated with the sparse reduce-scatter and merged
+   into ``C`` and ``F``: every entry in the ``C*`` pattern is overwritten
+   with its recomputed value — or deleted, if no term contributes any more.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.runtime.stats import StatCategory
+from repro.semirings import Semiring
+from repro.sparse import (
+    BLOOM_BITS,
+    BloomFilterMatrix,
+    COOMatrix,
+    DCSRMatrix,
+    pattern_row_index,
+    spgemm_local_masked,
+)
+from repro.distributed import DynamicDistMatrix
+from repro.distributed.dist_matrix import DistMatrixBase
+from repro.core.collectives import bloom_reduce_to_root, sparse_reduce_to_root
+from repro.core.dynamic_algebraic import compute_cstar, _transpose_exchange
+
+__all__ = ["dynamic_spgemm_general", "filter_by_row_bloom"]
+
+
+def filter_by_row_bloom(
+    block, row_bits: np.ndarray, col_offset: int, semiring: Semiring
+) -> DCSRMatrix:
+    """Filter a local block of ``A'`` by the row Bloom vector ``R``.
+
+    Keeps row ``r`` only when ``row_bits[r] != 0`` and, within a kept row,
+    keeps column ``k`` only when bit ``(k + col_offset) mod 64`` is set in
+    ``row_bits[r]`` (``col_offset`` converts block-local columns to global
+    inner indices).  Returns a hypersparse DCSR block ``A^R``.
+    """
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    vals_out: list[np.ndarray] = []
+    iterator = (
+        block.iter_rows()
+        if hasattr(block, "iter_rows")
+        else _csr_iter(block)
+    )
+    for r, cols, vals in iterator:
+        bits = int(row_bits[r]) if r < row_bits.size else 0
+        if bits == 0 or cols.size == 0:
+            continue
+        global_k = cols.astype(np.uint64) + np.uint64(col_offset)
+        admitted = ((np.uint64(bits) >> (global_k % np.uint64(BLOOM_BITS))) & np.uint64(1)).astype(bool)
+        if not np.any(admitted):
+            continue
+        kept = cols[admitted]
+        rows_out.append(np.full(kept.size, r, dtype=np.int64))
+        cols_out.append(kept)
+        vals_out.append(vals[admitted])
+    if not rows_out:
+        return DCSRMatrix.empty(block.shape, semiring)
+    coo = COOMatrix(
+        shape=block.shape,
+        rows=np.concatenate(rows_out),
+        cols=np.concatenate(cols_out),
+        values=np.concatenate(vals_out),
+        semiring=semiring,
+    )
+    return DCSRMatrix.from_coo(coo, dedup=False)
+
+
+def _csr_iter(block):
+    for i in block.nonzero_rows():
+        cols, vals = block.row(int(i))
+        yield int(i), cols, vals
+
+
+def dynamic_spgemm_general(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    a_old: DistMatrixBase,
+    a_prime: DistMatrixBase,
+    b_prime: DistMatrixBase,
+    a_star: DistMatrixBase,
+    b_star: DistMatrixBase | None,
+    c: DynamicDistMatrix,
+    f: Mapping[int, BloomFilterMatrix],
+    *,
+    semiring: Semiring | None = None,
+) -> int:
+    """Apply a *general* update to the maintained product ``C`` (and ``F``).
+
+    Parameters
+    ----------
+    a_old:
+        The left operand *before* the update (needed by ``COMPUTE_PATTERN``;
+        pass ``a_prime`` if the old matrix is no longer available — the
+        computed pattern is then still a superset for pure insertions, but
+        simultaneous deletions on both operands require the true old ``A``).
+    a_prime, b_prime:
+        The operands *after* the update.
+    a_star, b_star:
+        Hypersparse update-pattern matrices (structure = changed entries,
+        deletions included as structural non-zeros).  ``b_star=None`` means
+        the right operand did not change.
+    c, f:
+        The maintained dynamic result matrix and its per-rank Bloom filter;
+        both are updated in place.
+
+    Returns the number of output entries that were recomputed.
+    """
+    semiring = semiring if semiring is not None else c.semiring
+    q = grid.q
+    out_dist = c.dist
+
+    # ------------------------------------------------------------------
+    # 1. C* pattern and F* (COMPUTE_PATTERN).
+    # ------------------------------------------------------------------
+    cstar_blocks, fstar_blocks = compute_cstar(
+        comm,
+        grid,
+        a_old,
+        b_prime,
+        a_star,
+        b_star,
+        semiring=semiring,
+        compute_bloom=True,
+    )
+    assert fstar_blocks is not None
+
+    total_pattern = sum(blk.nnz for blk in cstar_blocks.values())
+    if total_pattern == 0:
+        return 0
+
+    # ------------------------------------------------------------------
+    # 2. E = (F | F*) masked at the pattern of C*  (local).
+    # 3. R = row-wise OR of E, allreduced over each process row.
+    # ------------------------------------------------------------------
+    row_bits_per_rank: dict[int, np.ndarray] = {}
+    for rank in range(grid.n_ranks):
+        block_rows = out_dist.block_shape_of_rank(rank)[0]
+        cstar = cstar_blocks[rank]
+        f_blk = f[rank]
+        fstar_blk = fstar_blocks[rank]
+
+        def _row_or(cstar=cstar, f_blk=f_blk, fstar_blk=fstar_blk, block_rows=block_rows):
+            merged = f_blk.or_with(fstar_blk)
+            pattern = zip(cstar.rows, cstar.cols)
+            e = merged.masked_by((int(i), int(j)) for i, j in pattern)
+            bits = np.zeros(block_rows, dtype=np.uint64)
+            for (i, _j), b in e.items():
+                bits[i] |= np.uint64(b)
+            return bits
+
+        row_bits_per_rank[rank] = comm.run_local(
+            rank, _row_or, category=StatCategory.LOCAL_COMPUTE
+        )
+
+    for i in range(q):
+        row_ranks = grid.row_group(i)
+        payloads = {r: row_bits_per_rank[r] for r in row_ranks}
+        reduced = comm.allreduce(
+            payloads,
+            lambda x, y: np.bitwise_or(x, y),
+            group=row_ranks,
+            category=StatCategory.ALLREDUCE,
+        )
+        for r in row_ranks:
+            row_bits_per_rank[r] = reduced[r]
+
+    # ------------------------------------------------------------------
+    # 4. A^R: filter A' by R  (local).
+    # ------------------------------------------------------------------
+    ar_blocks: dict[int, DCSRMatrix] = {}
+    for rank in range(grid.n_ranks):
+        _br, bc = grid.coords_of(rank)
+        col_offset = int(a_prime.dist.col_offsets[bc])
+        block = a_prime.blocks[rank]
+        bits = row_bits_per_rank[rank]
+
+        def _filter(block=block, bits=bits, col_offset=col_offset):
+            return filter_by_row_bloom(block, bits, col_offset, semiring)
+
+        ar_blocks[rank] = comm.run_local(
+            rank, _filter, category=StatCategory.LOCAL_COMPUTE
+        )
+
+    # ------------------------------------------------------------------
+    # 5. SUMMA-like masked multiplication loop.
+    # ------------------------------------------------------------------
+    ar_t = _transpose_exchange(comm, grid, ar_blocks)
+    z_blocks: dict[int, list[COOMatrix]] = {r: [] for r in range(grid.n_ranks)}
+    h_blocks: dict[int, BloomFilterMatrix] = {
+        r: BloomFilterMatrix(out_dist.block_shape_of_rank(r))
+        for r in range(grid.n_ranks)
+    }
+
+    for k in range(q):
+        # Broadcast A^R_{k,i} across each process row i (root (i, k)).
+        ar_recv: dict[int, DCSRMatrix] = {}
+        for i in range(q):
+            root = grid.rank_of(i, k)
+            row_ranks = grid.row_group(i)
+            received = comm.bcast(
+                root, ar_t[root], group=row_ranks, category=StatCategory.BCAST
+            )
+            for rank in row_ranks:
+                ar_recv[rank] = received[rank]
+
+        for j in range(q):
+            col_ranks = grid.col_group(j)
+            root = grid.rank_of(k, j)
+            cstar_root = cstar_blocks[root]
+            if cstar_root.nnz == 0:
+                continue
+            # Broadcast the C*_{k,j} pattern down column j (root (k, j)).
+            received = comm.bcast(
+                root, cstar_root, group=col_ranks, category=StatCategory.BCAST
+            )
+            contributions: dict[int, COOMatrix] = {}
+            bloom_contribs: dict[int, BloomFilterMatrix] = {}
+            any_nnz = False
+            for i in range(q):
+                rank = grid.rank_of(i, j)
+                ar_blk = ar_recv[rank]
+                b_blk = b_prime.blocks[rank]
+                cstar_pattern = received[rank]
+                inner_offset = int(a_prime.dist.col_offsets[i])
+
+                def _mult(
+                    ar_blk=ar_blk,
+                    b_blk=b_blk,
+                    cstar_pattern=cstar_pattern,
+                    inner_offset=inner_offset,
+                ):
+                    # Section VI-B: each rank builds its own hash index of
+                    # the broadcast C* block rather than receiving the hash
+                    # table itself.
+                    mask_rows = pattern_row_index(cstar_pattern)
+                    return spgemm_local_masked(
+                        ar_blk,
+                        b_blk,
+                        semiring,
+                        mask_rows,
+                        compute_bloom=True,
+                        inner_offset=inner_offset,
+                    )
+
+                coo, bloom = comm.run_local(
+                    rank, _mult, category=StatCategory.LOCAL_MULT
+                )
+                contributions[rank] = coo
+                any_nnz = any_nnz or coo.nnz > 0
+                if bloom is not None:
+                    bloom_contribs[rank] = bloom
+            if not any_nnz:
+                continue
+            reduced = sparse_reduce_to_root(
+                comm, col_ranks, root, contributions, semiring
+            )
+            if reduced.nnz:
+                z_blocks[root].append(reduced)
+            reduced_bloom = bloom_reduce_to_root(
+                comm, col_ranks, root, bloom_contribs
+            )
+            h_blocks[root].or_inplace(reduced_bloom)
+
+    # ------------------------------------------------------------------
+    # 6. Merge Z into C and H into F, masked at the pattern of C* (local).
+    # ------------------------------------------------------------------
+    recomputed = 0
+    for rank in range(grid.n_ranks):
+        cstar = cstar_blocks[rank]
+        if cstar.nnz == 0:
+            continue
+        recomputed += cstar.nnz
+        pieces = z_blocks[rank]
+        h_blk = h_blocks[rank]
+        c_blk = c.blocks[rank]
+        f_blk = f[rank]
+
+        def _merge(pieces=pieces, cstar=cstar, c_blk=c_blk, f_blk=f_blk, h_blk=h_blk):
+            if pieces:
+                z = pieces[0]
+                for extra in pieces[1:]:
+                    z = z.concatenate(extra)
+                z_map = z.sum_duplicates().to_dict()
+            else:
+                z_map = {}
+            for i, j in zip(cstar.rows, cstar.cols):
+                key = (int(i), int(j))
+                if key in z_map:
+                    c_blk.insert(key[0], key[1], z_map[key], combine=None)
+                    f_blk.overwrite(key[0], key[1], h_blk.get(key[0], key[1]))
+                else:
+                    # No surviving contribution: the entry becomes a
+                    # structural zero of C'.
+                    c_blk.delete(key[0], key[1])
+                    f_blk.delete(key[0], key[1])
+
+        comm.run_local(rank, _merge, category=StatCategory.LOCAL_ADDITION)
+    return recomputed

@@ -1,0 +1,159 @@
+"""Static sparse SUMMA (the baseline the dynamic algorithms replace).
+
+Sparse SUMMA performs ``√p`` rounds; in round ``k`` the blocks ``A_{i,k}``
+are broadcast across the ``i``-th process row and the blocks ``B_{k,j}``
+across the ``j``-th process column, after which each rank multiplies the two
+blocks it received and accumulates into its *local* output block — the
+aggregation is entirely local, which is SUMMA's advantage when both
+operands have similar sizes and its disadvantage when one operand is tiny
+(the whole large operand still gets broadcast).
+
+This implementation is used
+
+* as the reference static algorithm for correctness tests,
+* by the CombBLAS/CTF-style competitor backends, and
+* by :class:`repro.core.api.DynamicProduct` to compute the initial product
+  (optionally together with the Bloom filter ``F`` needed by the
+  general-update algorithm).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.runtime.stats import StatCategory
+from repro.semirings import Semiring
+from repro.sparse import BloomFilterMatrix, COOMatrix, CSRMatrix, DHBMatrix, spgemm_local
+from repro.distributed import BlockDistribution, DynamicDistMatrix, StaticDistMatrix
+from repro.distributed.dist_matrix import DistMatrixBase
+
+__all__ = ["summa_spgemm"]
+
+
+def _local_block_as_operand(block):
+    """Blocks participate in local SpGEMM as-is (all layouts supported)."""
+    return block
+
+
+def summa_spgemm(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    a: DistMatrixBase,
+    b: DistMatrixBase,
+    *,
+    semiring: Semiring | None = None,
+    output: str = "dynamic",
+    compute_bloom: bool = False,
+    bcast_category: str = StatCategory.BCAST,
+    mult_category: str = StatCategory.LOCAL_MULT,
+) -> tuple[DistMatrixBase, dict[int, BloomFilterMatrix] | None]:
+    """Distributed ``C = A·B`` with the sparse SUMMA algorithm.
+
+    Parameters
+    ----------
+    a, b:
+        Distributed operands on the same process grid; ``a.shape = (n, k)``
+        and ``b.shape = (k, m)``.
+    output:
+        ``"dynamic"`` (DHB blocks, the layout the paper uses for results) or
+        ``"static"`` (CSR blocks).
+    compute_bloom:
+        Also build, per rank, the Bloom-filter matrix ``F`` of the local
+        output block (bit ``k mod 64`` set for every contributing global
+        inner index ``k``) — required to seed the general-update algorithm.
+
+    Returns
+    -------
+    (C, blooms):
+        ``C`` is a distributed matrix on the same grid; ``blooms`` maps rank
+        to its local Bloom filter (``None`` unless ``compute_bloom``).
+    """
+    semiring = semiring if semiring is not None else a.semiring
+    n, k_dim = a.shape
+    k_dim2, m = b.shape
+    if k_dim != k_dim2:
+        raise ValueError(f"inner dimensions do not match: {a.shape} x {b.shape}")
+    if a.grid.n_ranks != grid.n_ranks or b.grid.n_ranks != grid.n_ranks:
+        raise ValueError("operands must live on the given process grid")
+    q = grid.q
+    out_dist = BlockDistribution(n, m, grid)
+
+    # Per-rank accumulators: partial COO contributions and (optionally) the
+    # bloom bits, merged once after the √p rounds.
+    partials: dict[int, list[COOMatrix]] = {r: [] for r in range(grid.n_ranks)}
+    blooms: dict[int, BloomFilterMatrix] | None = None
+    if compute_bloom:
+        blooms = {
+            r: BloomFilterMatrix(out_dist.block_shape_of_rank(r))
+            for r in range(grid.n_ranks)
+        }
+
+    for k in range(q):
+        # Broadcast A_{i,k} across each process row i.
+        a_recv: dict[int, object] = {}
+        for i in range(q):
+            root = grid.rank_of(i, k)
+            row_ranks = grid.row_group(i)
+            payload = a.blocks[root]
+            received = comm.bcast(root, payload, group=row_ranks, category=bcast_category)
+            for rank in row_ranks:
+                a_recv[rank] = received[rank]
+        # Broadcast B_{k,j} across each process column j.
+        b_recv: dict[int, object] = {}
+        for j in range(q):
+            root = grid.rank_of(k, j)
+            col_ranks = grid.col_group(j)
+            payload = b.blocks[root]
+            received = comm.bcast(root, payload, group=col_ranks, category=bcast_category)
+            for rank in col_ranks:
+                b_recv[rank] = received[rank]
+
+        inner_offset = int(a.dist.col_offsets[k])
+        for rank in range(grid.n_ranks):
+            a_blk = _local_block_as_operand(a_recv[rank])
+            b_blk = _local_block_as_operand(b_recv[rank])
+
+            def _mult(a_blk=a_blk, b_blk=b_blk, inner_offset=inner_offset):
+                return spgemm_local(
+                    a_blk,
+                    b_blk,
+                    semiring,
+                    compute_bloom=compute_bloom,
+                    inner_offset=inner_offset,
+                )
+
+            coo, bloom = comm.run_local(rank, _mult, category=mult_category)
+            if coo.nnz:
+                partials[rank].append(coo)
+            if compute_bloom and bloom is not None and blooms is not None:
+                blooms[rank].or_inplace(bloom)
+
+    # Local accumulation of the per-round partial products.
+    out_blocks: dict[int, object] = {}
+    for rank in range(grid.n_ranks):
+        block_shape = out_dist.block_shape_of_rank(rank)
+        pieces = partials[rank]
+
+        def _accumulate(pieces=pieces, block_shape=block_shape):
+            if not pieces:
+                combined = COOMatrix.empty(block_shape, semiring)
+            else:
+                combined = pieces[0]
+                for extra in pieces[1:]:
+                    combined = combined.concatenate(extra)
+                combined = combined.sum_duplicates()
+            if output == "dynamic":
+                return DHBMatrix.from_coo(combined, combine_duplicates=False)
+            return CSRMatrix.from_coo(combined, dedup=False)
+
+        out_blocks[rank] = comm.run_local(rank, _accumulate, category=mult_category)
+
+    if output == "dynamic":
+        result: DistMatrixBase = DynamicDistMatrix(
+            comm, grid, out_dist, semiring, out_blocks
+        )
+    elif output == "static":
+        result = StaticDistMatrix(comm, grid, out_dist, semiring, out_blocks, layout="csr")
+    else:
+        raise ValueError(f"unknown output layout {output!r} (use 'dynamic' or 'static')")
+    return result, blooms

@@ -1,0 +1,434 @@
+"""Distributed sparse matrices (2D block decomposition).
+
+Two flavours, mirroring Section IV of the paper:
+
+* :class:`DynamicDistMatrix` — every rank stores its block as a DHB dynamic
+  matrix; updates are applied *in place* and purely locally once the update
+  tuples (or a distributed update matrix) have been routed to their owners.
+* :class:`StaticDistMatrix` — every rank stores its block as CSR or DCSR;
+  used for the right-hand operand of SpGEMM, for update matrices (DCSR,
+  hypersparse) and by the competitor backends that rebuild static storage
+  on every batch.
+
+Both classes live on the simulated runtime: the orchestrator owns a dict
+``rank -> local block``; all per-rank kernels are executed through
+``SimMPI.run_local`` so that their cost lands on the right simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.runtime.stats import StatCategory
+from repro.semirings import PLUS_TIMES, Semiring
+from repro.sparse import COOMatrix, CSRMatrix, DCSRMatrix, DHBMatrix
+from repro.distributed.distribution import BlockDistribution
+from repro.distributed.redistribution import (
+    redistribute_tuples,
+    redistribute_tuples_single_phase,
+)
+
+__all__ = ["DistMatrixBase", "DynamicDistMatrix", "StaticDistMatrix"]
+
+TupleArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class DistMatrixBase:
+    """Shared plumbing of distributed matrices."""
+
+    def __init__(
+        self,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        dist: BlockDistribution,
+        semiring: Semiring,
+        blocks: dict[int, object],
+    ) -> None:
+        if grid.n_ranks > comm.p:
+            raise ValueError(
+                f"grid needs {grid.n_ranks} ranks but communicator has {comm.p}"
+            )
+        if dist.grid is not grid and dist.grid.n_ranks != grid.n_ranks:
+            raise ValueError("distribution and grid disagree on the rank count")
+        self.comm = comm
+        self.grid = grid
+        self.dist = dist
+        self.semiring = semiring
+        self.blocks = blocks
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.dist.shape
+
+    def block(self, rank: int):
+        """The local block stored by ``rank``."""
+        return self.blocks[rank]
+
+    def nnz(self) -> int:
+        """Total structural non-zeros over all blocks."""
+        return sum(block.nnz for block in self.blocks.values())
+
+    def block_nnz(self) -> dict[int, int]:
+        """Per-rank structural non-zeros (load-balance diagnostics)."""
+        return {rank: block.nnz for rank, block in self.blocks.items()}
+
+    def nbytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks.values())
+
+    def to_coo_global(self) -> COOMatrix:
+        """Assemble the full matrix in global coordinates (for testing)."""
+        pieces: list[COOMatrix] = []
+        for rank, block in self.blocks.items():
+            coo = block.to_coo()
+            if coo.nnz == 0:
+                continue
+            grows, gcols = self.dist.to_global(rank, coo.rows, coo.cols)
+            pieces.append(
+                COOMatrix(
+                    shape=self.shape,
+                    rows=grows,
+                    cols=gcols,
+                    values=coo.values,
+                    semiring=self.semiring,
+                )
+            )
+        if not pieces:
+            return COOMatrix.empty(self.shape, self.semiring)
+        out = pieces[0]
+        for extra in pieces[1:]:
+            out = out.concatenate(extra)
+        return out.sum_duplicates()
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo_global().to_dense()
+
+    def get(self, i: int, j: int):
+        """Global entry lookup (routes to the owning block)."""
+        owner = int(self.dist.owner_of(np.array([i]), np.array([j]))[0])
+        li, lj = self.dist.to_local(owner, np.array([i]), np.array([j]))
+        block = self.blocks[owner]
+        if isinstance(block, (CSRMatrix, DHBMatrix)):
+            return block.get(int(li[0]), int(lj[0]))
+        coo = block.to_coo()
+        hits = (coo.rows == li[0]) & (coo.cols == lj[0])
+        if not np.any(hits):
+            return self.semiring.zero
+        return float(self.semiring.add_reduce(coo.values[hits]))
+
+    # ------------------------------------------------------------------
+    def _local_tuple_blocks(
+        self, routed: Mapping[int, TupleArrays]
+    ) -> dict[int, TupleArrays]:
+        """Convert routed global-coordinate tuples to block-local ones."""
+        out: dict[int, TupleArrays] = {}
+        for rank in range(self.grid.n_ranks):
+            rows, cols, vals = routed.get(
+                rank,
+                (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    self.semiring.zeros(0),
+                ),
+            )
+            lrows, lcols = self.dist.to_local(rank, rows, cols)
+            out[rank] = (lrows, lcols, vals)
+        return out
+
+
+# ----------------------------------------------------------------------
+class DynamicDistMatrix(DistMatrixBase):
+    """Distributed matrix with DHB (dynamic) blocks."""
+
+    @classmethod
+    def empty(
+        cls,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        shape: tuple[int, int],
+        semiring: Semiring = PLUS_TIMES,
+    ) -> "DynamicDistMatrix":
+        dist = BlockDistribution(shape[0], shape[1], grid)
+        blocks = {
+            rank: DHBMatrix(dist.block_shape_of_rank(rank), semiring)
+            for rank in range(grid.n_ranks)
+        }
+        return cls(comm, grid, dist, semiring, blocks)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        shape: tuple[int, int],
+        tuples_per_rank: Mapping[int, TupleArrays],
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        combine: str = "add",
+        redistribution: str = "two_phase",
+    ) -> "DynamicDistMatrix":
+        """Construct by redistributing tuples and building DHB blocks.
+
+        ``combine`` chooses how duplicate coordinates are handled:
+        ``"add"`` (⊕-combine, the adjacency-matrix semantics used in the
+        experiments) or ``"last"`` (last write wins).
+        """
+        mat = cls.empty(comm, grid, shape, semiring)
+        mat.insert_tuples(
+            tuples_per_rank, combine=combine, redistribution=redistribution
+        )
+        return mat
+
+    # ------------------------------------------------------------------
+    def insert_tuples(
+        self,
+        tuples_per_rank: Mapping[int, TupleArrays],
+        *,
+        combine: str = "add",
+        redistribution: str = "two_phase",
+        reserve: bool = True,
+    ) -> int:
+        """Redistribute raw update tuples and insert them into the blocks.
+
+        Returns the number of newly created structural non-zeros.  The
+        phases are charged to the Fig. 7 categories: redistribution sort and
+        communication inside :func:`redistribute_tuples`, adjacency-array
+        growth to *memory management* and the per-entry inserts to *local
+        construct*.
+        """
+        combine_fn = self._combine_fn(combine)
+        routed = self._route(tuples_per_rank, redistribution)
+        local = self._local_tuple_blocks(routed)
+        created = 0
+        for rank, (lrows, lcols, vals) in local.items():
+            block: DHBMatrix = self.blocks[rank]
+            if reserve:
+                self.comm.run_local(
+                    rank,
+                    block.reserve_batch,
+                    lrows,
+                    category=StatCategory.MEMORY_MANAGEMENT,
+                )
+            created += self.comm.run_local(
+                rank,
+                block.insert_batch,
+                lrows,
+                lcols,
+                vals,
+                combine_fn,
+                category=StatCategory.LOCAL_CONSTRUCT,
+            )
+        return created
+
+    def add_update(self, update: "StaticDistMatrix") -> int:
+        """``A ← A ⊕ A*`` block-by-block; purely local (no communication)."""
+        self._check_update(update)
+        created = 0
+        for rank, block in self.blocks.items():
+            created += self.comm.run_local(
+                rank,
+                block.add_update,
+                update.blocks[rank],
+                category=StatCategory.LOCAL_ADDITION,
+            )
+        return created
+
+    def merge_update(self, update: "StaticDistMatrix") -> int:
+        """MERGE: overwrite entries present in the update matrix (local)."""
+        self._check_update(update)
+        changed = 0
+        for rank, block in self.blocks.items():
+            changed += self.comm.run_local(
+                rank,
+                block.merge_update,
+                update.blocks[rank],
+                category=StatCategory.LOCAL_ADDITION,
+            )
+        return changed
+
+    def mask_update(self, update: "StaticDistMatrix") -> int:
+        """MASK: delete entries that are non-zero in the update matrix."""
+        self._check_update(update)
+        deleted = 0
+        for rank, block in self.blocks.items():
+            deleted += self.comm.run_local(
+                rank,
+                block.mask_update,
+                update.blocks[rank],
+                category=StatCategory.LOCAL_ADDITION,
+            )
+        return deleted
+
+    # ------------------------------------------------------------------
+    def to_static(self, layout: str = "csr") -> "StaticDistMatrix":
+        """Freeze the dynamic blocks into a static distributed matrix."""
+        return StaticDistMatrix.from_dynamic(self, layout=layout)
+
+    def copy(self) -> "DynamicDistMatrix":
+        blocks = {rank: block.copy() for rank, block in self.blocks.items()}
+        return DynamicDistMatrix(self.comm, self.grid, self.dist, self.semiring, blocks)
+
+    # ------------------------------------------------------------------
+    def _combine_fn(self, combine: str) -> Callable | None:
+        if combine == "add":
+            return self.semiring.plus
+        if combine == "last":
+            return None
+        raise ValueError(f"unknown combine mode {combine!r} (use 'add' or 'last')")
+
+    def _route(
+        self, tuples_per_rank: Mapping[int, TupleArrays], redistribution: str
+    ) -> dict[int, TupleArrays]:
+        if redistribution == "two_phase":
+            return redistribute_tuples(
+                self.comm,
+                self.grid,
+                self.dist,
+                tuples_per_rank,
+                value_dtype=self.semiring.dtype,
+            )
+        if redistribution == "single_phase":
+            return redistribute_tuples_single_phase(
+                self.comm,
+                self.grid,
+                self.dist,
+                tuples_per_rank,
+                value_dtype=self.semiring.dtype,
+            )
+        raise ValueError(
+            f"unknown redistribution mode {redistribution!r} "
+            "(use 'two_phase' or 'single_phase')"
+        )
+
+    def _check_update(self, update: "StaticDistMatrix") -> None:
+        if update.shape != self.shape:
+            raise ValueError(
+                f"update shape {update.shape} does not match matrix shape {self.shape}"
+            )
+        if update.semiring.name != self.semiring.name:
+            raise ValueError("update semiring does not match matrix semiring")
+        if update.grid.n_ranks != self.grid.n_ranks:
+            raise ValueError("update lives on a different process grid")
+
+
+# ----------------------------------------------------------------------
+class StaticDistMatrix(DistMatrixBase):
+    """Distributed matrix with static (CSR or DCSR) blocks."""
+
+    def __init__(
+        self,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        dist: BlockDistribution,
+        semiring: Semiring,
+        blocks: dict[int, object],
+        layout: str = "csr",
+    ) -> None:
+        if layout not in ("csr", "dcsr"):
+            raise ValueError(f"unknown static layout {layout!r} (use 'csr' or 'dcsr')")
+        super().__init__(comm, grid, dist, semiring, blocks)
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        shape: tuple[int, int],
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        layout: str = "csr",
+    ) -> "StaticDistMatrix":
+        dist = BlockDistribution(shape[0], shape[1], grid)
+        maker = CSRMatrix.empty if layout == "csr" else DCSRMatrix.empty
+        blocks = {
+            rank: maker(dist.block_shape_of_rank(rank), semiring)
+            for rank in range(grid.n_ranks)
+        }
+        return cls(comm, grid, dist, semiring, blocks, layout=layout)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        comm: SimMPI,
+        grid: ProcessGrid,
+        shape: tuple[int, int],
+        tuples_per_rank: Mapping[int, TupleArrays],
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        layout: str = "csr",
+        combine: str = "add",
+        redistribution: str = "two_phase",
+    ) -> "StaticDistMatrix":
+        """Construct a static distributed matrix from raw tuples."""
+        out = cls.empty(comm, grid, shape, semiring, layout=layout)
+        if redistribution == "two_phase":
+            routed = redistribute_tuples(
+                comm, grid, out.dist, tuples_per_rank, value_dtype=semiring.dtype
+            )
+        elif redistribution == "single_phase":
+            routed = redistribute_tuples_single_phase(
+                comm, grid, out.dist, tuples_per_rank, value_dtype=semiring.dtype
+            )
+        else:
+            raise ValueError(f"unknown redistribution mode {redistribution!r}")
+        local = out._local_tuple_blocks(routed)
+        for rank, (lrows, lcols, vals) in local.items():
+            block_shape = out.dist.block_shape_of_rank(rank)
+
+            def _build(
+                lrows=lrows, lcols=lcols, vals=vals, block_shape=block_shape
+            ):
+                coo = COOMatrix(
+                    shape=block_shape,
+                    rows=lrows,
+                    cols=lcols,
+                    values=vals,
+                    semiring=semiring,
+                )
+                coo = coo.sum_duplicates() if combine == "add" else coo.last_write_wins()
+                if layout == "csr":
+                    return CSRMatrix.from_coo(coo, dedup=False)
+                return DCSRMatrix.from_coo(coo, dedup=False)
+
+            out.blocks[rank] = comm.run_local(
+                rank, _build, category=StatCategory.LOCAL_CONSTRUCT
+            )
+        return out
+
+    @classmethod
+    def from_dynamic(
+        cls, dynamic: DynamicDistMatrix, *, layout: str = "csr"
+    ) -> "StaticDistMatrix":
+        blocks: dict[int, object] = {}
+        for rank, block in dynamic.blocks.items():
+            blocks[rank] = (
+                block.to_csr() if layout == "csr" else block.to_dcsr()
+            )
+        return cls(
+            dynamic.comm,
+            dynamic.grid,
+            dynamic.dist,
+            dynamic.semiring,
+            blocks,
+            layout=layout,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dynamic(self) -> DynamicDistMatrix:
+        blocks = {
+            rank: DHBMatrix.from_coo(block.to_coo(), combine_duplicates=False)
+            for rank, block in self.blocks.items()
+        }
+        return DynamicDistMatrix(self.comm, self.grid, self.dist, self.semiring, blocks)
+
+    def copy(self) -> "StaticDistMatrix":
+        blocks = {rank: block.copy() for rank, block in self.blocks.items()}
+        return StaticDistMatrix(
+            self.comm, self.grid, self.dist, self.semiring, blocks, layout=self.layout
+        )

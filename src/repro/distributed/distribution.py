@@ -1,0 +1,164 @@
+"""2D block distribution of a matrix over a square process grid.
+
+Each rank ``(r, c)`` of the ``√p × √p`` grid owns the block of rows
+``[row_offsets[r], row_offsets[r+1])`` × columns
+``[col_offsets[c], col_offsets[c+1])``.  The paper (like CombBLAS) relies on
+a *random permutation* of the row/column indices before constructing the
+matrix so that skewed real-world degree distributions do not overload a few
+blocks; :class:`IndexPermutation` provides that permutation and its inverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.grid import ProcessGrid
+
+__all__ = ["BlockDistribution", "IndexPermutation"]
+
+
+def _even_offsets(n: int, parts: int) -> np.ndarray:
+    """Offsets of an as-even-as-possible split of ``n`` items into ``parts``."""
+    base = n // parts
+    rem = n % parts
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:rem] += 1
+    offsets = np.zeros(parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+@dataclass(frozen=True)
+class BlockDistribution:
+    """Mapping of global matrix coordinates to grid blocks and back."""
+
+    n_rows: int
+    n_cols: int
+    grid: ProcessGrid
+    row_offsets: np.ndarray = field(init=False, repr=False)
+    col_offsets: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        q = self.grid.q
+        object.__setattr__(self, "row_offsets", _even_offsets(self.n_rows, q))
+        object.__setattr__(self, "col_offsets", _even_offsets(self.n_cols, q))
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    def block_shape(self, block_row: int, block_col: int) -> tuple[int, int]:
+        """Shape of the block owned by grid position ``(block_row, block_col)``."""
+        q = self.grid.q
+        if not (0 <= block_row < q and 0 <= block_col < q):
+            raise IndexError(f"block ({block_row}, {block_col}) outside {q}x{q} grid")
+        return (
+            int(self.row_offsets[block_row + 1] - self.row_offsets[block_row]),
+            int(self.col_offsets[block_col + 1] - self.col_offsets[block_col]),
+        )
+
+    def block_shape_of_rank(self, rank: int) -> tuple[int, int]:
+        br, bc = self.grid.coords_of(rank)
+        return self.block_shape(br, bc)
+
+    # ------------------------------------------------------------------
+    # coordinate mapping (vectorised)
+    # ------------------------------------------------------------------
+    def block_row_of(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= max(self.n_rows, 1)):
+            raise IndexError("row index outside the distributed matrix")
+        return np.searchsorted(self.row_offsets, rows, side="right") - 1
+
+    def block_col_of(self, cols: np.ndarray) -> np.ndarray:
+        cols = np.asarray(cols, dtype=np.int64)
+        if cols.size and (cols.min() < 0 or cols.max() >= max(self.n_cols, 1)):
+            raise IndexError("column index outside the distributed matrix")
+        return np.searchsorted(self.col_offsets, cols, side="right") - 1
+
+    def owner_of(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Owning rank of each ``(row, col)`` coordinate (vectorised)."""
+        br = self.block_row_of(rows)
+        bc = self.block_col_of(cols)
+        return (br * self.grid.q + bc).astype(np.int64)
+
+    def to_local(
+        self, rank: int, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Convert global coordinates owned by ``rank`` to block-local ones."""
+        br, bc = self.grid.coords_of(rank)
+        rows = np.asarray(rows, dtype=np.int64) - self.row_offsets[br]
+        cols = np.asarray(cols, dtype=np.int64) - self.col_offsets[bc]
+        h, w = self.block_shape(br, bc)
+        if rows.size and (rows.min() < 0 or rows.max() >= h or cols.min() < 0 or cols.max() >= w):
+            raise IndexError(f"coordinate not owned by rank {rank}")
+        return rows, cols
+
+    def to_global(
+        self, rank: int, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Convert block-local coordinates of ``rank`` to global ones."""
+        br, bc = self.grid.coords_of(rank)
+        rows = np.asarray(rows, dtype=np.int64) + self.row_offsets[br]
+        cols = np.asarray(cols, dtype=np.int64) + self.col_offsets[bc]
+        return rows, cols
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"BlockDistribution({self.n_rows}x{self.n_cols} over "
+            f"{self.grid.q}x{self.grid.q} grid)"
+        )
+
+
+class IndexPermutation:
+    """A random permutation of ``[0, n)`` with its inverse.
+
+    Applied to row/column indices *before* constructing distributed
+    matrices so that skewed inputs are evenly spread across the process
+    grid (Section VII-A: "we randomly permute input indices before
+    constructing each matrix").  The same permutation must be used for every
+    matrix participating in a multiplication, which is why it is a
+    standalone object rather than hidden inside the matrix constructors.
+    """
+
+    def __init__(self, n: int, seed: int | None = 0) -> None:
+        if n < 0:
+            raise ValueError("permutation size must be non-negative")
+        self.n = int(n)
+        rng = np.random.default_rng(seed)
+        self.perm = rng.permutation(self.n).astype(np.int64)
+        self.inverse = np.empty(self.n, dtype=np.int64)
+        self.inverse[self.perm] = np.arange(self.n, dtype=np.int64)
+
+    @classmethod
+    def identity(cls, n: int) -> "IndexPermutation":
+        out = cls.__new__(cls)
+        out.n = int(n)
+        out.perm = np.arange(n, dtype=np.int64)
+        out.inverse = np.arange(n, dtype=np.int64)
+        return out
+
+    def apply(self, indices: np.ndarray) -> np.ndarray:
+        """Map original indices to permuted indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+            raise IndexError("index outside permutation domain")
+        return self.perm[indices]
+
+    def undo(self, indices: np.ndarray) -> np.ndarray:
+        """Map permuted indices back to the original ones."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+            raise IndexError("index outside permutation domain")
+        return self.inverse[indices]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"IndexPermutation(n={self.n})"

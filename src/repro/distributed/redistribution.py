@@ -1,0 +1,248 @@
+"""Routing update tuples to their owning ranks.
+
+Section IV-B: ranks generate ``(i, j, x)`` update tuples with no knowledge
+of the data distribution, so tuples must be redistributed to the rank that
+owns block ``(i, j)``.  The paper's scheme:
+
+1. group the local tuples by their destination *process-grid row* with a
+   counting sort over ``√p`` buckets (cheap — the key range is tiny);
+2. ``ALLTOALL`` within the grid *column*, so every tuple reaches the correct
+   process row;
+3. group by destination *process-grid column* (counting sort again);
+4. ``ALLTOALL`` within the grid *row*.
+
+Each ``ALLTOALL`` involves only ``√p`` peers, in contrast to the
+single-phase scheme used by CombBLAS (one global ``ALLTOALL`` over all
+``p`` ranks preceded by a comparison sort of the whole tuple set), which is
+also implemented here for the competitor backends and the ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.simmpi import SimMPI
+from repro.runtime.stats import StatCategory
+from repro.distributed.distribution import BlockDistribution
+
+__all__ = [
+    "group_by_buckets",
+    "redistribute_tuples",
+    "redistribute_tuples_single_phase",
+]
+
+TupleArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _empty_tuples(dtype) -> TupleArrays:
+    return (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=dtype),
+    )
+
+
+def _as_tuple_arrays(data, dtype) -> TupleArrays:
+    if data is None:
+        return _empty_tuples(dtype)
+    rows, cols, vals = data
+    rows = np.ascontiguousarray(np.asarray(rows, dtype=np.int64))
+    cols = np.ascontiguousarray(np.asarray(cols, dtype=np.int64))
+    vals = np.ascontiguousarray(np.asarray(vals, dtype=dtype))
+    if not (rows.size == cols.size == vals.size):
+        raise ValueError("tuple arrays must have identical lengths")
+    return rows, cols, vals
+
+
+def group_by_buckets(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    bucket_of: np.ndarray,
+    n_buckets: int,
+    *,
+    mode: str = "counting",
+) -> tuple[TupleArrays, np.ndarray]:
+    """Group tuples by destination bucket.
+
+    ``mode="counting"`` groups by the (small-range) bucket key only — the
+    counting sort of the paper.  ``mode="comparison"`` performs a full
+    lexicographic sort of ``(bucket, row, col)`` — the strictly more
+    expensive strategy CombBLAS-style assembly uses; exposed for the
+    ablation benchmark.
+
+    Returns the reordered tuple arrays plus the bucket boundary offsets
+    (length ``n_buckets + 1``).
+    """
+    bucket_of = np.asarray(bucket_of, dtype=np.int64)
+    if bucket_of.size != rows.size:
+        raise ValueError("bucket array must align with the tuple arrays")
+    if bucket_of.size and (bucket_of.min() < 0 or bucket_of.max() >= n_buckets):
+        raise ValueError("bucket id outside [0, n_buckets)")
+    if mode == "counting":
+        # A stable sort keyed only by the bucket id: identical grouping
+        # semantics (and identical output) to a counting sort over
+        # n_buckets buckets.
+        order = np.argsort(bucket_of, kind="stable")
+    elif mode == "comparison":
+        order = np.lexsort((cols, rows, bucket_of))
+    else:
+        raise ValueError(f"unknown sort mode {mode!r}")
+    counts = np.bincount(bucket_of, minlength=n_buckets)
+    offsets = np.zeros(n_buckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return (rows[order], cols[order], vals[order]), offsets
+
+
+def _slice_bucket(data: TupleArrays, offsets: np.ndarray, bucket: int) -> TupleArrays:
+    lo, hi = offsets[bucket], offsets[bucket + 1]
+    return data[0][lo:hi], data[1][lo:hi], data[2][lo:hi]
+
+
+def _concat_inbox(chunks: list[TupleArrays], dtype) -> TupleArrays:
+    if not chunks:
+        return _empty_tuples(dtype)
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]),
+    )
+
+
+def redistribute_tuples(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    dist: BlockDistribution,
+    tuples_per_rank: Mapping[int, TupleArrays],
+    *,
+    value_dtype=np.float64,
+    sort_mode: str = "counting",
+    sort_category: str = StatCategory.REDIST_SORT,
+    comm_category: str = StatCategory.REDIST_COMM,
+) -> dict[int, TupleArrays]:
+    """Two-phase redistribution of update tuples (the paper's scheme).
+
+    Parameters
+    ----------
+    tuples_per_rank:
+        ``rank -> (rows, cols, values)`` with *global* coordinates; ranks
+        may be missing (treated as empty).
+    sort_mode:
+        ``"counting"`` (default, the paper) or ``"comparison"`` (ablation).
+
+    Returns
+    -------
+    dict rank -> (rows, cols, values)
+        Tuples grouped on their owning rank, still in global coordinates.
+    """
+    dtype = np.dtype(value_dtype)
+    q = grid.q
+    local = {
+        rank: _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
+        for rank in range(grid.n_ranks)
+    }
+
+    # ---------------- phase 1: route to the correct process-grid row ----
+    # Communication happens within each grid column.
+    grouped: dict[int, tuple[TupleArrays, np.ndarray]] = {}
+    for rank in range(grid.n_ranks):
+        rows, cols, vals = local[rank]
+
+        def _group(rows=rows, cols=cols, vals=vals):
+            dest_rows = dist.block_row_of(rows) if rows.size else rows
+            return group_by_buckets(rows, cols, vals, dest_rows, q, mode=sort_mode)
+
+        grouped[rank] = comm.run_local(rank, _group, category=sort_category)
+
+    for col in range(q):
+        col_ranks = grid.col_group(col)
+        sendbufs: dict[int, dict[int, TupleArrays]] = {}
+        for rank in col_ranks:
+            data, offsets = grouped[rank]
+            outgoing: dict[int, TupleArrays] = {}
+            for dest_row in range(q):
+                chunk = _slice_bucket(data, offsets, dest_row)
+                if chunk[0].size:
+                    outgoing[grid.rank_of(dest_row, col)] = chunk
+            sendbufs[rank] = outgoing
+        recv = comm.alltoallv(sendbufs, group=col_ranks, category=comm_category)
+        for rank in col_ranks:
+            chunks = [payload for _src, payload in sorted(recv[rank].items())]
+            local[rank] = _concat_inbox(chunks, dtype)
+
+    # ---------------- phase 2: route to the correct process-grid column -
+    # Tuples are now on the right grid row; communicate within each row.
+    for rank in range(grid.n_ranks):
+        rows, cols, vals = local[rank]
+
+        def _group(rows=rows, cols=cols, vals=vals):
+            dest_cols = dist.block_col_of(cols) if cols.size else cols
+            return group_by_buckets(rows, cols, vals, dest_cols, q, mode=sort_mode)
+
+        grouped[rank] = comm.run_local(rank, _group, category=sort_category)
+
+    result: dict[int, TupleArrays] = {r: _empty_tuples(dtype) for r in range(grid.n_ranks)}
+    for row in range(q):
+        row_ranks = grid.row_group(row)
+        sendbufs = {}
+        for rank in row_ranks:
+            data, offsets = grouped[rank]
+            outgoing = {}
+            for dest_col in range(q):
+                chunk = _slice_bucket(data, offsets, dest_col)
+                if chunk[0].size:
+                    outgoing[grid.rank_of(row, dest_col)] = chunk
+            sendbufs[rank] = outgoing
+        recv = comm.alltoallv(sendbufs, group=row_ranks, category=comm_category)
+        for rank in row_ranks:
+            chunks = [payload for _src, payload in sorted(recv[rank].items())]
+            result[rank] = _concat_inbox(chunks, dtype)
+
+    return result
+
+
+def redistribute_tuples_single_phase(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    dist: BlockDistribution,
+    tuples_per_rank: Mapping[int, TupleArrays],
+    *,
+    value_dtype=np.float64,
+    sort_mode: str = "comparison",
+    sort_category: str = StatCategory.REDIST_SORT,
+    comm_category: str = StatCategory.REDIST_COMM,
+) -> dict[int, TupleArrays]:
+    """Single-phase redistribution: one global ``ALLTOALL`` over all ranks.
+
+    This is the strategy the paper attributes to CombBLAS ("a comparison
+    sort and a global ALLTOALL"); it is used by the competitor backends and
+    by the redistribution ablation benchmark.
+    """
+    dtype = np.dtype(value_dtype)
+    p = grid.n_ranks
+    sendbufs: dict[int, dict[int, TupleArrays]] = {}
+    for rank in range(p):
+        rows, cols, vals = _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
+
+        def _group(rows=rows, cols=cols, vals=vals):
+            owners = dist.owner_of(rows, cols) if rows.size else rows
+            return group_by_buckets(rows, cols, vals, owners, p, mode=sort_mode)
+
+        data, offsets = comm.run_local(rank, _group, category=sort_category)
+        outgoing: dict[int, TupleArrays] = {}
+        for dest in range(p):
+            chunk = _slice_bucket(data, offsets, dest)
+            if chunk[0].size:
+                outgoing[dest] = chunk
+        sendbufs[rank] = outgoing
+
+    recv = comm.alltoallv(sendbufs, category=comm_category)
+    result: dict[int, TupleArrays] = {}
+    for rank in range(p):
+        chunks = [payload for _src, payload in sorted(recv.get(rank, {}).items())]
+        result[rank] = _concat_inbox(chunks, dtype)
+    return result

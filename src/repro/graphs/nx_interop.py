@@ -1,0 +1,75 @@
+"""NetworkX interoperability helpers.
+
+Used by the application examples (shortest paths, triangle counting) to
+validate algebraic results against NetworkX reference algorithms and to let
+users feed their own NetworkX graphs into the distributed data structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["edges_to_networkx", "networkx_to_edges"]
+
+
+def edges_to_networkx(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray | None = None,
+    *,
+    directed: bool = True,
+):
+    """Build a NetworkX graph from an edge/triplet list.
+
+    ``values`` (if given) become the ``weight`` attribute of each edge.
+    Vertices ``0 .. n-1`` are always present, even if isolated.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph() if directed else nx.Graph()
+    graph.add_nodes_from(range(int(n)))
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if values is None:
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    else:
+        values = np.asarray(values, dtype=np.float64)
+        graph.add_weighted_edges_from(
+            zip(rows.tolist(), cols.tolist(), values.tolist())
+        )
+    return graph
+
+
+def networkx_to_edges(graph) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Extract ``(n, rows, cols, weights)`` from a NetworkX graph.
+
+    Nodes must be integers in ``[0, n)`` (relabel beforehand otherwise);
+    missing ``weight`` attributes default to 1.0.  Undirected graphs
+    contribute both edge directions, matching how the paper builds
+    adjacency matrices.
+    """
+    import networkx as nx
+
+    nodes = list(graph.nodes())
+    if not all(isinstance(v, (int, np.integer)) for v in nodes):
+        raise ValueError(
+            "graph nodes must be integers; use networkx.convert_node_labels_to_integers first"
+        )
+    n = (max(nodes) + 1) if nodes else 0
+    rows, cols, vals = [], [], []
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get("weight", 1.0))
+        rows.append(int(u))
+        cols.append(int(v))
+        vals.append(w)
+        if not graph.is_directed():
+            rows.append(int(v))
+            cols.append(int(u))
+            vals.append(w)
+    return (
+        n,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    )

@@ -1,0 +1,66 @@
+"""Simple synthetic graph generators used by tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["erdos_renyi_edges", "ring_of_cliques_edges"]
+
+
+def erdos_renyi_edges(
+    n: int,
+    m: int,
+    *,
+    seed: int | None = 0,
+    allow_self_loops: bool = False,
+    deduplicate: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``m`` uniformly random directed edges on ``n`` vertices (G(n, m))."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    if not allow_self_loops:
+        loops = src == dst
+        dst[loops] = (dst[loops] + 1) % n
+    if deduplicate and m:
+        keys = src * np.int64(n) + dst
+        _, idx = np.unique(keys, return_index=True)
+        idx.sort()
+        src, dst = src[idx], dst[idx]
+    return src, dst
+
+
+def ring_of_cliques_edges(
+    n_cliques: int, clique_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """A ring of fully connected cliques (deterministic test topology).
+
+    Every clique is a complete directed graph (without self loops); one
+    bridge edge connects consecutive cliques in a ring.  Useful for tests
+    that need predictable triangle counts and shortest-path structure.
+    """
+    if n_cliques < 1 or clique_size < 1:
+        raise ValueError("n_cliques and clique_size must be >= 1")
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        members = np.arange(base, base + clique_size, dtype=np.int64)
+        s, d = np.meshgrid(members, members, indexing="ij")
+        mask = s != d
+        srcs.append(s[mask].ravel())
+        dsts.append(d[mask].ravel())
+        # bridge to the next clique (both directions)
+        nxt = ((c + 1) % n_cliques) * clique_size
+        srcs.append(np.array([base, nxt], dtype=np.int64))
+        dsts.append(np.array([nxt, base], dtype=np.int64))
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    keys = src * np.int64(n_cliques * clique_size) + dst
+    _, idx = np.unique(keys, return_index=True)
+    idx.sort()
+    return src[idx], dst[idx]

@@ -1,0 +1,93 @@
+"""R-MAT (recursive matrix) graph generator.
+
+The paper's synthetic scaling experiments (Fig. 8) use R-MAT graphs "with
+the same R-MAT parameters as the Graph500 benchmark", i.e.
+``(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)``.  This module provides a fully
+vectorised generator: for each of the ``scale`` recursion levels one
+quadrant decision is drawn for *all* edges at once, so generating millions
+of edges takes milliseconds rather than minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GRAPH500_PARAMS", "rmat_edges"]
+
+#: The Graph500 R-MAT probabilities (a, b, c, d).
+GRAPH500_PARAMS: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    params: tuple[float, float, float, float] = GRAPH500_PARAMS,
+    seed: int | None = 0,
+    noise: float = 0.1,
+    deduplicate: bool = False,
+    remove_self_loops: bool = False,
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Generate an R-MAT edge list.
+
+    Parameters
+    ----------
+    scale:
+        ``n = 2**scale`` vertices.
+    edge_factor:
+        Number of generated edges per vertex (Graph500 uses 16).
+    params:
+        Quadrant probabilities ``(a, b, c, d)``; must sum to 1.
+    seed:
+        RNG seed.
+    noise:
+        Per-level multiplicative jitter of the probabilities (as in the
+        Graph500 reference implementation) to avoid exactly self-similar
+        structure; ``0`` disables it.
+    deduplicate:
+        Remove duplicate edges (the raw model produces multi-edges).
+    remove_self_loops:
+        Drop ``u == v`` edges.
+
+    Returns
+    -------
+    (n, src, dst):
+        Vertex count and the endpoint arrays.
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    if edge_factor < 0:
+        raise ValueError("edge_factor must be non-negative")
+    a, b, c, d = params
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"R-MAT probabilities must sum to 1 (got {total})")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        if noise > 0.0:
+            jitter = rng.uniform(1.0 - noise, 1.0 + noise, size=4)
+            pa, pb, pc, pd = np.array([a, b, c, d]) * jitter
+            norm = pa + pb + pc + pd
+            pa, pb, pc, pd = pa / norm, pb / norm, pc / norm, pd / norm
+        else:
+            pa, pb, pc, pd = a, b, c, d
+        r = rng.random(m)
+        # quadrant: 0 = (0,0), 1 = (0,1), 2 = (1,0), 3 = (1,1)
+        go_right = (r >= pa) & (r < pa + pb) | (r >= pa + pb + pc)
+        go_down = r >= pa + pb
+        bit = np.int64(1) << np.int64(scale - 1 - level)
+        src += go_down.astype(np.int64) * bit
+        dst += go_right.astype(np.int64) * bit
+    if remove_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    if deduplicate:
+        keys = src * np.int64(n) + dst
+        _, unique_idx = np.unique(keys, return_index=True)
+        unique_idx.sort()
+        src, dst = src[unique_idx], dst[unique_idx]
+    return n, src, dst

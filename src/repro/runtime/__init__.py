@@ -1,0 +1,40 @@
+"""Simulated MPI runtime substrate.
+
+The original system runs on a 16-node cluster with 4 MPI ranks per node and
+6 OpenMP threads per rank.  This environment has a single core and no MPI
+implementation, so the distributed algorithms in this repository execute
+against a *simulated* MPI layer:
+
+* Algorithms are written in bulk-synchronous SPMD style.  Each simulated
+  rank owns local state (matrix blocks, tuple buffers, …) and local kernels
+  are executed rank-by-rank while their wall-clock time is measured.
+* Communication primitives (:class:`SimMPI` collectives) move NumPy payloads
+  between rank-local stores and charge a Hockney ``α + β·bytes`` cost model,
+  with logarithmic trees for broadcast/reduce, exactly mirroring the
+  latency/bandwidth analysis in Sections IV and V of the paper.
+* :class:`CommStats` records per-category bytes, message counts, modelled
+  time and measured local time — this is what the paper's breakdown figures
+  (Fig. 7 and Fig. 12) report.
+
+The simulator reports *modelled parallel time*: the per-rank clocks advance
+by measured local compute (divided by a modelled intra-rank OpenMP speedup)
+plus modelled communication cost, and collectives synchronise the clocks of
+the participating group.  Absolute values are not comparable to the paper's
+cluster, but the relative behaviour (who wins, crossovers, scaling shape)
+is driven by communication volume and per-rank work, which are preserved.
+"""
+
+from repro.runtime.config import MachineModel, NODE_CONFIGS, ranks_for_nodes
+from repro.runtime.grid import ProcessGrid
+from repro.runtime.stats import CommStats, StatCategory
+from repro.runtime.simmpi import SimMPI
+
+__all__ = [
+    "MachineModel",
+    "NODE_CONFIGS",
+    "ranks_for_nodes",
+    "ProcessGrid",
+    "CommStats",
+    "StatCategory",
+    "SimMPI",
+]

@@ -1,0 +1,206 @@
+"""Per-category accounting of communication and computation.
+
+The paper breaks running time down into named phases:
+
+* Insertion breakdown (Fig. 7): *Redist. sort*, *Redist. comm.*, *Memory
+  management*, *Local construct*, *Local addition*.
+* Dynamic SpGEMM breakdown (Fig. 12): *Send/Recv*, *Bcast*, *Local Mult.*,
+  *Scatter*, *Reduce-Scatter*.
+
+:class:`CommStats` accumulates, per category: number of operations, number
+of point-to-point messages, bytes moved, modelled (parallel) seconds and
+measured (single-core wall-clock) seconds.  The benchmark harness snapshots
+and diffs these counters to regenerate the breakdown figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["StatCategory", "CategoryTotals", "CommStats"]
+
+
+class StatCategory:
+    """Well-known category names used throughout the repository."""
+
+    # Figure 7 (insertion breakdown)
+    REDIST_SORT = "redist_sort"
+    REDIST_COMM = "redist_comm"
+    MEMORY_MANAGEMENT = "memory_management"
+    LOCAL_CONSTRUCT = "local_construct"
+    LOCAL_ADDITION = "local_addition"
+
+    # Figure 12 (dynamic SpGEMM breakdown)
+    SEND_RECV = "send_recv"
+    BCAST = "bcast"
+    LOCAL_MULT = "local_mult"
+    SCATTER = "scatter"
+    REDUCE_SCATTER = "reduce_scatter"
+
+    # generic buckets
+    ALLTOALL = "alltoall"
+    REDUCE = "reduce"
+    ALLGATHER = "allgather"
+    ALLREDUCE = "allreduce"
+    GATHER = "gather"
+    LOCAL_COMPUTE = "local_compute"
+    OTHER = "other"
+
+    INSERTION_BREAKDOWN = (
+        REDIST_SORT,
+        REDIST_COMM,
+        MEMORY_MANAGEMENT,
+        LOCAL_CONSTRUCT,
+        LOCAL_ADDITION,
+    )
+    SPGEMM_BREAKDOWN = (
+        SEND_RECV,
+        BCAST,
+        LOCAL_MULT,
+        SCATTER,
+        REDUCE_SCATTER,
+    )
+
+
+@dataclass
+class CategoryTotals:
+    """Accumulated totals for one category."""
+
+    operations: int = 0
+    messages: int = 0
+    bytes: int = 0
+    modeled_seconds: float = 0.0
+    measured_seconds: float = 0.0
+
+    def add(
+        self,
+        *,
+        operations: int = 0,
+        messages: int = 0,
+        nbytes: int = 0,
+        modeled_seconds: float = 0.0,
+        measured_seconds: float = 0.0,
+    ) -> None:
+        self.operations += operations
+        self.messages += messages
+        self.bytes += nbytes
+        self.modeled_seconds += modeled_seconds
+        self.measured_seconds += measured_seconds
+
+    def copy(self) -> "CategoryTotals":
+        return CategoryTotals(
+            operations=self.operations,
+            messages=self.messages,
+            bytes=self.bytes,
+            modeled_seconds=self.modeled_seconds,
+            measured_seconds=self.measured_seconds,
+        )
+
+    def minus(self, other: "CategoryTotals") -> "CategoryTotals":
+        return CategoryTotals(
+            operations=self.operations - other.operations,
+            messages=self.messages - other.messages,
+            bytes=self.bytes - other.bytes,
+            modeled_seconds=self.modeled_seconds - other.modeled_seconds,
+            measured_seconds=self.measured_seconds - other.measured_seconds,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "operations": self.operations,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "modeled_seconds": self.modeled_seconds,
+            "measured_seconds": self.measured_seconds,
+        }
+
+
+@dataclass
+class CommStats:
+    """Accumulates per-category totals for a simulated run."""
+
+    categories: dict[str, CategoryTotals] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def category(self, name: str) -> CategoryTotals:
+        """The (created-on-demand) totals bucket for ``name``."""
+        bucket = self.categories.get(name)
+        if bucket is None:
+            bucket = CategoryTotals()
+            self.categories[name] = bucket
+        return bucket
+
+    def record(
+        self,
+        name: str,
+        *,
+        operations: int = 0,
+        messages: int = 0,
+        nbytes: int = 0,
+        modeled_seconds: float = 0.0,
+        measured_seconds: float = 0.0,
+    ) -> None:
+        """Add an observation to category ``name``."""
+        self.category(name).add(
+            operations=operations,
+            messages=messages,
+            nbytes=nbytes,
+            modeled_seconds=modeled_seconds,
+            measured_seconds=measured_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def total_bytes(self, names: Iterable[str] | None = None) -> int:
+        """Total communicated bytes over the given categories (or all)."""
+        names = list(names) if names is not None else list(self.categories)
+        return sum(self.categories[n].bytes for n in names if n in self.categories)
+
+    def total_modeled_seconds(self, names: Iterable[str] | None = None) -> float:
+        names = list(names) if names is not None else list(self.categories)
+        return sum(
+            self.categories[n].modeled_seconds
+            for n in names
+            if n in self.categories
+        )
+
+    def total_messages(self, names: Iterable[str] | None = None) -> int:
+        names = list(names) if names is not None else list(self.categories)
+        return sum(self.categories[n].messages for n in names if n in self.categories)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "CommStats":
+        """A deep copy of the current counters (for later diffing)."""
+        return CommStats(
+            categories={name: tot.copy() for name, tot in self.categories.items()}
+        )
+
+    def diff(self, since: "CommStats") -> "CommStats":
+        """Counters accumulated since ``since`` was snapshotted."""
+        out = CommStats()
+        for name, tot in self.categories.items():
+            base = since.categories.get(name, CategoryTotals())
+            out.categories[name] = tot.minus(base)
+        return out
+
+    def reset(self) -> None:
+        """Drop all accumulated counters."""
+        self.categories.clear()
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly view of all categories."""
+        return {name: tot.as_dict() for name, tot in sorted(self.categories.items())}
+
+    def breakdown(self, names: Iterable[str]) -> dict[str, float]:
+        """Modelled seconds per named category (0.0 when absent)."""
+        return {
+            name: self.categories.get(name, CategoryTotals()).modeled_seconds
+            for name in names
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}: {tot.modeled_seconds * 1e3:.3f} ms / {tot.bytes} B"
+            for name, tot in sorted(self.categories.items())
+        )
+        return f"CommStats({parts})"

@@ -1,0 +1,44 @@
+"""Semiring algebra substrate.
+
+The paper computes SpGEMM over arbitrary semirings (Section III).  This
+package provides a small, vectorised semiring abstraction used by every
+sparse kernel in the repository:
+
+* :class:`~repro.semirings.base.Semiring` — the protocol (additive monoid,
+  multiplicative monoid, neutral elements, vectorised ufuncs, segment
+  reduction).
+* :mod:`repro.semirings.standard` — the concrete semirings referenced by the
+  paper: ``(+, ·)``, ``(min, +)``, ``(max, +)``, ``(∨, ∧)``, ``(max, min)``
+  and ``(max, ·)``.
+
+Every semiring exposes NumPy ufuncs for ``add`` and ``mul`` so that local
+SpGEMM kernels can accumulate duplicate entries with ``ufunc.reduceat`` and
+perform element-wise combination without Python-level loops.
+"""
+
+from repro.semirings.base import Semiring, SemiringError
+from repro.semirings.standard import (
+    BOOLEAN,
+    MAX_MIN,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_TIMES,
+    REGISTRY,
+    get_semiring,
+    list_semirings,
+)
+
+__all__ = [
+    "Semiring",
+    "SemiringError",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MAX_MIN",
+    "MAX_TIMES",
+    "BOOLEAN",
+    "REGISTRY",
+    "get_semiring",
+    "list_semirings",
+]

@@ -1,0 +1,198 @@
+"""Bloom-filter matrices for the general-update dynamic SpGEMM.
+
+Section V-B: while computing ``C = A·B`` the algorithm maintains a matrix
+``F`` holding an ℓ-bit bitfield per output non-zero (ℓ = 64 in the paper
+and here).  Bit ``k mod ℓ`` of ``f_{i,j}`` is set whenever the term
+``a_{i,k} · b_{k,j}`` contributes to ``c_{i,j}``.  From ``F`` the algorithm
+later recovers a *superset* of the inner indices ``k`` (i.e. columns of
+``A'`` / rows of ``B'``) that can influence a given set of output entries —
+this is what lets the general algorithm ship only a filtered ``A^R``
+instead of all of ``A'``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["BLOOM_BITS", "BloomFilterMatrix", "bits_for_inner_indices"]
+
+#: Width of the per-entry bitfield (ℓ in the paper).
+BLOOM_BITS = 64
+
+_MASK64 = (1 << BLOOM_BITS) - 1
+
+
+def bits_for_inner_indices(inner: np.ndarray) -> np.ndarray:
+    """Bitfield (as uint64) with bit ``k mod ℓ`` set for each inner index."""
+    inner = np.asarray(inner, dtype=np.int64)
+    return (np.uint64(1) << (inner.astype(np.uint64) % np.uint64(BLOOM_BITS))).astype(
+        np.uint64
+    )
+
+
+class BloomFilterMatrix:
+    """Sparse matrix of 64-bit bitfields keyed by ``(row, col)``.
+
+    Supports the operations the general-update algorithm needs: bitwise-OR
+    accumulation (``⊕`` in Algorithm 2), masking by an output pattern,
+    row-wise OR reduction, and recovery of candidate inner indices.
+    """
+
+    def __init__(self, shape: tuple[int, int]) -> None:
+        n, m = shape
+        if n < 0 or m < 0:
+            raise ValueError(f"invalid shape {shape}")
+        self.shape = (int(n), int(m))
+        self._bits: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_entries(
+        cls, shape: tuple[int, int], entries: Iterable[tuple[int, int, int]]
+    ) -> "BloomFilterMatrix":
+        """Build from ``(row, col, bits)`` triples (bits are OR-combined)."""
+        out = cls(shape)
+        for i, j, bits in entries:
+            out.set_bits(int(i), int(j), int(bits))
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls, shape: tuple[int, int], rows: np.ndarray, cols: np.ndarray, bits: np.ndarray
+    ) -> "BloomFilterMatrix":
+        out = cls(shape)
+        for i, j, b in zip(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(bits, dtype=np.uint64),
+        ):
+            out.set_bits(int(i), int(j), int(b))
+        return out
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self._bits)
+
+    @property
+    def nbytes(self) -> int:
+        # (row, col, bits) as three 8-byte words per entry
+        return 24 * len(self._bits)
+
+    def get(self, i: int, j: int) -> int:
+        """Bitfield at ``(i, j)`` (0 when absent)."""
+        return self._bits.get((int(i), int(j)), 0)
+
+    def set_bits(self, i: int, j: int, bits: int) -> None:
+        """OR ``bits`` into the entry at ``(i, j)``."""
+        n, m = self.shape
+        if not (0 <= i < n and 0 <= j < m):
+            raise IndexError(f"entry ({i}, {j}) outside matrix of shape {self.shape}")
+        bits = int(bits) & _MASK64
+        if bits == 0 and (i, j) not in self._bits:
+            return
+        key = (int(i), int(j))
+        self._bits[key] = self._bits.get(key, 0) | bits
+
+    def overwrite(self, i: int, j: int, bits: int) -> None:
+        """Replace the bitfield at ``(i, j)`` (used by the MERGE step)."""
+        n, m = self.shape
+        if not (0 <= i < n and 0 <= j < m):
+            raise IndexError(f"entry ({i}, {j}) outside matrix of shape {self.shape}")
+        bits = int(bits) & _MASK64
+        if bits == 0:
+            self._bits.pop((int(i), int(j)), None)
+        else:
+            self._bits[(int(i), int(j))] = bits
+
+    def delete(self, i: int, j: int) -> bool:
+        return self._bits.pop((int(i), int(j)), None) is not None
+
+    def items(self) -> Iterator[tuple[tuple[int, int], int]]:
+        return iter(self._bits.items())
+
+    # ------------------------------------------------------------------
+    # bulk operations used by Algorithm 2
+    # ------------------------------------------------------------------
+    def or_with(self, other: "BloomFilterMatrix") -> "BloomFilterMatrix":
+        """Element-wise bitwise OR (``F ⊕ F*``)."""
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        out = self.copy()
+        for (i, j), bits in other._bits.items():
+            out.set_bits(i, j, bits)
+        return out
+
+    def or_inplace(self, other: "BloomFilterMatrix") -> None:
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        for (i, j), bits in other._bits.items():
+            self.set_bits(i, j, bits)
+
+    def masked_by(self, pattern: Iterable[tuple[int, int]]) -> "BloomFilterMatrix":
+        """Keep only entries whose coordinate appears in ``pattern``.
+
+        This builds the matrix ``E`` of Algorithm 2: ``F ⊕ F*`` restricted to
+        the non-zero pattern of ``C*``.
+        """
+        out = BloomFilterMatrix(self.shape)
+        for i, j in pattern:
+            bits = self._bits.get((int(i), int(j)))
+            if bits:
+                out._bits[(int(i), int(j))] = bits
+        return out
+
+    def reduce_rows_or(self) -> dict[int, int]:
+        """Row-wise bitwise OR: ``r_i = OR_j e_{i,j}`` (sparse dict view)."""
+        out: dict[int, int] = {}
+        for (i, _j), bits in self._bits.items():
+            out[i] = out.get(i, 0) | bits
+        return out
+
+    def candidate_inner_indices(self, i: int, j: int, k_range: int) -> np.ndarray:
+        """Superset of inner indices ``k < k_range`` admitted by entry (i, j).
+
+        Because the filter folds ``k`` modulo ℓ, the returned set is a
+        superset of the truly contributing indices — the defining Bloom
+        filter property (no false negatives).
+        """
+        bits = self.get(i, j)
+        if bits == 0:
+            return np.empty(0, dtype=np.int64)
+        ks = np.arange(k_range, dtype=np.int64)
+        admitted = (bits >> (ks % BLOOM_BITS)) & 1
+        return ks[admitted.astype(bool)]
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "BloomFilterMatrix":
+        out = BloomFilterMatrix(self.shape)
+        out._bits = dict(self._bits)
+        return out
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, cols, bits)`` arrays sorted by (row, col)."""
+        if not self._bits:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.uint64),
+            )
+        keys = sorted(self._bits)
+        rows = np.array([k[0] for k in keys], dtype=np.int64)
+        cols = np.array([k[1] for k in keys], dtype=np.int64)
+        bits = np.array([self._bits[k] for k in keys], dtype=np.uint64)
+        return rows, cols, bits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilterMatrix):
+            return NotImplemented
+        return self.shape == other.shape and self._bits == other._bits
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BloomFilterMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,270 @@
+"""Coordinate-format sparse matrices.
+
+COO is the interchange format of the repository: update tuples ``(i, j, x)``
+arrive as COO triplets, redistribution moves COO arrays between ranks, and
+every other layout (CSR, DCSR, DHB) can be built from / exported to COO.
+Duplicate coordinates are combined with the semiring's addition (or by
+"last write wins" for merge semantics), mirroring how the paper builds
+update matrices from batches of updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.semirings import PLUS_TIMES, Semiring
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate (triplet) format.
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)`` of the matrix.
+    rows, cols:
+        ``int64`` coordinate arrays of equal length.
+    values:
+        value array aligned with the coordinates (semiring dtype).
+    semiring:
+        The semiring giving meaning to structural zeros and duplicate
+        combination.
+    """
+
+    shape: tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    semiring: Semiring = PLUS_TIMES
+
+    def __post_init__(self) -> None:
+        self.rows = np.ascontiguousarray(np.asarray(self.rows, dtype=np.int64))
+        self.cols = np.ascontiguousarray(np.asarray(self.cols, dtype=np.int64))
+        self.values = self.semiring.coerce(self.values)
+        if not (len(self.rows) == len(self.cols) == len(self.values)):
+            raise ValueError(
+                "rows, cols and values must have identical lengths "
+                f"(got {len(self.rows)}, {len(self.cols)}, {len(self.values)})"
+            )
+        n, m = self.shape
+        if n < 0 or m < 0:
+            raise ValueError(f"invalid shape {self.shape}")
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= n:
+                raise ValueError("row index out of bounds for shape")
+            if self.cols.min() < 0 or self.cols.max() >= m:
+                raise ValueError("column index out of bounds for shape")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int], semiring: Semiring = PLUS_TIMES) -> "COOMatrix":
+        """An all-structurally-zero matrix of the given shape."""
+        return cls(
+            shape=shape,
+            rows=np.empty(0, dtype=np.int64),
+            cols=np.empty(0, dtype=np.int64),
+            values=semiring.zeros(0),
+            semiring=semiring,
+        )
+
+    @classmethod
+    def from_tuples(
+        cls,
+        shape: tuple[int, int],
+        tuples,
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        dedup: bool = True,
+    ) -> "COOMatrix":
+        """Build from an iterable of ``(i, j, value)`` tuples."""
+        tuples = list(tuples)
+        if not tuples:
+            return cls.empty(shape, semiring)
+        rows = np.array([t[0] for t in tuples], dtype=np.int64)
+        cols = np.array([t[1] for t in tuples], dtype=np.int64)
+        vals = semiring.coerce([t[2] for t in tuples])
+        mat = cls(shape=shape, rows=rows, cols=cols, values=vals, semiring=semiring)
+        return mat.sum_duplicates() if dedup else mat
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, semiring: Semiring = PLUS_TIMES
+    ) -> "COOMatrix":
+        """Build from a dense array; entries equal to the semiring zero are
+        treated as structural zeros."""
+        dense = np.asarray(dense, dtype=semiring.dtype)
+        nonzero = ~semiring.is_zero(dense)
+        rows, cols = np.nonzero(nonzero)
+        return cls(
+            shape=dense.shape,
+            rows=rows.astype(np.int64),
+            cols=cols.astype(np.int64),
+            values=dense[rows, cols],
+            semiring=semiring,
+        )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of structural non-zeros."""
+        return int(self.rows.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes required to communicate this matrix (triplet layout)."""
+        return int(self.rows.nbytes + self.cols.nbytes + self.values.nbytes)
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            shape=self.shape,
+            rows=self.rows.copy(),
+            cols=self.cols.copy(),
+            values=self.values.copy(),
+            semiring=self.semiring,
+        )
+
+    # ------------------------------------------------------------------
+    # canonicalisation
+    # ------------------------------------------------------------------
+    def _sort_key(self) -> np.ndarray:
+        return self.rows * np.int64(self.shape[1]) + self.cols
+
+    def sort(self) -> "COOMatrix":
+        """Return a copy sorted by (row, col); duplicates are kept."""
+        order = np.argsort(self._sort_key(), kind="stable")
+        return COOMatrix(
+            shape=self.shape,
+            rows=self.rows[order],
+            cols=self.cols[order],
+            values=self.values[order],
+            semiring=self.semiring,
+        )
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Combine duplicate coordinates with semiring addition."""
+        if self.nnz == 0:
+            return self.copy()
+        keys, combined = self.semiring.sum_duplicates(self._sort_key(), self.values)
+        m = np.int64(self.shape[1])
+        return COOMatrix(
+            shape=self.shape,
+            rows=(keys // m).astype(np.int64),
+            cols=(keys % m).astype(np.int64),
+            values=combined,
+            semiring=self.semiring,
+        )
+
+    def last_write_wins(self) -> "COOMatrix":
+        """Deduplicate keeping, for each coordinate, the *last* value.
+
+        This is the combination rule for MERGE-style update matrices, where
+        later updates overwrite earlier ones instead of being ⊕-combined.
+        """
+        if self.nnz == 0:
+            return self.copy()
+        keys = self._sort_key()
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        # last occurrence of each key wins
+        boundary = np.empty(keys_sorted.size, dtype=bool)
+        boundary[-1] = True
+        np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=boundary[:-1])
+        keep = order[np.flatnonzero(boundary)]
+        keep.sort()
+        out = COOMatrix(
+            shape=self.shape,
+            rows=self.rows[keep],
+            cols=self.cols[keep],
+            values=self.values[keep],
+            semiring=self.semiring,
+        )
+        return out.sort()
+
+    def drop_zeros(self) -> "COOMatrix":
+        """Remove entries whose value equals the semiring zero."""
+        keep = ~self.semiring.is_zero(self.values)
+        return COOMatrix(
+            shape=self.shape,
+            rows=self.rows[keep],
+            cols=self.cols[keep],
+            values=self.values[keep],
+            semiring=self.semiring,
+        )
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def concatenate(self, other: "COOMatrix") -> "COOMatrix":
+        """Stack the triplets of two COO matrices (no dedup)."""
+        self._check_compatible(other)
+        return COOMatrix(
+            shape=self.shape,
+            rows=np.concatenate([self.rows, other.rows]),
+            cols=np.concatenate([self.cols, other.cols]),
+            values=np.concatenate([self.values, other.values]),
+            semiring=self.semiring,
+        )
+
+    def add(self, other: "COOMatrix") -> "COOMatrix":
+        """Element-wise semiring addition."""
+        return self.concatenate(other).sum_duplicates()
+
+    def transpose(self) -> "COOMatrix":
+        out = COOMatrix(
+            shape=(self.shape[1], self.shape[0]),
+            rows=self.cols.copy(),
+            cols=self.rows.copy(),
+            values=self.values.copy(),
+            semiring=self.semiring,
+        )
+        return out.sort()
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Dense array with structural zeros mapped to the semiring zero."""
+        dense = np.full(self.shape, self.semiring.zero, dtype=self.semiring.dtype)
+        canon = self.sum_duplicates()
+        dense[canon.rows, canon.cols] = canon.values
+        return dense
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.coo_matrix`` (numeric semirings only)."""
+        import scipy.sparse as sp
+
+        return sp.coo_matrix(
+            (self.values, (self.rows, self.cols)), shape=self.shape
+        )
+
+    def to_dict(self) -> dict[tuple[int, int], float]:
+        """Dict view ``(i, j) -> value`` (duplicates ⊕-combined)."""
+        canon = self.sum_duplicates()
+        return {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(canon.rows, canon.cols, canon.values)
+        }
+
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "COOMatrix") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if self.semiring.name != other.semiring.name:
+            raise ValueError(
+                f"semiring mismatch: {self.semiring.name} vs {other.semiring.name}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"semiring={self.semiring.name!r})"
+        )

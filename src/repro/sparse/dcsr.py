@@ -1,0 +1,188 @@
+"""Doubly-compressed sparse row (DCSR) matrices.
+
+Hypersparse matrices (``nnz ≪ n``) waste memory in plain CSR because the
+``indptr`` array alone costs ``O(n)``.  DCSR (the row analogue of
+CombBLAS's DCSC) stores row pointers only for rows that actually contain
+non-zeros: an array ``nz_rows`` of the non-empty row ids plus an ``indptr``
+of length ``len(nz_rows) + 1``.
+
+The paper stores all update matrices (``A*``, ``B*``), all communicated
+blocks and all SUMMA partial products in DCSR because it "can substantially
+decrease communication volume when hypersparse matrices need to be
+communicated".  DCSR does not support O(1) row lookup; none of the
+algorithms needs it (rows are only ever *iterated*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.semirings import PLUS_TIMES, Semiring
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["DCSRMatrix"]
+
+
+@dataclass
+class DCSRMatrix:
+    """Doubly-compressed CSR: row pointers only for non-empty rows."""
+
+    shape: tuple[int, int]
+    nz_rows: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+    semiring: Semiring = PLUS_TIMES
+
+    def __post_init__(self) -> None:
+        self.nz_rows = np.ascontiguousarray(np.asarray(self.nz_rows, dtype=np.int64))
+        self.indptr = np.ascontiguousarray(np.asarray(self.indptr, dtype=np.int64))
+        self.indices = np.ascontiguousarray(np.asarray(self.indices, dtype=np.int64))
+        self.values = self.semiring.coerce(self.values)
+        n, m = self.shape
+        if len(self.indptr) != len(self.nz_rows) + 1:
+            raise ValueError("indptr must have length len(nz_rows)+1")
+        if len(self.indices) != len(self.values):
+            raise ValueError("indices and values must have identical lengths")
+        if self.indptr.size and (self.indptr[0] != 0 or self.indptr[-1] != len(self.indices)):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if self.nz_rows.size:
+            if self.nz_rows.min() < 0 or self.nz_rows.max() >= n:
+                raise ValueError("non-zero row index out of bounds")
+            if np.any(np.diff(self.nz_rows) <= 0):
+                raise ValueError("nz_rows must be strictly increasing")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= m):
+            raise ValueError("column index out of bounds for shape")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int], semiring: Semiring = PLUS_TIMES) -> "DCSRMatrix":
+        return cls(
+            shape=shape,
+            nz_rows=np.empty(0, dtype=np.int64),
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            values=semiring.zeros(0),
+            semiring=semiring,
+        )
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, dedup: bool = True) -> "DCSRMatrix":
+        canon = coo.sum_duplicates() if dedup else coo.sort()
+        if canon.nnz == 0:
+            return cls.empty(coo.shape, coo.semiring)
+        nz_rows, counts = np.unique(canon.rows, return_counts=True)
+        indptr = np.zeros(len(nz_rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(
+            shape=coo.shape,
+            nz_rows=nz_rows.astype(np.int64),
+            indptr=indptr,
+            indices=canon.cols.copy(),
+            values=canon.values.copy(),
+            semiring=coo.semiring,
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "DCSRMatrix":
+        return cls.from_coo(csr.to_coo(), dedup=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, semiring: Semiring = PLUS_TIMES) -> "DCSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense, semiring))
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def n_nonzero_rows(self) -> int:
+        return int(self.nz_rows.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Communication footprint; this is what DCSR is for — it scales
+        with ``nnz`` and the number of non-empty rows, not with ``n``."""
+        return int(
+            self.nz_rows.nbytes
+            + self.indptr.nbytes
+            + self.indices.nbytes
+            + self.values.nbytes
+        )
+
+    def copy(self) -> "DCSRMatrix":
+        return DCSRMatrix(
+            shape=self.shape,
+            nz_rows=self.nz_rows.copy(),
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            values=self.values.copy(),
+            semiring=self.semiring,
+        )
+
+    # ------------------------------------------------------------------
+    # iteration / access
+    # ------------------------------------------------------------------
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, column indices, values)`` for each non-empty row."""
+        for k, row in enumerate(self.nz_rows):
+            lo, hi = self.indptr[k], self.indptr[k + 1]
+            yield int(row), self.indices[lo:hi], self.values[lo:hi]
+
+    def row_by_position(self, k: int) -> tuple[int, np.ndarray, np.ndarray]:
+        """The ``k``-th stored (non-empty) row."""
+        if not (0 <= k < self.n_nonzero_rows):
+            raise IndexError(f"stored-row position {k} out of range")
+        lo, hi = self.indptr[k], self.indptr[k + 1]
+        return int(self.nz_rows[k]), self.indices[lo:hi], self.values[lo:hi]
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        if self.nnz == 0:
+            return COOMatrix.empty(self.shape, self.semiring)
+        rows = np.repeat(self.nz_rows, np.diff(self.indptr))
+        return COOMatrix(
+            shape=self.shape,
+            rows=rows,
+            cols=self.indices.copy(),
+            values=self.values.copy(),
+            semiring=self.semiring,
+        )
+
+    def to_csr(self) -> CSRMatrix:
+        return CSRMatrix.from_coo(self.to_coo(), dedup=False)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def transpose(self) -> "DCSRMatrix":
+        return DCSRMatrix.from_coo(self.to_coo().transpose(), dedup=False)
+
+    # ------------------------------------------------------------------
+    def equal(self, other: "DCSRMatrix", *, rtol: float = 1e-9) -> bool:
+        if self.shape != other.shape:
+            return False
+        a = self.to_coo().sum_duplicates().sort()
+        b = other.to_coo().sum_duplicates().sort()
+        if a.nnz != b.nnz:
+            return False
+        if not (np.array_equal(a.rows, b.rows) and np.array_equal(a.cols, b.cols)):
+            return False
+        return bool(np.allclose(a.values, b.values, rtol=rtol, equal_nan=True))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DCSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"nz_rows={self.n_nonzero_rows}, semiring={self.semiring.name!r})"
+        )

@@ -1,0 +1,549 @@
+"""DHB — dynamic hashed blocks (the paper's dynamic matrix layout).
+
+The paper stores dynamic matrices with the DHB data structure of
+van der Grinten, Predari and Willich: per-row *adjacency arrays* holding
+the column indices and values, plus a per-row *hash table* mapping a column
+index to its slot in the adjacency array.  This yields O(1) expected time
+for discovering whether ``(i, j)`` is present and for inserting, deleting
+or overwriting an entry — which is what makes purely local application of
+update batches cheap.
+
+:class:`DHBRow` mirrors that design literally: growable ``cols`` / ``vals``
+arrays (the adjacency array) plus a Python dict as the hash index.
+:class:`DHBMatrix` owns one row object per non-empty row and implements the
+batch update operations of Section IV-A: semiring ``ADD``, ``MERGE``
+(overwrite) and ``MASK`` (delete).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.semirings import PLUS_TIMES, Semiring
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dcsr import DCSRMatrix
+
+__all__ = ["DHBRow", "DHBMatrix"]
+
+_INITIAL_CAPACITY = 4
+
+
+class DHBRow:
+    """One row of a DHB matrix: adjacency array + hash index."""
+
+    __slots__ = ("cols", "vals", "size", "index", "grow_count")
+
+    def __init__(self, dtype: np.dtype, capacity: int = _INITIAL_CAPACITY) -> None:
+        capacity = max(int(capacity), 1)
+        self.cols = np.empty(capacity, dtype=np.int64)
+        self.vals = np.empty(capacity, dtype=dtype)
+        self.size = 0
+        #: hash index col -> slot; ``None`` means "not built yet" (bulk
+        #: loads defer index construction until the first point access)
+        self.index: dict[int, int] | None = {}
+        #: number of adjacency-array reallocations (memory-management work)
+        self.grow_count = 0
+
+    @classmethod
+    def from_arrays(cls, cols: np.ndarray, vals: np.ndarray) -> "DHBRow":
+        """Bulk-load a row from (deduplicated) column/value arrays.
+
+        The hash index is built lazily on first point access, mirroring how
+        a native DHB bulk loader avoids per-entry hashing during initial
+        construction.
+        """
+        row = cls.__new__(cls)
+        row.cols = np.ascontiguousarray(cols, dtype=np.int64)
+        row.vals = np.ascontiguousarray(vals)
+        row.size = int(cols.size)
+        row.index = None
+        row.grow_count = 0
+        return row
+
+    def ensure_index(self) -> dict[int, int]:
+        """Build (if needed) and return the column -> slot hash index."""
+        if self.index is None:
+            self.index = dict(
+                zip(self.cols[: self.size].tolist(), range(self.size))
+            )
+        return self.index
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    def capacity(self) -> int:
+        return int(self.cols.size)
+
+    def reserve(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` additional entries."""
+        needed = self.size + max(int(extra), 0)
+        if needed <= self.cols.size:
+            return
+        new_cap = max(needed, 2 * self.cols.size)
+        new_cols = np.empty(new_cap, dtype=np.int64)
+        new_vals = np.empty(new_cap, dtype=self.vals.dtype)
+        new_cols[: self.size] = self.cols[: self.size]
+        new_vals[: self.size] = self.vals[: self.size]
+        self.cols = new_cols
+        self.vals = new_vals
+        self.grow_count += 1
+
+    # ------------------------------------------------------------------
+    def get_slot(self, col: int) -> int | None:
+        return self.ensure_index().get(int(col))
+
+    def get(self, col: int, default: float | None = None):
+        slot = self.ensure_index().get(int(col))
+        if slot is None:
+            return default
+        return self.vals[slot]
+
+    def contains(self, col: int) -> bool:
+        return int(col) in self.ensure_index()
+
+    def insert_or_assign(self, col: int, value, combine=None) -> bool:
+        """Insert ``(col, value)`` or update the existing entry.
+
+        ``combine(old, new)`` is applied when the column already exists
+        (``None`` means overwrite).  Returns ``True`` when a new structural
+        non-zero was created.
+        """
+        col = int(col)
+        index = self.ensure_index()
+        slot = index.get(col)
+        if slot is not None:
+            if combine is None:
+                self.vals[slot] = value
+            else:
+                self.vals[slot] = combine(self.vals[slot], value)
+            return False
+        self.reserve(1)
+        slot = self.size
+        self.cols[slot] = col
+        self.vals[slot] = value
+        index[col] = slot
+        self.size += 1
+        return True
+
+    def delete(self, col: int) -> bool:
+        """Delete ``col`` (swap-with-last); returns ``True`` if it existed."""
+        col = int(col)
+        index = self.ensure_index()
+        slot = index.pop(col, None)
+        if slot is None:
+            return False
+        last = self.size - 1
+        if slot != last:
+            moved_col = int(self.cols[last])
+            self.cols[slot] = moved_col
+            self.vals[slot] = self.vals[last]
+            index[moved_col] = slot
+        self.size = last
+        return True
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the live portion of the adjacency array."""
+        return self.cols[: self.size], self.vals[: self.size]
+
+    def iter_entries(self) -> Iterator[tuple[int, float]]:
+        for k in range(self.size):
+            yield int(self.cols[k]), self.vals[k]
+
+    @property
+    def nbytes(self) -> int:
+        # live data + hash index footprint (8 bytes key + 8 bytes slot)
+        return int(self.size * (8 + self.vals.itemsize) + 16 * self.size)
+
+
+class DHBMatrix:
+    """Dynamic sparse matrix with O(1) expected per-entry updates."""
+
+    def __init__(self, shape: tuple[int, int], semiring: Semiring = PLUS_TIMES) -> None:
+        n, m = shape
+        if n < 0 or m < 0:
+            raise ValueError(f"invalid shape {shape}")
+        self.shape = (int(n), int(m))
+        self.semiring = semiring
+        self._rows: dict[int, DHBRow] = {}
+        self._nnz = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, combine_duplicates: bool = True) -> "DHBMatrix":
+        mat = cls(coo.shape, coo.semiring)
+        combine = coo.semiring.plus if combine_duplicates else None
+        mat.insert_batch(coo.rows, coo.cols, coo.values, combine=combine)
+        return mat
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "DHBMatrix":
+        return cls.from_coo(csr.to_coo(), combine_duplicates=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, semiring: Semiring = PLUS_TIMES) -> "DHBMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense, semiring))
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int], semiring: Semiring = PLUS_TIMES) -> "DHBMatrix":
+        return cls(shape, semiring)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def n_nonzero_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(row.nbytes for row in self._rows.values()) + 32 * len(self._rows)
+
+    @property
+    def grow_count(self) -> int:
+        """Total adjacency-array reallocations (memory-management work)."""
+        return sum(row.grow_count for row in self._rows.values())
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def _check_bounds(self, i: int, j: int) -> None:
+        n, m = self.shape
+        if not (0 <= i < n and 0 <= j < m):
+            raise IndexError(f"entry ({i}, {j}) outside matrix of shape {self.shape}")
+
+    def get(self, i: int, j: int, default: float | None = None):
+        """Value at ``(i, j)``; the semiring zero (or ``default``) if absent."""
+        self._check_bounds(i, j)
+        row = self._rows.get(int(i))
+        if row is None:
+            return self.semiring.zero if default is None else default
+        value = row.get(j)
+        if value is None:
+            return self.semiring.zero if default is None else default
+        return value
+
+    def contains(self, i: int, j: int) -> bool:
+        row = self._rows.get(int(i))
+        return row is not None and row.contains(j)
+
+    def insert(self, i: int, j: int, value, combine=None) -> bool:
+        """Insert or update a single entry; returns ``True`` if new."""
+        self._check_bounds(i, j)
+        row = self._rows.get(int(i))
+        if row is None:
+            row = DHBRow(self.semiring.dtype)
+            self._rows[int(i)] = row
+        created = row.insert_or_assign(j, value, combine=combine)
+        if created:
+            self._nnz += 1
+        return created
+
+    def delete(self, i: int, j: int) -> bool:
+        """Delete a single entry; returns ``True`` if it existed."""
+        self._check_bounds(i, j)
+        row = self._rows.get(int(i))
+        if row is None:
+            return False
+        deleted = row.delete(j)
+        if deleted:
+            self._nnz -= 1
+            if len(row) == 0:
+                del self._rows[int(i)]
+        return deleted
+
+    # ------------------------------------------------------------------
+    # batch operations (Section IV-A)
+    # ------------------------------------------------------------------
+    def reserve_batch(self, rows: np.ndarray) -> int:
+        """Pre-grow adjacency arrays for a batch landing on ``rows``.
+
+        Returns the number of reallocations performed; the distributed
+        insertion path charges this step to the *memory management*
+        category of the Fig. 7 breakdown.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return 0
+        unique, counts = np.unique(rows, return_counts=True)
+        grows = 0
+        for i, cnt in zip(unique, counts):
+            row = self._rows.get(int(i))
+            if row is None:
+                row = DHBRow(self.semiring.dtype, capacity=max(int(cnt), _INITIAL_CAPACITY))
+                self._rows[int(i)] = row
+            else:
+                before = row.grow_count
+                row.reserve(int(cnt))
+                grows += row.grow_count - before
+        return grows
+
+    def insert_batch(self, rows, cols, values, combine=None) -> int:
+        """Insert a batch of triplets; returns the number of new non-zeros.
+
+        ``combine`` handles collisions with existing entries (and between
+        duplicate triplets inside the batch): ``None`` overwrites (last
+        write wins), a callable combines, e.g. the semiring's ``plus`` for
+        additive updates.
+
+        The batch is grouped by row and applied with vectorised adjacency-
+        array appends — the Python analogue of the paper's OpenMP-parallel
+        bulk insertion into the DHB rows.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = self.semiring.coerce(values)
+        if not (rows.size == cols.size == values.size):
+            raise ValueError("rows, cols and values must have identical lengths")
+        if rows.size == 0:
+            return 0
+        n, m = self.shape
+        if rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= m:
+            raise IndexError(f"batch entry outside matrix of shape {self.shape}")
+        if self._nnz == 0:
+            return self._bulk_build(rows, cols, values, combine)
+        order = np.argsort(rows, kind="stable")
+        rows_s, cols_s, vals_s = rows[order], cols[order], values[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], rows_s[1:] != rows_s[:-1]))
+        )
+        n_rows_touched = boundaries.size
+        # Scattered batches (few entries per touched row) are cheaper to
+        # apply entry-by-entry; dense-per-row batches benefit from the
+        # vectorised per-row path.
+        if rows.size < 8 * n_rows_touched:
+            return self._insert_scattered(rows_s, cols_s, vals_s, combine)
+        boundaries = np.append(boundaries, rows_s.size)
+        created = 0
+        for b in range(len(boundaries) - 1):
+            lo, hi = boundaries[b], boundaries[b + 1]
+            created += self._insert_row_batch(
+                int(rows_s[lo]), cols_s[lo:hi], vals_s[lo:hi], combine
+            )
+        return created
+
+    def _bulk_build(self, rows, cols, values, combine) -> int:
+        """Vectorised construction of an empty matrix from a large batch.
+
+        Groups the batch by row with one sort, de-duplicates columns within
+        each row, and materialises the adjacency arrays and hash indexes
+        row-by-row — the Python analogue of the bulk-loading path a real
+        DHB implementation uses when a matrix is constructed from scratch.
+        """
+        coo = COOMatrix(self.shape, rows, cols, values, self.semiring)
+        if combine is None:
+            canon = coo.last_write_wins()
+        else:
+            # the semiring's ⊕ is the only vectorisable combiner; other
+            # callables fall back to the scattered path
+            if combine is not self.semiring.plus and combine != self.semiring.plus:
+                return self._insert_scattered(rows, cols, values, combine)
+            canon = coo.sum_duplicates()
+        csr = CSRMatrix.from_coo(canon, dedup=False)
+        created = 0
+        indptr = csr.indptr
+        indices = csr.indices
+        values = csr.values
+        for i in np.flatnonzero(np.diff(indptr) > 0):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            self._rows[int(i)] = DHBRow.from_arrays(indices[lo:hi], values[lo:hi])
+            created += hi - lo
+        self._nnz += created
+        return created
+
+    def _insert_scattered(self, rows, cols, values, combine) -> int:
+        """Per-entry application of a scattered batch (pure-Python loop)."""
+        created = 0
+        dtype = self.semiring.dtype
+        rows_l = rows.tolist()
+        cols_l = cols.tolist()
+        vals_l = values.tolist()
+        get_row = self._rows.get
+        for i, j, v in zip(rows_l, cols_l, vals_l):
+            row = get_row(i)
+            if row is None:
+                row = DHBRow(dtype)
+                self._rows[i] = row
+            index = row.index
+            if index is None:
+                index = row.ensure_index()
+            slot = index.get(j)
+            if slot is None:
+                if row.size >= row.cols.size:
+                    row.reserve(1)
+                slot = row.size
+                row.cols[slot] = j
+                row.vals[slot] = v
+                index[j] = slot
+                row.size += 1
+                created += 1
+            elif combine is None:
+                row.vals[slot] = v
+            else:
+                row.vals[slot] = combine(row.vals[slot], v)
+        self._nnz += created
+        return created
+
+    def _insert_row_batch(self, i: int, cols: np.ndarray, vals: np.ndarray, combine) -> int:
+        """Apply one row's share of a batch (cols may contain duplicates)."""
+        # Combine duplicates within the batch first so that the adjacency
+        # array sees each column at most once.
+        if cols.size > 1:
+            order = np.argsort(cols, kind="stable")
+            cols_s, vals_s = cols[order], vals[order]
+            boundary = np.concatenate(([True], cols_s[1:] != cols_s[:-1]))
+            if combine is None:
+                # last write wins: keep the final occurrence of each column
+                last = np.concatenate((cols_s[1:] != cols_s[:-1], [True]))
+                cols, vals = cols_s[last], vals_s[last]
+            else:
+                starts = np.flatnonzero(boundary)
+                uniq_cols = cols_s[starts]
+                uniq_vals = vals_s[starts].copy()
+                if starts.size != cols_s.size:
+                    # fold the (rare) duplicate groups with the combiner
+                    ends = np.append(starts[1:], cols_s.size)
+                    for gi, (s, e) in enumerate(zip(starts, ends)):
+                        acc = vals_s[s]
+                        for t in range(s + 1, e):
+                            acc = combine(acc, vals_s[t])
+                        uniq_vals[gi] = acc
+                cols, vals = uniq_cols, uniq_vals
+        row = self._rows.get(i)
+        if row is None:
+            row = DHBRow(self.semiring.dtype, capacity=max(cols.size, _INITIAL_CAPACITY))
+            self._rows[i] = row
+        index = row.ensure_index()
+        slots = np.fromiter(
+            (index.get(int(c), -1) for c in cols), dtype=np.int64, count=cols.size
+        )
+        hit = slots >= 0
+        if np.any(hit):
+            hit_slots = slots[hit]
+            if combine is None:
+                row.vals[hit_slots] = vals[hit]
+            else:
+                row.vals[hit_slots] = combine(row.vals[hit_slots], vals[hit])
+        miss = ~hit
+        k = int(miss.sum())
+        if k:
+            miss_cols = cols[miss]
+            miss_vals = vals[miss]
+            row.reserve(k)
+            start = row.size
+            row.cols[start : start + k] = miss_cols
+            row.vals[start : start + k] = miss_vals
+            index.update(zip(miss_cols.tolist(), range(start, start + k)))
+            row.size += k
+            self._nnz += k
+        return k
+
+    def add_update(self, update: "COOMatrix | DCSRMatrix | CSRMatrix") -> int:
+        """``A ← A ⊕ A*`` — algebraic application of an update matrix."""
+        coo = _as_coo(update)
+        self._check_update(coo)
+        return self.insert_batch(
+            coo.rows, coo.cols, coo.values, combine=self.semiring.plus
+        )
+
+    def merge_update(self, update: "COOMatrix | DCSRMatrix | CSRMatrix") -> int:
+        """MERGE(A, A*): overwrite entries of ``A`` present in ``A*``."""
+        coo = _as_coo(update)
+        self._check_update(coo)
+        return self.insert_batch(coo.rows, coo.cols, coo.values, combine=None)
+
+    def mask_update(self, update: "COOMatrix | DCSRMatrix | CSRMatrix") -> int:
+        """MASK(A, A*): delete every entry of ``A`` that is non-zero in ``A*``.
+
+        Returns the number of deleted entries (entries of ``A*`` absent from
+        ``A`` are ignored, matching the paper's deletion semantics).
+        """
+        coo = _as_coo(update)
+        self._check_update(coo)
+        deleted = 0
+        for i, j in zip(coo.rows, coo.cols):
+            if self.delete(int(i), int(j)):
+                deleted += 1
+        return deleted
+
+    def _check_update(self, coo: COOMatrix) -> None:
+        if coo.shape != self.shape:
+            raise ValueError(
+                f"update shape {coo.shape} does not match matrix shape {self.shape}"
+            )
+        if coo.semiring.name != self.semiring.name:
+            raise ValueError(
+                "update semiring "
+                f"{coo.semiring.name!r} does not match matrix semiring "
+                f"{self.semiring.name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # iteration / conversion
+    # ------------------------------------------------------------------
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, cols, vals)`` for non-empty rows in ascending order."""
+        for i in sorted(self._rows):
+            cols, vals = self._rows[i].as_arrays()
+            yield i, cols, vals
+
+    def row_arrays(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(cols, vals)`` of row ``i`` (empty arrays when the row is empty)."""
+        row = self._rows.get(int(i))
+        if row is None:
+            return (
+                np.empty(0, dtype=np.int64),
+                self.semiring.zeros(0),
+            )
+        return row.as_arrays()
+
+    def to_coo(self) -> COOMatrix:
+        if self._nnz == 0:
+            return COOMatrix.empty(self.shape, self.semiring)
+        pieces_r, pieces_c, pieces_v = [], [], []
+        for i, cols, vals in self.iter_rows():
+            pieces_r.append(np.full(cols.size, i, dtype=np.int64))
+            pieces_c.append(cols.copy())
+            pieces_v.append(vals.copy())
+        return COOMatrix(
+            shape=self.shape,
+            rows=np.concatenate(pieces_r),
+            cols=np.concatenate(pieces_c),
+            values=np.concatenate(pieces_v),
+            semiring=self.semiring,
+        ).sort()
+
+    def to_csr(self) -> CSRMatrix:
+        return CSRMatrix.from_coo(self.to_coo(), dedup=False)
+
+    def to_dcsr(self) -> DCSRMatrix:
+        return DCSRMatrix.from_coo(self.to_coo(), dedup=False)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def copy(self) -> "DHBMatrix":
+        return DHBMatrix.from_coo(self.to_coo(), combine_duplicates=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DHBMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"semiring={self.semiring.name!r})"
+        )
+
+
+def _as_coo(mat) -> COOMatrix:
+    if isinstance(mat, COOMatrix):
+        return mat
+    if hasattr(mat, "to_coo"):
+        return mat.to_coo()
+    raise TypeError(f"cannot interpret {type(mat).__name__} as an update matrix")

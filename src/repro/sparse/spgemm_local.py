@@ -1,0 +1,353 @@
+"""Local (within one rank) SpGEMM kernels.
+
+The distributed algorithms reduce to repeated *local* multiplications of a
+(usually hypersparse) left operand with a local block of the right operand.
+Three kernels are provided:
+
+* :func:`spgemm_local` — Gustavson's row-wise algorithm, vectorised with
+  NumPy (concatenate the scaled ``B`` rows selected by each ``A`` row, then
+  sort + ``reduceat`` to ⊕-combine duplicate output columns).  Optionally
+  produces the Bloom-filter bits of Section V-B and falls back to a
+  ``scipy.sparse`` fast path for the ``(+, ·)`` semiring.
+* :func:`spgemm_local_masked` — the masked variant used by the
+  general-update algorithm: only output positions present in the mask are
+  produced (Section VI-B builds a hash table of the mask; here the mask is a
+  row → sorted-columns index and membership is tested with ``np.isin``).
+* :func:`spgemm_rowwise_spa` — a literal sparse-accumulator implementation
+  (slow, loop-based) kept as an independent oracle for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.semirings import Semiring
+from repro.sparse.bloom import BLOOM_BITS, BloomFilterMatrix
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dcsr import DCSRMatrix
+from repro.sparse.dhb import DHBMatrix
+from repro.sparse.spa import SparseAccumulator
+
+__all__ = ["spgemm_local", "spgemm_local_masked", "spgemm_rowwise_spa"]
+
+
+# ----------------------------------------------------------------------
+# helpers: uniform row iteration / row access across matrix layouts
+# ----------------------------------------------------------------------
+def _iter_nonzero_rows(mat):
+    """Yield ``(row, cols, vals)`` over non-empty rows of any layout."""
+    if isinstance(mat, DCSRMatrix):
+        yield from mat.iter_rows()
+    elif isinstance(mat, CSRMatrix):
+        for i in mat.nonzero_rows():
+            cols, vals = mat.row(int(i))
+            yield int(i), cols, vals
+    elif isinstance(mat, DHBMatrix):
+        yield from mat.iter_rows()
+    elif isinstance(mat, COOMatrix):
+        yield from _iter_nonzero_rows(DCSRMatrix.from_coo(mat, dedup=False))
+    else:
+        raise TypeError(f"unsupported left operand type {type(mat).__name__}")
+
+
+def _row_accessor(mat) -> Callable[[int], tuple[np.ndarray, np.ndarray]]:
+    """Return a function ``k -> (cols, vals)`` for the right operand."""
+    if isinstance(mat, CSRMatrix):
+        return mat.row
+    if isinstance(mat, DHBMatrix):
+        return mat.row_arrays
+    if isinstance(mat, DCSRMatrix):
+        index = {int(r): k for k, r in enumerate(mat.nz_rows)}
+        empty_cols = np.empty(0, dtype=np.int64)
+        empty_vals = mat.semiring.zeros(0)
+
+        def access(k: int) -> tuple[np.ndarray, np.ndarray]:
+            slot = index.get(int(k))
+            if slot is None:
+                return empty_cols, empty_vals
+            lo, hi = mat.indptr[slot], mat.indptr[slot + 1]
+            return mat.indices[lo:hi], mat.values[lo:hi]
+
+        return access
+    if isinstance(mat, COOMatrix):
+        return _row_accessor(CSRMatrix.from_coo(mat, dedup=False))
+    raise TypeError(f"unsupported right operand type {type(mat).__name__}")
+
+
+def _check_shapes(a_shape: tuple[int, int], b_shape: tuple[int, int]) -> tuple[int, int]:
+    n, k = a_shape
+    k2, m = b_shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not match: {a_shape} x {b_shape}")
+    return n, m
+
+
+def _dedup_row(
+    cols: np.ndarray,
+    vals: np.ndarray,
+    bits: np.ndarray | None,
+    semiring: Semiring,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """⊕-combine duplicate columns of one output row (bits OR-combined)."""
+    if cols.size == 0:
+        return cols, vals, bits
+    order = np.argsort(cols, kind="stable")
+    cols_sorted = cols[order]
+    vals_sorted = vals[order]
+    boundary = np.empty(cols_sorted.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(cols_sorted[1:], cols_sorted[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    out_cols = cols_sorted[starts]
+    out_vals = semiring.add.reduceat(vals_sorted, starts)
+    out_bits = None
+    if bits is not None:
+        bits_sorted = bits[order]
+        out_bits = np.bitwise_or.reduceat(bits_sorted, starts)
+    return out_cols, out_vals, out_bits
+
+
+def _scipy_fast_path(a, b, semiring: Semiring) -> COOMatrix:
+    """``(+, ·)`` fast path via scipy.sparse CSR multiplication."""
+    import scipy.sparse as sp
+
+    def to_scipy(mat):
+        if isinstance(mat, CSRMatrix):
+            return mat.to_scipy()
+        if hasattr(mat, "to_csr"):
+            return mat.to_csr().to_scipy()
+        raise TypeError(type(mat).__name__)
+
+    sa = to_scipy(a).astype(np.float64)
+    sb = to_scipy(b).astype(np.float64)
+    sc = (sa @ sb).tocoo()
+    return COOMatrix(
+        shape=(a.shape[0], b.shape[1]),
+        rows=sc.row.astype(np.int64),
+        cols=sc.col.astype(np.int64),
+        values=semiring.coerce(sc.data),
+        semiring=semiring,
+    ).sort()
+
+
+# ----------------------------------------------------------------------
+# main kernels
+# ----------------------------------------------------------------------
+def spgemm_local(
+    a,
+    b,
+    semiring: Semiring,
+    *,
+    compute_bloom: bool = False,
+    use_scipy: bool | None = None,
+    inner_offset: int = 0,
+) -> tuple[COOMatrix, BloomFilterMatrix | None]:
+    """Local SpGEMM ``C = A ⊗.⊕ B`` returning ``(C as COO, bloom or None)``.
+
+    Parameters
+    ----------
+    a, b:
+        Left / right operand in any of the local layouts (COO, CSR, DCSR,
+        DHB).  The right operand needs row access and is converted to CSR
+        when given as COO.
+    semiring:
+        Semiring used for ⊗ and ⊕.
+    compute_bloom:
+        When ``True``, also return a :class:`BloomFilterMatrix` with bit
+        ``k mod 64`` set in entry ``(i, j)`` whenever the term
+        ``a_{i,k} ⊗ b_{k,j}`` contributed to ``c_{i,j}``.
+    use_scipy:
+        Force (``True``) or forbid (``False``) the scipy fast path; the
+        default picks it automatically for the ``(+, ·)`` semiring when no
+        Bloom filter is requested.
+    inner_offset:
+        Added to the local inner index ``k`` before folding it into the
+        Bloom bitfield.  Distributed callers pass the global column offset
+        of the left operand's block so that bits refer to *global* inner
+        indices.
+    """
+    n, m = _check_shapes(a.shape, b.shape)
+    if use_scipy is None:
+        use_scipy = (
+            semiring.name == "plus_times"
+            and not compute_bloom
+            and getattr(a, "nnz", 0) > 0
+            and getattr(b, "nnz", 0) > 0
+        )
+    if use_scipy and semiring.name == "plus_times" and not compute_bloom:
+        return _scipy_fast_path(a, b, semiring), None
+
+    b_row = _row_accessor(b)
+    out_rows: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    bloom_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
+
+    for i, a_cols, a_vals in _iter_nonzero_rows(a):
+        chunks_c: list[np.ndarray] = []
+        chunks_v: list[np.ndarray] = []
+        chunks_b: list[np.ndarray] = []
+        for k, a_ik in zip(a_cols, a_vals):
+            b_cols, b_vals = b_row(int(k))
+            if b_cols.size == 0:
+                continue
+            chunks_c.append(b_cols)
+            chunks_v.append(semiring.times(a_ik, b_vals))
+            if compute_bloom:
+                bit = np.uint64(1) << np.uint64((int(k) + inner_offset) % BLOOM_BITS)
+                chunks_b.append(np.full(b_cols.size, bit, dtype=np.uint64))
+        if not chunks_c:
+            continue
+        cols = np.concatenate(chunks_c)
+        vals = np.concatenate(chunks_v)
+        bits = np.concatenate(chunks_b) if compute_bloom else None
+        cols, vals, bits = _dedup_row(cols, vals, bits, semiring)
+        out_rows.append(np.full(cols.size, i, dtype=np.int64))
+        out_cols.append(cols)
+        out_vals.append(vals)
+        if compute_bloom:
+            bloom_entries.append((i, cols, bits))
+
+    if not out_rows:
+        result = COOMatrix.empty((n, m), semiring)
+    else:
+        result = COOMatrix(
+            shape=(n, m),
+            rows=np.concatenate(out_rows),
+            cols=np.concatenate(out_cols),
+            values=np.concatenate(out_vals),
+            semiring=semiring,
+        )
+    bloom = None
+    if compute_bloom:
+        bloom = BloomFilterMatrix((n, m))
+        for i, cols, bits in bloom_entries:
+            for j, bitfield in zip(cols, bits):
+                bloom.set_bits(int(i), int(j), int(bitfield))
+    return result, bloom
+
+
+def spgemm_local_masked(
+    a,
+    b,
+    semiring: Semiring,
+    mask_rows: dict[int, np.ndarray],
+    *,
+    compute_bloom: bool = True,
+    inner_offset: int = 0,
+) -> tuple[COOMatrix, BloomFilterMatrix | None]:
+    """Masked local SpGEMM: only output positions present in the mask.
+
+    ``mask_rows`` maps an output row to the sorted array of allowed output
+    columns (as produced by
+    :func:`repro.sparse.elementwise.pattern_row_index`); rows absent from
+    the mapping produce no output.  This is the kernel of Algorithm 2's
+    local step ``Z, H ← A^R_{k,i} B'_{i,j} masked at C*_{k,j}``.
+    """
+    n, m = _check_shapes(a.shape, b.shape)
+    b_row = _row_accessor(b)
+    out_rows: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    bloom_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
+
+    for i, a_cols, a_vals in _iter_nonzero_rows(a):
+        allowed = mask_rows.get(int(i))
+        if allowed is None or allowed.size == 0:
+            continue
+        chunks_c: list[np.ndarray] = []
+        chunks_v: list[np.ndarray] = []
+        chunks_b: list[np.ndarray] = []
+        for k, a_ik in zip(a_cols, a_vals):
+            b_cols, b_vals = b_row(int(k))
+            if b_cols.size == 0:
+                continue
+            keep = np.isin(b_cols, allowed)
+            if not np.any(keep):
+                continue
+            kept_cols = b_cols[keep]
+            chunks_c.append(kept_cols)
+            chunks_v.append(semiring.times(a_ik, b_vals[keep]))
+            if compute_bloom:
+                bit = np.uint64(1) << np.uint64((int(k) + inner_offset) % BLOOM_BITS)
+                chunks_b.append(np.full(kept_cols.size, bit, dtype=np.uint64))
+        if not chunks_c:
+            continue
+        cols = np.concatenate(chunks_c)
+        vals = np.concatenate(chunks_v)
+        bits = np.concatenate(chunks_b) if compute_bloom else None
+        cols, vals, bits = _dedup_row(cols, vals, bits, semiring)
+        out_rows.append(np.full(cols.size, i, dtype=np.int64))
+        out_cols.append(cols)
+        out_vals.append(vals)
+        if compute_bloom:
+            bloom_entries.append((i, cols, bits))
+
+    if not out_rows:
+        result = COOMatrix.empty((n, m), semiring)
+    else:
+        result = COOMatrix(
+            shape=(n, m),
+            rows=np.concatenate(out_rows),
+            cols=np.concatenate(out_cols),
+            values=np.concatenate(out_vals),
+            semiring=semiring,
+        )
+    bloom = None
+    if compute_bloom:
+        bloom = BloomFilterMatrix((n, m))
+        for i, cols, bits in bloom_entries:
+            for j, bitfield in zip(cols, bits):
+                bloom.set_bits(int(i), int(j), int(bitfield))
+    return result, bloom
+
+
+def spgemm_rowwise_spa(
+    a,
+    b,
+    semiring: Semiring,
+    *,
+    mask_rows: dict[int, np.ndarray] | None = None,
+) -> COOMatrix:
+    """Reference Gustavson SpGEMM using an explicit sparse accumulator.
+
+    Slow but simple; used by the test-suite as an independent oracle for
+    both the plain and the masked vectorised kernels.
+    """
+    n, m = _check_shapes(a.shape, b.shape)
+    b_row = _row_accessor(b)
+    spa = SparseAccumulator(semiring)
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    vals_out: list[np.ndarray] = []
+    for i, a_cols, a_vals in _iter_nonzero_rows(a):
+        allowed: set[int] | None = None
+        if mask_rows is not None:
+            allowed_arr = mask_rows.get(int(i))
+            if allowed_arr is None or allowed_arr.size == 0:
+                continue
+            allowed = {int(c) for c in allowed_arr}
+        spa.clear()
+        for k, a_ik in zip(a_cols, a_vals):
+            b_cols, b_vals = b_row(int(k))
+            if b_cols.size == 0:
+                continue
+            spa.accumulate_scaled_row(a_ik, b_cols, b_vals, allowed=allowed)
+        if spa.is_empty():
+            continue
+        cols, vals, _bits = spa.emit()
+        rows_out.append(np.full(cols.size, i, dtype=np.int64))
+        cols_out.append(cols)
+        vals_out.append(vals)
+    if not rows_out:
+        return COOMatrix.empty((n, m), semiring)
+    return COOMatrix(
+        shape=(n, m),
+        rows=np.concatenate(rows_out),
+        cols=np.concatenate(cols_out),
+        values=np.concatenate(vals_out),
+        semiring=semiring,
+    )

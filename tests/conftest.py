@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicDistMatrix,
+    ProcessGrid,
+    SimMPI,
+    StaticDistMatrix,
+    UpdateBatch,
+)
+from repro.semirings import MIN_PLUS, PLUS_TIMES, Semiring
+
+
+def random_dense(
+    n: int,
+    m: int,
+    density: float,
+    semiring: Semiring = PLUS_TIMES,
+    seed: int = 0,
+) -> np.ndarray:
+    """Random dense matrix with structural zeros at the semiring zero."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, m)) < density
+    values = rng.random((n, m)) + 0.1
+    return np.where(mask, values, semiring.zero)
+
+
+def dist_from_dense(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    dense: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    seed: int = 0,
+) -> DynamicDistMatrix:
+    """Build a dynamic distributed matrix holding ``dense``."""
+    rows, cols = np.nonzero(~semiring.is_zero(dense))
+    values = dense[rows, cols]
+    batch = UpdateBatch.from_global(
+        dense.shape, rows, cols, values, grid.n_ranks, semiring=semiring, seed=seed
+    )
+    return DynamicDistMatrix.from_tuples(
+        comm, grid, dense.shape, batch.tuples_per_rank, semiring, combine="last"
+    )
+
+
+def static_from_dense(
+    comm: SimMPI,
+    grid: ProcessGrid,
+    dense: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    layout: str = "csr",
+    seed: int = 0,
+) -> StaticDistMatrix:
+    rows, cols = np.nonzero(~semiring.is_zero(dense))
+    values = dense[rows, cols]
+    batch = UpdateBatch.from_global(
+        dense.shape, rows, cols, values, grid.n_ranks, semiring=semiring, seed=seed
+    )
+    return StaticDistMatrix.from_tuples(
+        comm,
+        grid,
+        dense.shape,
+        batch.tuples_per_rank,
+        semiring,
+        layout=layout,
+        combine="last",
+    )
+
+
+@pytest.fixture
+def comm16() -> SimMPI:
+    return SimMPI(16)
+
+
+@pytest.fixture
+def grid16() -> ProcessGrid:
+    return ProcessGrid(16)
+
+
+@pytest.fixture(params=[1, 4, 9, 16])
+def any_grid(request) -> tuple[SimMPI, ProcessGrid]:
+    p = request.param
+    return SimMPI(p), ProcessGrid(p)
+
+
+@pytest.fixture(params=[PLUS_TIMES, MIN_PLUS], ids=["plus_times", "min_plus"])
+def semiring(request) -> Semiring:
+    return request.param

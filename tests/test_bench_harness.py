@@ -1,0 +1,157 @@
+"""Tests for the benchmark harness: reporting, profiles and experiment drivers.
+
+The drivers are exercised with a deliberately tiny profile so these tests
+stay fast; the actual measurement campaign lives under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import ablations, experiments_spgemm, experiments_updates, get_profile
+from repro.bench.config import BenchProfile, PROFILES, paper_regime_machine
+from repro.bench.reporting import ExperimentResult, format_table, print_result
+from repro.bench.workloads import draw_batch, prepare_instance, split_batches
+from repro.runtime import StatCategory
+
+
+TINY = BenchProfile(
+    name="tiny",
+    n_ranks=4,
+    scale_divisor=65536,
+    instances=("LiveJournal",),
+    update_batch_sizes=(8, 16),
+    spgemm_batch_sizes=(4,),
+    spgemm_general_batch_sizes=(4,),
+    batches_per_config=1,
+    scaling_ranks=(1, 4),
+    weak_scaling_batch=32,
+    spgemm_scaling_nnz_per_rank=32,
+    rmat_strong_total_log2=10,
+    rmat_weak_per_rank_log2=8,
+)
+
+
+class TestReporting:
+    def test_experiment_result_round_trip(self):
+        result = ExperimentResult("figure_x", "demo", ["a", "b"])
+        result.add_row(1, 2.0)
+        result.add_row(3, 4.0)
+        assert result.column("a") == [1, 3]
+        assert result.filtered(a=3) == [[3, 4.0]]
+        payload = json.loads(result.to_json())
+        assert payload["columns"] == ["a", "b"]
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_format_table_and_print(self, capsys):
+        result = ExperimentResult("figure_x", "demo", ["name", "value"], metadata={"k": 1})
+        result.add_row("x", 0.5)
+        print_result(result)
+        out = capsys.readouterr().out
+        assert "figure_x" in out and "name" in out and "0.5" in out
+        assert format_table(["c"], []).count("\n") == 1
+
+    def test_save(self, tmp_path):
+        result = ExperimentResult("figure_x", "demo", ["v"])
+        result.add_row(np.int64(7))
+        path = tmp_path / "out.json"
+        result.save(str(path))
+        assert json.loads(path.read_text())["rows"] == [[7]]
+
+
+class TestProfiles:
+    def test_profiles_exist_and_resolve(self, monkeypatch):
+        assert set(PROFILES) == {"smoke", "default", "large"}
+        assert get_profile("smoke").name == "smoke"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "default")
+        assert get_profile().name == "default"
+        with pytest.raises(KeyError):
+            get_profile("bogus")
+
+    def test_paper_regime_machine_is_slower_network(self):
+        assert paper_regime_machine().beta > get_profile("smoke").machine.beta
+
+
+class TestWorkloads:
+    def test_prepare_instance_and_pools(self):
+        workload = prepare_instance("LiveJournal", scale_divisor=65536, seed=1)
+        assert workload.nnz > 0
+        first, second = workload.split_half(seed=2)
+        assert first[0].size + second[0].size == workload.nnz
+        batch = draw_batch(second, 10, seed=3)
+        assert batch[0].size == 10
+        batches = split_batches(second, 3, 5, seed=4)
+        assert len(batches) == 3 and all(b[0].size == 5 for b in batches)
+        per_rank = workload.all_tuples_per_rank(4)
+        assert sum(v[0].size for v in per_rank.values()) == workload.nnz
+
+
+class TestDrivers:
+    def test_table1(self):
+        result = experiments_updates.run_table1(TINY)
+        assert len(result.rows) == 12
+        assert "LiveJournal" in result.column("instance")
+
+    def test_construction_driver(self):
+        result = experiments_updates.run_construction(TINY, backends=("ours", "combblas"))
+        assert set(result.column("backend")) == {"ours", "combblas"}
+        assert all(t > 0 for t in result.column("time_ms"))
+
+    def test_insertion_driver(self):
+        result = experiments_updates.run_insertions(TINY, backends=("ours", "combblas"))
+        assert set(result.column("batch_per_rank")) == {8, 16}
+        assert all(t > 0 for t in result.column("mean_time_ms"))
+
+    def test_update_and_deletion_drivers(self):
+        upd = experiments_updates.run_updates_deletions(
+            TINY, backends=("ours",), operation="update"
+        )
+        assert upd.experiment == "figure_5a"
+        dele = experiments_updates.run_updates_deletions(
+            TINY, backends=("ours", "petsc"), operation="delete"
+        )
+        # PETSc does not support deletions and must be absent
+        assert set(dele.column("backend")) == {"ours"}
+        with pytest.raises(ValueError):
+            experiments_updates.run_updates_deletions(TINY, operation="bogus")
+
+    def test_weak_scaling_and_breakdown_drivers(self):
+        scaling = experiments_updates.run_insert_weak_scaling(TINY)
+        assert scaling.column("n_ranks") == [1, 4]
+        breakdown = experiments_updates.run_insert_breakdown(TINY)
+        phases = set(breakdown.column("phase"))
+        assert phases == set(StatCategory.INSERTION_BREAKDOWN)
+
+    def test_rmat_scaling_driver(self):
+        result = experiments_updates.run_rmat_scaling(TINY)
+        modes = set(result.column("mode"))
+        assert modes == {"strong", "weak"}
+
+    def test_spgemm_algebraic_driver(self):
+        result = experiments_spgemm.run_spgemm_algebraic(
+            TINY, backends=("ours", "combblas")
+        )
+        assert set(result.column("backend")) == {"ours", "combblas"}
+        assert all(t > 0 for t in result.column("mean_time_ms"))
+
+    def test_spgemm_general_driver(self):
+        result = experiments_spgemm.run_spgemm_general(TINY, backends=("ours", "combblas"))
+        assert set(result.column("backend")) == {"ours", "combblas"}
+
+    def test_spgemm_scaling_and_breakdown_drivers(self):
+        scaling = experiments_spgemm.run_spgemm_weak_scaling(TINY)
+        assert scaling.column("n_ranks") == [1, 4]
+        breakdown = experiments_spgemm.run_spgemm_breakdown(TINY)
+        assert set(breakdown.column("phase")) == set(StatCategory.SPGEMM_BREAKDOWN)
+
+    def test_ablation_drivers(self):
+        redist = ablations.run_redistribution_ablation(TINY)
+        assert {"two_phase", "single_phase"} == set(redist.column("strategy"))
+        storage = ablations.run_dynamic_storage_ablation(TINY)
+        assert {"dhb_dynamic", "static_rebuild"} == set(storage.column("storage"))
+        crossover = ablations.run_summa_crossover_ablation(TINY)
+        assert all(nnz > 0 for nnz in crossover.column("update_nnz"))

@@ -1,0 +1,176 @@
+"""Tests for Bloom-filter matrices and element-wise static kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import MIN_PLUS, PLUS_TIMES
+from repro.sparse import (
+    BLOOM_BITS,
+    BloomFilterMatrix,
+    COOMatrix,
+    add_coo,
+    mask_pattern,
+    merge_pattern,
+    pattern_row_index,
+)
+from repro.sparse.bloom import bits_for_inner_indices
+
+from tests.conftest import random_dense
+
+
+class TestBloomFilterMatrix:
+    def test_set_get_and_or_accumulation(self):
+        bloom = BloomFilterMatrix((4, 4))
+        bloom.set_bits(1, 2, 0b101)
+        bloom.set_bits(1, 2, 0b010)
+        assert bloom.get(1, 2) == 0b111
+        assert bloom.get(0, 0) == 0
+        assert bloom.nnz == 1
+
+    def test_zero_bits_do_not_create_entries(self):
+        bloom = BloomFilterMatrix((4, 4))
+        bloom.set_bits(0, 0, 0)
+        assert bloom.nnz == 0
+
+    def test_out_of_bounds_raises(self):
+        bloom = BloomFilterMatrix((2, 2))
+        with pytest.raises(IndexError):
+            bloom.set_bits(2, 0, 1)
+        with pytest.raises(IndexError):
+            bloom.overwrite(0, 5, 1)
+
+    def test_overwrite_and_delete(self):
+        bloom = BloomFilterMatrix((3, 3))
+        bloom.set_bits(0, 1, 0b11)
+        bloom.overwrite(0, 1, 0b100)
+        assert bloom.get(0, 1) == 0b100
+        bloom.overwrite(0, 1, 0)
+        assert bloom.nnz == 0
+        bloom.set_bits(1, 1, 1)
+        assert bloom.delete(1, 1)
+        assert not bloom.delete(1, 1)
+
+    def test_or_with_and_masked_by(self):
+        a = BloomFilterMatrix.from_entries((3, 3), [(0, 0, 1), (1, 1, 2)])
+        b = BloomFilterMatrix.from_entries((3, 3), [(0, 0, 4), (2, 2, 8)])
+        combined = a.or_with(b)
+        assert combined.get(0, 0) == 5
+        assert combined.get(2, 2) == 8
+        masked = combined.masked_by([(0, 0), (1, 2)])
+        assert masked.get(0, 0) == 5
+        assert masked.nnz == 1
+
+    def test_or_with_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BloomFilterMatrix((2, 2)).or_with(BloomFilterMatrix((3, 3)))
+
+    def test_reduce_rows_or(self):
+        bloom = BloomFilterMatrix.from_entries(
+            (3, 4), [(0, 0, 1), (0, 3, 2), (2, 1, 8)]
+        )
+        reduced = bloom.reduce_rows_or()
+        assert reduced == {0: 3, 2: 8}
+
+    def test_candidate_inner_indices_superset_property(self):
+        bloom = BloomFilterMatrix((2, 2))
+        true_ks = [3, 64 + 3, 17]  # 3 and 67 collide mod 64
+        for k in true_ks:
+            bloom.set_bits(0, 0, 1 << (k % BLOOM_BITS))
+        admitted = set(bloom.candidate_inner_indices(0, 0, 200).tolist())
+        assert set(true_ks).issubset(admitted)
+        # no admitted index outside the folded classes
+        assert all((k % BLOOM_BITS) in {3, 17} for k in admitted)
+        assert bloom.candidate_inner_indices(1, 1, 100).size == 0
+
+    def test_to_arrays_and_equality(self):
+        bloom = BloomFilterMatrix.from_entries((3, 3), [(2, 1, 4), (0, 0, 1)])
+        rows, cols, bits = bloom.to_arrays()
+        assert list(rows) == [0, 2]
+        assert list(cols) == [0, 1]
+        assert list(bits) == [1, 4]
+        assert bloom == bloom.copy()
+        assert bloom != BloomFilterMatrix((3, 3))
+
+    def test_from_arrays_round_trip(self):
+        rows = np.array([0, 1])
+        cols = np.array([1, 2])
+        bits = np.array([3, 9], dtype=np.uint64)
+        bloom = BloomFilterMatrix.from_arrays((3, 3), rows, cols, bits)
+        r, c, b = bloom.to_arrays()
+        assert np.array_equal(r, rows) and np.array_equal(c, cols)
+        assert np.array_equal(b, bits)
+
+    @settings(max_examples=30, deadline=None)
+    @given(inner=st.lists(st.integers(0, 500), min_size=0, max_size=40))
+    def test_property_bits_for_inner_indices_no_false_negatives(self, inner):
+        bits = bits_for_inner_indices(np.array(inner, dtype=np.int64))
+        combined = int(np.bitwise_or.reduce(bits)) if len(inner) else 0
+        for k in inner:
+            assert (combined >> (k % BLOOM_BITS)) & 1 == 1
+
+
+class TestElementwise:
+    def test_add_coo(self):
+        a = random_dense(6, 6, 0.4, seed=1)
+        b = random_dense(6, 6, 0.4, seed=2)
+        out = add_coo(COOMatrix.from_dense(a), COOMatrix.from_dense(b))
+        assert np.allclose(out.to_dense(), a + b)
+
+    def test_add_coo_min_plus(self):
+        a = random_dense(6, 6, 0.4, MIN_PLUS, seed=3)
+        b = random_dense(6, 6, 0.4, MIN_PLUS, seed=4)
+        out = add_coo(
+            COOMatrix.from_dense(a, MIN_PLUS), COOMatrix.from_dense(b, MIN_PLUS)
+        )
+        assert np.allclose(out.to_dense(), np.minimum(a, b), equal_nan=True)
+
+    def test_merge_pattern_overwrites_and_inserts(self):
+        base = COOMatrix((3, 3), [0, 1], [0, 1], [1.0, 2.0])
+        update = COOMatrix((3, 3), [0, 2], [0, 2], [9.0, 7.0])
+        out = merge_pattern(base, update).to_dict()
+        assert out[(0, 0)] == pytest.approx(9.0)  # overwritten
+        assert out[(1, 1)] == pytest.approx(2.0)  # untouched
+        assert out[(2, 2)] == pytest.approx(7.0)  # inserted
+
+    def test_mask_pattern_deletes(self):
+        base = COOMatrix((3, 3), [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        update = COOMatrix((3, 3), [1, 2], [1, 2], [0.0, 0.0])
+        out = mask_pattern(base, update).to_dict()
+        assert set(out) == {(0, 0)}
+
+    def test_merge_mask_empty_update_is_identity(self):
+        base = COOMatrix.from_dense(random_dense(5, 5, 0.4, seed=9))
+        empty = COOMatrix.empty((5, 5))
+        assert np.allclose(merge_pattern(base, empty).to_dense(), base.to_dense())
+        assert np.allclose(mask_pattern(base, empty).to_dense(), base.to_dense())
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            merge_pattern(COOMatrix.empty((2, 2)), COOMatrix.empty((3, 3)))
+        with pytest.raises(ValueError):
+            mask_pattern(COOMatrix.empty((2, 2)), COOMatrix.empty((3, 3)))
+
+    def test_pattern_row_index(self):
+        dense = np.zeros((4, 4))
+        dense[1, [0, 3]] = 1.0
+        dense[3, 2] = 1.0
+        idx = pattern_row_index(COOMatrix.from_dense(dense))
+        assert set(idx) == {1, 3}
+        assert list(idx[1]) == [0, 3]
+        assert list(idx[3]) == [2]
+        assert pattern_row_index(COOMatrix.empty((4, 4))) == {}
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_merge_then_mask_removes_update_entries(self, seed):
+        base = COOMatrix.from_dense(random_dense(8, 8, 0.3, seed=seed))
+        update = COOMatrix.from_dense(random_dense(8, 8, 0.2, seed=seed + 1))
+        merged = merge_pattern(base, update)
+        masked = mask_pattern(merged, update)
+        masked_keys = set(masked.to_dict())
+        update_keys = set(update.to_dict())
+        assert masked_keys.isdisjoint(update_keys)

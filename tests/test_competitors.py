@@ -1,0 +1,197 @@
+"""Tests for the simulated competitor backends and SpGEMM baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DynamicDistMatrix, ProcessGrid, SimMPI, partition_tuples_round_robin
+from repro.competitors import (
+    CombBLASBackend,
+    CTFBackend,
+    OurBackend,
+    PETScBackend,
+    UnsupportedOperation,
+    get_backend,
+    list_backends,
+    static_spgemm_combblas,
+    static_spgemm_ctf,
+    static_spgemm_petsc_1d,
+)
+from repro.semirings import MIN_PLUS, PLUS_TIMES
+from repro.sparse import CSRMatrix, COOMatrix
+
+from tests.conftest import random_dense, static_from_dense
+
+ALL_BACKENDS = ["ours", "combblas", "ctf", "petsc"]
+
+
+def _tuples_from_dense(dense, p, seed=0):
+    rows, cols = np.nonzero(dense)
+    return partition_tuples_round_robin(rows, cols, dense[rows, cols], p, seed=seed)
+
+
+class TestBackendRegistry:
+    def test_registry(self):
+        assert set(list_backends()) == set(ALL_BACKENDS)
+        assert get_backend("ours") is OurBackend
+        assert get_backend("combblas") is CombBLASBackend
+        assert get_backend("ctf") is CTFBackend
+        assert get_backend("petsc") is PETScBackend
+        with pytest.raises(KeyError):
+            get_backend("nope")
+
+    def test_capability_flags_match_paper(self):
+        assert OurBackend.supports_deletions
+        assert CombBLASBackend.supports_deletions
+        assert CTFBackend.supports_deletions
+        assert not PETScBackend.supports_deletions
+        assert not PETScBackend.supports_semirings
+
+
+class TestBackendSemantics:
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_construct_matches_reference(self, backend_name, comm16, grid16):
+        n = 24
+        dense = random_dense(n, n, 0.2, seed=1)
+        backend = get_backend(backend_name)(comm16, grid16, (n, n))
+        backend.construct(_tuples_from_dense(dense, 16, seed=2))
+        assert np.allclose(backend.to_coo_global().to_dense(), dense)
+        assert backend.nnz() == int((dense != 0).sum())
+        assert backend.describe()["name"] == backend.name
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_insert_batch_adds_values(self, backend_name, comm16, grid16):
+        n = 20
+        dense = random_dense(n, n, 0.2, seed=3)
+        extra = random_dense(n, n, 0.05, seed=4)
+        backend = get_backend(backend_name)(comm16, grid16, (n, n))
+        backend.construct(_tuples_from_dense(dense, 16, seed=5))
+        backend.insert_batch(_tuples_from_dense(extra, 16, seed=6))
+        assert np.allclose(backend.to_coo_global().to_dense(), dense + extra)
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_update_batch_overwrites_values(self, backend_name, comm16, grid16):
+        n = 20
+        dense = random_dense(n, n, 0.25, seed=7)
+        backend = get_backend(backend_name)(comm16, grid16, (n, n))
+        backend.construct(_tuples_from_dense(dense, 16, seed=8))
+        rows, cols = np.nonzero(dense)
+        sel = np.random.default_rng(9).choice(rows.size, size=10, replace=False)
+        new_vals = np.full(10, 99.0)
+        per_rank = partition_tuples_round_robin(rows[sel], cols[sel], new_vals, 16, seed=10)
+        backend.update_batch(per_rank)
+        result = backend.to_coo_global().to_dict()
+        for r, c in zip(rows[sel], cols[sel]):
+            assert result[(int(r), int(c))] == pytest.approx(99.0)
+
+    @pytest.mark.parametrize("backend_name", ["ours", "combblas", "ctf"])
+    def test_delete_batch_removes_entries(self, backend_name, comm16, grid16):
+        n = 20
+        dense = random_dense(n, n, 0.25, seed=11)
+        backend = get_backend(backend_name)(comm16, grid16, (n, n))
+        backend.construct(_tuples_from_dense(dense, 16, seed=12))
+        rows, cols = np.nonzero(dense)
+        sel = np.random.default_rng(13).choice(rows.size, size=12, replace=False)
+        per_rank = partition_tuples_round_robin(
+            rows[sel], cols[sel], np.zeros(12), 16, seed=14
+        )
+        backend.delete_batch(per_rank)
+        expected = dense.copy()
+        expected[rows[sel], cols[sel]] = 0.0
+        assert np.allclose(backend.to_coo_global().to_dense(), expected)
+
+    def test_petsc_rejects_deletions_and_other_semirings(self, comm16, grid16):
+        backend = PETScBackend(comm16, grid16, (10, 10))
+        with pytest.raises(UnsupportedOperation):
+            backend.delete_batch({})
+        with pytest.raises(UnsupportedOperation):
+            PETScBackend(comm16, grid16, (10, 10), MIN_PLUS)
+
+    def test_petsc_uses_fewer_ranks(self, comm16, grid16):
+        backend = PETScBackend(comm16, grid16, (10, 10))
+        assert backend.n_ranks == 16 // comm16.machine.ranks_per_node
+
+    def test_our_backend_static_storage_variant(self, comm16, grid16):
+        n = 16
+        dense = random_dense(n, n, 0.2, seed=15)
+        backend = OurBackend(comm16, grid16, (n, n), dynamic_storage=False)
+        backend.construct(_tuples_from_dense(dense, 16, seed=16))
+        assert np.allclose(backend.to_coo_global().to_dense(), dense)
+
+    def test_all_backends_agree_after_mixed_workload(self, grid16):
+        n = 22
+        dense = random_dense(n, n, 0.25, seed=17)
+        extra = random_dense(n, n, 0.05, seed=18)
+        rows, cols = np.nonzero(dense)
+        sel = np.random.default_rng(19).choice(rows.size, size=8, replace=False)
+        results = {}
+        for backend_name in ("ours", "combblas", "ctf"):
+            comm = SimMPI(16)
+            backend = get_backend(backend_name)(comm, grid16, (n, n))
+            backend.construct(_tuples_from_dense(dense, 16, seed=20))
+            backend.insert_batch(_tuples_from_dense(extra, 16, seed=21))
+            backend.delete_batch(
+                partition_tuples_round_robin(rows[sel], cols[sel], np.zeros(8), 16, seed=22)
+            )
+            results[backend_name] = backend.to_coo_global().to_dense()
+        for backend_name, dense_result in results.items():
+            assert np.allclose(dense_result, results["ours"]), backend_name
+
+
+class TestSpGEMMBaselines:
+    def test_combblas_and_ctf_baselines_match_dense(self, comm16, grid16):
+        n = 16
+        a = random_dense(n, n, 0.15, seed=23)
+        b = random_dense(n, n, 0.15, seed=24)
+        da = static_from_dense(comm16, grid16, a, layout="dcsr")
+        db = static_from_dense(comm16, grid16, b, layout="csr")
+        c_accum = DynamicDistMatrix.empty(comm16, grid16, (n, n))
+        product = static_spgemm_combblas(comm16, grid16, da, db, accumulate_into=c_accum)
+        assert np.allclose(product.to_dense(), a @ b)
+        assert np.allclose(c_accum.to_dense(), a @ b)
+        product_ctf = static_spgemm_ctf(comm16, grid16, da, db)
+        assert np.allclose(product_ctf.to_dense(), a @ b)
+
+    def test_ctf_baseline_charges_more_communication(self, grid16):
+        n = 16
+        a = random_dense(n, n, 0.15, seed=25)
+        b = random_dense(n, n, 0.15, seed=26)
+        comm_cb = SimMPI(16)
+        static_spgemm_combblas(
+            comm_cb, grid16,
+            static_from_dense(comm_cb, grid16, a),
+            static_from_dense(comm_cb, grid16, b),
+        )
+        comm_ctf = SimMPI(16)
+        static_spgemm_ctf(
+            comm_ctf, grid16,
+            static_from_dense(comm_ctf, grid16, a),
+            static_from_dense(comm_ctf, grid16, b),
+        )
+        assert comm_ctf.stats.total_bytes() > comm_cb.stats.total_bytes()
+
+    def test_petsc_1d_baseline_matches_dense(self):
+        n, n_ranks = 20, 4
+        comm = SimMPI(n_ranks)
+        a = random_dense(n, n, 0.2, seed=27)
+        b = random_dense(n, n, 0.2, seed=28)
+        offsets = np.array([0, 5, 10, 15, 20], dtype=np.int64)
+        a_rows = {}
+        for rank in range(n_ranks):
+            lo, hi = offsets[rank], offsets[rank + 1]
+            a_rows[rank] = CSRMatrix.from_dense(a[lo:hi, :])
+        results = static_spgemm_petsc_1d(
+            comm,
+            a_rows,
+            offsets,
+            CSRMatrix.from_dense(b),
+            semiring=PLUS_TIMES,
+            n_ranks=n_ranks,
+        )
+        assembled = np.zeros((n, n))
+        for rank, coo in results.items():
+            lo = offsets[rank]
+            dense_local = coo.to_dense()
+            assembled[lo : lo + dense_local.shape[0], :] = dense_local
+        assert np.allclose(assembled, a @ b)

@@ -1,0 +1,333 @@
+"""Tests for SUMMA, the sparse reduce collectives and both dynamic algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DynamicDistMatrix,
+    ProcessGrid,
+    SimMPI,
+    StaticDistMatrix,
+    UpdateBatch,
+    build_update_matrix,
+    dynamic_spgemm_algebraic,
+    dynamic_spgemm_general,
+    compute_cstar,
+    summa_spgemm,
+    transpose_dist,
+)
+from repro.core.collectives import bloom_reduce_to_root, sparse_reduce_to_root
+from repro.core.dynamic_general import filter_by_row_bloom
+from repro.semirings import BOOLEAN, MIN_PLUS, PLUS_TIMES
+from repro.sparse import BLOOM_BITS, BloomFilterMatrix, COOMatrix, CSRMatrix
+
+from tests.conftest import dist_from_dense, random_dense, static_from_dense
+
+
+# ----------------------------------------------------------------------
+# sparse reduction collectives
+# ----------------------------------------------------------------------
+class TestSparseReduce:
+    def test_reduce_matches_direct_sum(self):
+        comm = SimMPI(16)
+        group = [1, 5, 9, 13]
+        shape = (12, 10)
+        rng = np.random.default_rng(0)
+        denses = {r: random_dense(*shape, 0.3, seed=r) for r in group}
+        contributions = {r: COOMatrix.from_dense(d) for r, d in denses.items()}
+        out = sparse_reduce_to_root(comm, group, 9, contributions, PLUS_TIMES)
+        assert np.allclose(out.to_dense(), sum(denses.values()))
+        # communication happened (reduce-scatter + gather)
+        assert comm.stats.total_bytes() > 0
+
+    def test_reduce_with_missing_and_empty_contributions(self):
+        comm = SimMPI(4)
+        shape = (6, 6)
+        contributions = {0: COOMatrix.empty(shape)}
+        out = sparse_reduce_to_root(comm, [0, 1, 2, 3], 0, contributions, PLUS_TIMES)
+        assert out.nnz == 0
+
+    def test_reduce_root_not_in_group_raises(self):
+        comm = SimMPI(4)
+        with pytest.raises(ValueError):
+            sparse_reduce_to_root(comm, [0, 1], 3, {}, PLUS_TIMES)
+
+    def test_min_plus_reduction(self):
+        comm = SimMPI(4)
+        shape = (5, 5)
+        a = random_dense(*shape, 0.5, MIN_PLUS, seed=1)
+        b = random_dense(*shape, 0.5, MIN_PLUS, seed=2)
+        out = sparse_reduce_to_root(
+            comm,
+            [0, 1],
+            0,
+            {0: COOMatrix.from_dense(a, MIN_PLUS), 1: COOMatrix.from_dense(b, MIN_PLUS)},
+            MIN_PLUS,
+        )
+        assert np.allclose(out.to_dense(), np.minimum(a, b), equal_nan=True)
+
+    def test_bloom_reduce_is_bitwise_or(self):
+        comm = SimMPI(4)
+        shape = (6, 6)
+        a = BloomFilterMatrix.from_entries(shape, [(0, 0, 1), (2, 3, 4)])
+        b = BloomFilterMatrix.from_entries(shape, [(0, 0, 2), (5, 5, 8)])
+        out = bloom_reduce_to_root(comm, [0, 1, 2], 2, {0: a, 1: b})
+        assert out.get(0, 0) == 3
+        assert out.get(2, 3) == 4
+        assert out.get(5, 5) == 8
+
+
+# ----------------------------------------------------------------------
+# SUMMA
+# ----------------------------------------------------------------------
+class TestSUMMA:
+    @pytest.mark.parametrize("semiring", [PLUS_TIMES, MIN_PLUS], ids=lambda s: s.name)
+    def test_summa_matches_dense(self, any_grid, semiring):
+        comm, grid = any_grid
+        a = random_dense(20, 15, 0.25, semiring, seed=1)
+        b = random_dense(15, 18, 0.25, semiring, seed=2)
+        da = dist_from_dense(comm, grid, a, semiring)
+        db = dist_from_dense(comm, grid, b, semiring)
+        c, blooms = summa_spgemm(comm, grid, da, db, output="dynamic")
+        assert blooms is None
+        assert np.allclose(c.to_dense(), semiring.dense_matmul(a, b), equal_nan=True)
+
+    def test_summa_static_output_and_bloom(self, comm16, grid16):
+        a = random_dense(16, 16, 0.2, seed=3)
+        b = random_dense(16, 16, 0.2, seed=4)
+        da = dist_from_dense(comm16, grid16, a)
+        db = dist_from_dense(comm16, grid16, b)
+        c, blooms = summa_spgemm(
+            comm16, grid16, da, db, output="static", compute_bloom=True
+        )
+        assert np.allclose(c.to_dense(), a @ b)
+        assert blooms is not None
+        # bloom bits: verify no false negatives for a few global entries
+        coo = c.to_coo_global()
+        for i, j in list(zip(coo.rows, coo.cols))[:20]:
+            rank = int(c.dist.owner_of(np.array([i]), np.array([j]))[0])
+            li, lj = c.dist.to_local(rank, np.array([i]), np.array([j]))
+            bits = blooms[rank].get(int(li[0]), int(lj[0]))
+            contributing = [k for k in range(16) if a[i, k] != 0 and b[k, j] != 0]
+            for k in contributing:
+                assert (bits >> (k % BLOOM_BITS)) & 1 == 1
+
+    def test_summa_shape_mismatch_raises(self, comm16, grid16):
+        a = DynamicDistMatrix.empty(comm16, grid16, (8, 9))
+        b = DynamicDistMatrix.empty(comm16, grid16, (10, 8))
+        with pytest.raises(ValueError, match="inner dimensions"):
+            summa_spgemm(comm16, grid16, a, b)
+
+    def test_summa_bad_output_layout(self, comm16, grid16):
+        a = DynamicDistMatrix.empty(comm16, grid16, (8, 8))
+        b = DynamicDistMatrix.empty(comm16, grid16, (8, 8))
+        with pytest.raises(ValueError, match="output layout"):
+            summa_spgemm(comm16, grid16, a, b, output="bogus")
+
+
+# ----------------------------------------------------------------------
+# distributed transpose
+# ----------------------------------------------------------------------
+class TestTranspose:
+    @pytest.mark.parametrize("layout", ["csr", "dcsr"])
+    def test_transpose_matches_dense(self, comm16, grid16, layout):
+        dense = random_dense(18, 11, 0.3, seed=5)
+        mat = dist_from_dense(comm16, grid16, dense)
+        t = transpose_dist(mat, layout=layout)
+        assert t.shape == (11, 18)
+        assert np.allclose(t.to_dense(), dense.T)
+
+    def test_double_transpose_is_identity(self, comm16, grid16):
+        dense = random_dense(14, 14, 0.3, seed=7)
+        mat = dist_from_dense(comm16, grid16, dense)
+        assert np.allclose(transpose_dist(transpose_dist(mat)).to_dense(), dense)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 (algebraic updates)
+# ----------------------------------------------------------------------
+class TestDynamicAlgebraic:
+    def _updates_from_dense(self, shape, dense_update, p, semiring=PLUS_TIMES, seed=0):
+        rows, cols = np.nonzero(~semiring.is_zero(dense_update))
+        vals = dense_update[rows, cols]
+        return UpdateBatch.from_global(
+            shape, rows, cols, vals, p, semiring=semiring, seed=seed
+        )
+
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_left_side_updates_match_recomputation(self, p):
+        comm, grid = SimMPI(p), ProcessGrid(p)
+        n = 20
+        a0 = random_dense(n, n, 0.1, seed=1)
+        b = random_dense(n, n, 0.2, seed=2)
+        da = dist_from_dense(comm, grid, a0)
+        db = static_from_dense(comm, grid, b)
+        c, _ = summa_spgemm(comm, grid, da, db, output="dynamic")
+        current = a0.copy()
+        for step in range(3):
+            delta = random_dense(n, n, 0.05, seed=10 + step)
+            batch = self._updates_from_dense((n, n), delta, p, seed=step)
+            a_star = build_update_matrix(comm, grid, da.dist, batch)
+            touched = dynamic_spgemm_algebraic(comm, grid, da, db, a_star, None, c)
+            da.add_update(a_star)
+            current = current + delta
+            assert np.allclose(c.to_dense(), current @ b)
+            assert np.allclose(da.to_dense(), current)
+            assert touched >= 0
+
+    def test_both_sides_updates(self, comm16, grid16):
+        n = 18
+        a0 = random_dense(n, n, 0.15, seed=3)
+        b0 = random_dense(n, n, 0.15, seed=4)
+        da = dist_from_dense(comm16, grid16, a0)
+        db = dist_from_dense(comm16, grid16, b0)
+        c, _ = summa_spgemm(comm16, grid16, da, db, output="dynamic")
+        delta_a = random_dense(n, n, 0.05, seed=5)
+        delta_b = random_dense(n, n, 0.05, seed=6)
+        a_star = build_update_matrix(
+            comm16, grid16, da.dist, self._updates_from_dense((n, n), delta_a, 16, seed=7)
+        )
+        b_star = build_update_matrix(
+            comm16, grid16, db.dist, self._updates_from_dense((n, n), delta_b, 16, seed=8)
+        )
+        # B must be updated to B' before the dynamic multiplication.
+        db.add_update(b_star)
+        dynamic_spgemm_algebraic(comm16, grid16, da, db, a_star, b_star, c)
+        da.add_update(a_star)
+        expected = (a0 + delta_a) @ (b0 + delta_b)
+        assert np.allclose(c.to_dense(), expected)
+
+    def test_empty_update_is_a_noop(self, comm16, grid16):
+        n = 12
+        a0 = random_dense(n, n, 0.2, seed=9)
+        b = random_dense(n, n, 0.2, seed=10)
+        da = dist_from_dense(comm16, grid16, a0)
+        db = static_from_dense(comm16, grid16, b)
+        c, _ = summa_spgemm(comm16, grid16, da, db, output="dynamic")
+        empty = StaticDistMatrix.empty(comm16, grid16, (n, n), layout="dcsr")
+        empty.dist = da.dist
+        touched = dynamic_spgemm_algebraic(comm16, grid16, da, db, empty, None, c)
+        assert touched == 0
+        assert np.allclose(c.to_dense(), a0 @ b)
+
+    def test_shape_mismatch_raises(self, comm16, grid16):
+        da = DynamicDistMatrix.empty(comm16, grid16, (8, 8))
+        db = DynamicDistMatrix.empty(comm16, grid16, (8, 8))
+        c = DynamicDistMatrix.empty(comm16, grid16, (9, 9))
+        a_star = StaticDistMatrix.empty(comm16, grid16, (8, 8), layout="dcsr")
+        with pytest.raises(ValueError, match="result shape"):
+            dynamic_spgemm_algebraic(comm16, grid16, da, db, a_star, None, c)
+
+    def test_compute_cstar_pattern_and_bloom(self, comm16, grid16):
+        n = 16
+        a = random_dense(n, n, 0.15, seed=11)
+        b = random_dense(n, n, 0.15, seed=12)
+        delta = random_dense(n, n, 0.05, seed=13)
+        da = dist_from_dense(comm16, grid16, a)
+        db = static_from_dense(comm16, grid16, b)
+        a_star = build_update_matrix(
+            comm16, grid16, da.dist, self._updates_from_dense((n, n), delta, 16, seed=14)
+        )
+        cstar_blocks, blooms = compute_cstar(
+            comm16, grid16, da, db, a_star, None, compute_bloom=True
+        )
+        # assemble C* globally and compare with delta @ b
+        pieces = []
+        dist = da.dist
+        out_dist = None
+        for rank, coo in cstar_blocks.items():
+            if coo.nnz == 0:
+                continue
+            from repro.distributed import BlockDistribution
+
+            out_dist = out_dist or BlockDistribution(n, n, grid16)
+            gr, gc = out_dist.to_global(rank, coo.rows, coo.cols)
+            pieces.append((gr, gc, coo.values))
+        dense_cstar = np.zeros((n, n))
+        for gr, gc, vals in pieces:
+            np.add.at(dense_cstar, (gr, gc), vals)
+        assert np.allclose(dense_cstar, delta @ b)
+        assert blooms is not None
+        assert sum(bl.nnz for bl in blooms.values()) >= 0
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 (general updates)
+# ----------------------------------------------------------------------
+class TestDynamicGeneral:
+    def test_filter_by_row_bloom_superset(self):
+        dense = random_dense(8, 8, 0.4, MIN_PLUS, seed=20)
+        block = CSRMatrix.from_dense(dense, MIN_PLUS)
+        bits = np.zeros(8, dtype=np.uint64)
+        bits[2] = np.uint64(1) << np.uint64(3)  # row 2, admit columns ≡ 3 (mod 64)
+        filtered = filter_by_row_bloom(block, bits, 0, MIN_PLUS)
+        for row, cols, _vals in filtered.iter_rows():
+            assert row == 2
+            assert all(c % BLOOM_BITS == 3 for c in cols)
+
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_deletions_match_recomputation(self, p):
+        comm, grid = SimMPI(p), ProcessGrid(p)
+        n = 16
+        a = random_dense(n, n, 0.25, MIN_PLUS, seed=21)
+        b = random_dense(n, n, 0.25, MIN_PLUS, seed=22)
+        da = dist_from_dense(comm, grid, a, MIN_PLUS)
+        db = dist_from_dense(comm, grid, b, MIN_PLUS)
+        c, blooms = summa_spgemm(comm, grid, da, db, output="dynamic", compute_bloom=True)
+        current = a.copy()
+        rng = np.random.default_rng(23)
+        for step in range(2):
+            nz = np.argwhere(~np.isinf(current))
+            sel = nz[rng.choice(len(nz), size=min(6, len(nz)), replace=False)]
+            batch = UpdateBatch.from_global(
+                (n, n), sel[:, 0], sel[:, 1], np.ones(len(sel)), p,
+                kind="delete", semiring=MIN_PLUS, seed=step,
+            )
+            a_star = build_update_matrix(
+                comm, grid, da.dist, batch, MIN_PLUS, combine="last"
+            )
+            for block in a_star.blocks.values():
+                block.values[:] = MIN_PLUS.one
+            da.mask_update(a_star)
+            for r, cc in sel:
+                current[r, cc] = np.inf
+            dynamic_spgemm_general(
+                comm, grid, da, da, db, a_star, None, c, blooms, semiring=MIN_PLUS
+            )
+            expected = MIN_PLUS.dense_matmul(current, b)
+            assert np.allclose(c.to_dense(), expected, equal_nan=True)
+
+    def test_boolean_semiring_deletion(self, comm16, grid16):
+        n = 12
+        rng = np.random.default_rng(31)
+        a = (rng.random((n, n)) < 0.3).astype(np.float64)
+        b = (rng.random((n, n)) < 0.3).astype(np.float64)
+        da = dist_from_dense(comm16, grid16, a, BOOLEAN)
+        db = dist_from_dense(comm16, grid16, b, BOOLEAN)
+        c, blooms = summa_spgemm(
+            comm16, grid16, da, db, output="dynamic", compute_bloom=True
+        )
+        nz = np.argwhere(a > 0)
+        sel = nz[rng.choice(len(nz), size=min(5, len(nz)), replace=False)]
+        batch = UpdateBatch.from_global(
+            (n, n), sel[:, 0], sel[:, 1], np.ones(len(sel)), 16,
+            kind="delete", semiring=BOOLEAN, seed=3,
+        )
+        a_star = build_update_matrix(
+            comm16, grid16, da.dist, batch, BOOLEAN, combine="last"
+        )
+        for block in a_star.blocks.values():
+            block.values[:] = BOOLEAN.one
+        da.mask_update(a_star)
+        a_new = a.copy()
+        for r, cc in sel:
+            a_new[r, cc] = 0.0
+        dynamic_spgemm_general(
+            comm16, grid16, da, da, db, a_star, None, c, blooms, semiring=BOOLEAN
+        )
+        expected = BOOLEAN.dense_matmul(a_new, b)
+        assert np.allclose(c.to_dense(), expected)

@@ -1,0 +1,224 @@
+"""Tests for the DHB dynamic matrix (including property-based model checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import MIN_PLUS, PLUS_TIMES
+from repro.sparse import COOMatrix, DHBMatrix, DHBRow
+
+from tests.conftest import random_dense
+
+
+class TestDHBRow:
+    def test_insert_get_delete(self):
+        row = DHBRow(np.dtype(np.float64))
+        assert row.insert_or_assign(5, 1.0)
+        assert not row.insert_or_assign(5, 2.0)  # overwrite
+        assert row.get(5) == pytest.approx(2.0)
+        assert row.contains(5)
+        assert row.delete(5)
+        assert not row.delete(5)
+        assert not row.contains(5)
+        assert len(row) == 0
+
+    def test_combine_on_existing(self):
+        row = DHBRow(np.dtype(np.float64))
+        row.insert_or_assign(2, 1.0)
+        row.insert_or_assign(2, 3.0, combine=np.add)
+        assert row.get(2) == pytest.approx(4.0)
+
+    def test_growth_keeps_entries(self):
+        row = DHBRow(np.dtype(np.float64), capacity=2)
+        for col in range(50):
+            row.insert_or_assign(col, float(col))
+        assert len(row) == 50
+        assert row.grow_count >= 1
+        cols, vals = row.as_arrays()
+        assert set(cols.tolist()) == set(range(50))
+        assert all(vals[i] == cols[i] for i in range(50))
+
+    def test_swap_delete_keeps_index_consistent(self):
+        row = DHBRow(np.dtype(np.float64))
+        for col in (1, 2, 3, 4):
+            row.insert_or_assign(col, float(col))
+        row.delete(2)
+        for col in (1, 3, 4):
+            assert row.get(col) == pytest.approx(float(col))
+
+    def test_from_arrays_lazy_index(self):
+        row = DHBRow.from_arrays(np.array([3, 7, 9]), np.array([1.0, 2.0, 3.0]))
+        assert row.index is None  # lazy until first point access
+        assert row.get(7) == pytest.approx(2.0)
+        assert row.index is not None
+        assert row.get_slot(9) == 2
+
+
+class TestDHBMatrix:
+    def test_single_entry_operations(self):
+        mat = DHBMatrix((5, 5))
+        assert mat.insert(1, 2, 3.0)
+        assert not mat.insert(1, 2, 4.0)  # overwrite, no new nnz
+        assert mat.get(1, 2) == pytest.approx(4.0)
+        assert mat.nnz == 1
+        assert mat.contains(1, 2)
+        assert mat.delete(1, 2)
+        assert mat.nnz == 0
+        assert not mat.delete(1, 2)
+        assert mat.get(1, 2) == 0.0
+
+    def test_out_of_bounds_raises(self):
+        mat = DHBMatrix((3, 3))
+        with pytest.raises(IndexError):
+            mat.insert(3, 0, 1.0)
+        with pytest.raises(IndexError):
+            mat.get(0, 3)
+        with pytest.raises(IndexError):
+            mat.insert_batch([0], [7], [1.0])
+
+    def test_bulk_build_matches_dense(self):
+        dense = random_dense(20, 20, 0.3, seed=1)
+        rows, cols = np.nonzero(dense)
+        mat = DHBMatrix((20, 20))
+        created = mat.insert_batch(rows, cols, dense[rows, cols], combine=PLUS_TIMES.plus)
+        assert created == len(rows)
+        assert np.allclose(mat.to_dense(), dense)
+
+    def test_batch_additive_combination(self):
+        mat = DHBMatrix((4, 4))
+        mat.insert_batch([0, 0, 1], [1, 1, 2], [1.0, 2.0, 5.0], combine=PLUS_TIMES.plus)
+        assert mat.get(0, 1) == pytest.approx(3.0)
+        assert mat.get(1, 2) == pytest.approx(5.0)
+        # second batch hits existing entries
+        mat.insert_batch([0], [1], [4.0], combine=PLUS_TIMES.plus)
+        assert mat.get(0, 1) == pytest.approx(7.0)
+
+    def test_batch_overwrite_last_wins(self):
+        mat = DHBMatrix((4, 4))
+        mat.insert_batch([0, 0], [1, 1], [1.0, 9.0], combine=None)
+        assert mat.get(0, 1) == pytest.approx(9.0)
+
+    def test_add_merge_mask_updates(self):
+        dense = random_dense(10, 10, 0.3, seed=3)
+        mat = DHBMatrix.from_dense(dense)
+        update = COOMatrix((10, 10), [0, 1], [0, 1], [5.0, 7.0])
+        mat.add_update(update)
+        expected = dense.copy()
+        expected[0, 0] += 5.0
+        expected[1, 1] += 7.0
+        assert np.allclose(mat.to_dense(), expected)
+
+        mat.merge_update(COOMatrix((10, 10), [0], [0], [-1.0]))
+        expected[0, 0] = -1.0
+        assert np.allclose(mat.to_dense(), expected)
+
+        deleted = mat.mask_update(COOMatrix((10, 10), [0, 9], [0, 9], [1.0, 1.0]))
+        expected[0, 0] = 0.0
+        if dense[9, 9] != 0:
+            expected[9, 9] = 0.0
+        assert np.allclose(mat.to_dense(), expected)
+        assert deleted >= 1
+
+    def test_update_shape_mismatch_raises(self):
+        mat = DHBMatrix((4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            mat.add_update(COOMatrix.empty((5, 5)))
+
+    def test_update_semiring_mismatch_raises(self):
+        mat = DHBMatrix((4, 4))
+        with pytest.raises(ValueError, match="semiring"):
+            mat.add_update(COOMatrix.empty((4, 4), MIN_PLUS))
+
+    def test_min_plus_add_update_takes_minimum(self):
+        mat = DHBMatrix((3, 3), MIN_PLUS)
+        mat.insert(0, 1, 5.0)
+        mat.add_update(COOMatrix((3, 3), [0, 1], [1, 2], [9.0, 4.0], MIN_PLUS))
+        assert mat.get(0, 1) == pytest.approx(5.0)  # min(5, 9)
+        assert mat.get(1, 2) == pytest.approx(4.0)
+
+    def test_conversions_round_trip(self):
+        dense = random_dense(12, 9, 0.25, seed=5)
+        mat = DHBMatrix.from_dense(dense)
+        assert np.allclose(mat.to_csr().to_dense(), dense)
+        assert np.allclose(mat.to_dcsr().to_dense(), dense)
+        assert np.allclose(mat.copy().to_dense(), dense)
+        assert np.allclose(DHBMatrix.from_csr(mat.to_csr()).to_dense(), dense)
+
+    def test_row_arrays_and_iter_rows(self):
+        dense = random_dense(7, 7, 0.4, seed=7)
+        mat = DHBMatrix.from_dense(dense)
+        cols, vals = mat.row_arrays(0)
+        assert set(cols.tolist()) == set(np.nonzero(dense[0])[0].tolist())
+        rows_seen = [i for i, _c, _v in mat.iter_rows()]
+        assert rows_seen == sorted(rows_seen)
+        empty_cols, empty_vals = DHBMatrix((3, 3)).row_arrays(1)
+        assert empty_cols.size == 0 and empty_vals.size == 0
+
+    def test_reserve_batch_counts_growth(self):
+        mat = DHBMatrix((10, 10))
+        mat.insert_batch(np.arange(10), np.arange(10), np.ones(10), combine=None)
+        grows = mat.reserve_batch(np.zeros(50, dtype=np.int64))
+        assert grows >= 0  # growth counting is best-effort but non-negative
+        assert mat.nnz == 10
+
+    def test_scattered_path_after_bulk_build(self):
+        dense = random_dense(30, 30, 0.2, seed=11)
+        rows, cols = np.nonzero(dense)
+        mat = DHBMatrix((30, 30))
+        mat.insert_batch(rows, cols, dense[rows, cols], combine=PLUS_TIMES.plus)
+        # a scattered follow-up batch (one entry per row)
+        extra_rows = np.arange(30, dtype=np.int64)
+        extra_cols = np.full(30, 2, dtype=np.int64)
+        extra_vals = np.ones(30)
+        mat.insert_batch(extra_rows, extra_cols, extra_vals, combine=PLUS_TIMES.plus)
+        expected = dense.copy()
+        expected[:, 2] += 1.0
+        assert np.allclose(mat.to_dense(), expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "overwrite"]),
+                st.integers(0, 7),
+                st.integers(0, 7),
+                st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    def test_property_matches_dict_model(self, ops):
+        """Arbitrary interleavings of point operations match a dict model."""
+        mat = DHBMatrix((8, 8))
+        model: dict[tuple[int, int], float] = {}
+        for op, i, j, v in ops:
+            if op == "insert":
+                mat.insert(i, j, v, combine=PLUS_TIMES.plus)
+                model[(i, j)] = model.get((i, j), 0.0) + v
+            elif op == "overwrite":
+                mat.insert(i, j, v, combine=None)
+                model[(i, j)] = v
+            else:
+                mat.delete(i, j)
+                model.pop((i, j), None)
+        assert mat.nnz == len(model)
+        for (i, j), v in model.items():
+            assert mat.get(i, j) == pytest.approx(v)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), density=st.floats(0.05, 0.5))
+    def test_property_bulk_build_equals_scattered_build(self, seed, density):
+        dense = random_dense(15, 15, density, seed=seed)
+        rows, cols = np.nonzero(dense)
+        vals = dense[rows, cols]
+        bulk = DHBMatrix((15, 15))
+        bulk.insert_batch(rows, cols, vals, combine=PLUS_TIMES.plus)
+        scattered = DHBMatrix((15, 15))
+        for r, c, v in zip(rows, cols, vals):
+            scattered.insert(int(r), int(c), v, combine=PLUS_TIMES.plus)
+        assert bulk.nnz == scattered.nnz
+        assert np.allclose(bulk.to_dense(), scattered.to_dense())
