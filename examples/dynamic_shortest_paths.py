@@ -16,14 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ProcessGrid, SimMPI
+from repro import ProcessGrid, make_communicator
 from repro.apps import DynamicMultiSourceShortestPaths, sssp_reference
 from repro.graphs import erdos_renyi_edges
 
 
 def main() -> None:
     n_ranks = 16
-    comm = SimMPI(n_ranks)
+    comm = make_communicator(n_ranks=n_ranks)
     grid = ProcessGrid(n_ranks)
 
     # A sparse directed "road network" with travel times as weights.

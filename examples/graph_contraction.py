@@ -13,14 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import DynamicDistMatrix, ProcessGrid, SimMPI, UpdateBatch
+from repro import DynamicDistMatrix, ProcessGrid, UpdateBatch, make_communicator
 from repro.apps import contract_graph
 from repro.graphs import ring_of_cliques_edges
 
 
 def main() -> None:
     n_ranks = 16
-    comm = SimMPI(n_ranks)
+    comm = make_communicator(n_ranks=n_ranks)
     grid = ProcessGrid(n_ranks)
 
     n_cliques, clique_size = 12, 8

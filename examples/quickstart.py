@@ -20,7 +20,7 @@ from repro import (
     DynamicDistMatrix,
     DynamicProduct,
     ProcessGrid,
-    SimMPI,
+    make_communicator,
     UpdateBatch,
 )
 from repro.graphs import erdos_renyi_edges
@@ -29,7 +29,7 @@ from repro.graphs import erdos_renyi_edges
 def main() -> None:
     # 16 simulated MPI ranks arranged in a 4x4 grid (as CombBLAS would).
     n_ranks = 16
-    comm = SimMPI(n_ranks)
+    comm = make_communicator(n_ranks=n_ranks)
     grid = ProcessGrid(n_ranks)
 
     # A small random graph: B is its (static) adjacency matrix, A starts

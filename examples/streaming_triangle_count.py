@@ -14,14 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ProcessGrid, SimMPI
+from repro import ProcessGrid, make_communicator
 from repro.apps import DynamicTriangleCounter, count_triangles_reference
 from repro.graphs import generate_instance
 
 
 def main() -> None:
     n_ranks = 16
-    comm = SimMPI(n_ranks)
+    comm = make_communicator(n_ranks=n_ranks)
     grid = ProcessGrid(n_ranks)
 
     # A scaled-down surrogate of the paper's LiveJournal social network.

@@ -35,7 +35,18 @@ from repro.semirings import (
     SemiringError,
     get_semiring,
 )
-from repro.runtime import CommStats, MachineModel, ProcessGrid, SimMPI, StatCategory
+from repro.runtime import (
+    CommStats,
+    Communicator,
+    MPIBackend,
+    MachineModel,
+    ProcessGrid,
+    SimMPI,
+    StatCategory,
+    available_backends,
+    make_communicator,
+    register_backend,
+)
 from repro.sparse import (
     BloomFilterMatrix,
     COOMatrix,
@@ -78,7 +89,12 @@ __all__ = [
     "BOOLEAN",
     "get_semiring",
     # runtime
+    "Communicator",
     "SimMPI",
+    "MPIBackend",
+    "make_communicator",
+    "register_backend",
+    "available_backends",
     "ProcessGrid",
     "MachineModel",
     "CommStats",

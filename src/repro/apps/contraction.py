@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import ProcessGrid, SimMPI
+from repro.runtime import Communicator, ProcessGrid
 from repro.semirings import PLUS_TIMES
 from repro.sparse import COOMatrix
 from repro.distributed import DynamicDistMatrix, StaticDistMatrix, UpdateBatch
@@ -22,7 +22,7 @@ __all__ = ["contraction_matrix", "contract_graph"]
 
 
 def contraction_matrix(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     clusters: np.ndarray,
     *,
@@ -49,7 +49,7 @@ def contraction_matrix(
 
 
 def contract_graph(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     adjacency: DynamicDistMatrix | StaticDistMatrix,
     clusters: np.ndarray,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import ProcessGrid, SimMPI
+from repro.runtime import Communicator, ProcessGrid
 from repro.semirings import MIN_PLUS
 from repro.sparse import CSRMatrix, COOMatrix, spgemm_local
 from repro.distributed import DynamicDistMatrix, UpdateBatch
@@ -60,7 +60,7 @@ class DynamicMultiSourceShortestPaths:
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         n: int,
         rows: np.ndarray,

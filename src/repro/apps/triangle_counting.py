@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import ProcessGrid, SimMPI
+from repro.runtime import Communicator, ProcessGrid
 from repro.semirings import PLUS_TIMES
 from repro.sparse import CSRMatrix
 from repro.distributed import DynamicDistMatrix, UpdateBatch
@@ -42,7 +42,7 @@ class DynamicTriangleCounter:
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         n: int,
         rows: np.ndarray,

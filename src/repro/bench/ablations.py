@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import ProcessGrid, SimMPI
+from repro.runtime import ProcessGrid, make_communicator
 from repro.semirings import PLUS_TIMES
 from repro.distributed import (
     BlockDistribution,
@@ -63,7 +63,7 @@ def run_redistribution_ablation(profile: BenchProfile | None = None) -> Experime
         ("single_phase", "counting", redistribute_tuples_single_phase, {"sort_mode": "counting"}),
     ]
     for strategy, sort_mode, fn, kwargs in configs:
-        comm = SimMPI(p, profile.machine)
+        comm = make_communicator(n_ranks=p, machine=profile.machine)
         with comm.timer() as timer:
             fn(comm, grid, dist, per_rank, **kwargs)
         result.add_row(
@@ -96,7 +96,7 @@ def run_summa_crossover_ablation(profile: BenchProfile | None = None) -> Experim
     fractions = (0.01, 0.05, 0.2, 0.5, 1.0)
     for fraction in fractions:
         update_total = max(p, int(workload.nnz * fraction))
-        comm = SimMPI(p, profile.spgemm_machine)
+        comm = make_communicator(n_ranks=p, machine=profile.spgemm_machine)
         b_static = StaticDistMatrix.from_tuples(
             comm, grid, shape, workload.all_tuples_per_rank(p, seed=157), PLUS_TIMES
         )
@@ -133,7 +133,7 @@ def run_dynamic_storage_ablation(profile: BenchProfile | None = None) -> Experim
     for batch_per_rank in profile.update_batch_sizes[:3]:
         batch_total = batch_per_rank * p
         for storage, backend_cls in (("dhb_dynamic", OurBackend), ("static_rebuild", CombBLASBackend)):
-            comm = SimMPI(p, profile.machine)
+            comm = make_communicator(n_ranks=p, machine=profile.machine)
             backend = backend_cls(comm, grid, (workload.n, workload.n))
             backend.construct(partition_tuples_round_robin(*initial_half, p, seed=181))
             total = 0.0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import ProcessGrid, SimMPI, StatCategory
+from repro.runtime import ProcessGrid, StatCategory, make_communicator
 from repro.semirings import MIN_PLUS, PLUS_TIMES
 from repro.sparse import CSRMatrix, COOMatrix
 from repro.distributed import (
@@ -113,7 +113,7 @@ def run_spgemm_algebraic(
     for batch_per_rank in profile.spgemm_batch_sizes:
         batch_total = batch_per_rank * p
         for backend_name in backends:
-            comm = SimMPI(p, profile.spgemm_machine)
+            comm = make_communicator(n_ranks=p, machine=profile.spgemm_machine)
             # B: full adjacency, static CSR blocks (not part of measured time)
             b_static = StaticDistMatrix.from_tuples(
                 comm,
@@ -224,7 +224,7 @@ def run_spgemm_general(
     for batch_per_rank in profile.spgemm_general_batch_sizes:
         batch_total = batch_per_rank * p
         for backend_name in backends:
-            comm = SimMPI(p, profile.spgemm_machine)
+            comm = make_communicator(n_ranks=p, machine=profile.spgemm_machine)
             semiring = PLUS_TIMES if backend_name == "petsc" else MIN_PLUS
             b_tuples = workload.all_tuples_per_rank(p, seed=97)
             total = 0.0
@@ -315,7 +315,7 @@ def _spgemm_scaling_run(
     workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=109)
     shape = (workload.n, workload.n)
     pool = (workload.rows, workload.cols, workload.values)
-    comm = SimMPI(n_ranks, profile.spgemm_machine)
+    comm = make_communicator(n_ranks=n_ranks, machine=profile.spgemm_machine)
     b_static = StaticDistMatrix.from_tuples(
         comm,
         grid,

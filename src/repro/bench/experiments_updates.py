@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import MachineModel, ProcessGrid, SimMPI, StatCategory
+from repro.runtime import MachineModel, ProcessGrid, StatCategory, make_communicator
 from repro.semirings import PLUS_TIMES
 from repro.graphs import TABLE1_INSTANCES, rmat_edges
 from repro.distributed import partition_tuples_round_robin
@@ -90,7 +90,7 @@ def run_construction(
         tuples = workload.all_tuples_per_rank(p, seed=5)
         times: dict[str, float] = {}
         for backend_name in backends:
-            comm = SimMPI(p, profile.machine)
+            comm = make_communicator(n_ranks=p, machine=profile.machine)
             backend = get_backend(backend_name)(comm, grid, (workload.n, workload.n))
             with comm.timer() as timer:
                 backend.construct(tuples)
@@ -133,7 +133,7 @@ def _run_batched_operation(
                 continue
             for batch_per_rank in profile.update_batch_sizes:
                 batch_total = batch_per_rank * p
-                comm = SimMPI(p, profile.machine)
+                comm = make_communicator(n_ranks=p, machine=profile.machine)
                 backend = backend_cls(comm, grid, (workload.n, workload.n))
                 if operation == "insert":
                     initial = partition_tuples_round_robin(*initial_half, p, seed=13)
@@ -217,7 +217,7 @@ def _insertion_scaling_run(
     name = instance or profile.instances[0]
     workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=23)
     initial_half, insert_pool = workload.split_half(seed=29)
-    comm = SimMPI(n_ranks, machine)
+    comm = make_communicator(n_ranks=n_ranks, machine=machine)
     backend = get_backend("ours")(comm, grid, (workload.n, workload.n))
     backend.construct(partition_tuples_round_robin(*initial_half, n_ranks, seed=31))
     batch_total = profile.weak_scaling_batch * n_ranks
@@ -295,7 +295,7 @@ def run_rmat_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
     baseline = None
     for n_ranks in profile.scaling_ranks:
         grid = ProcessGrid(n_ranks)
-        comm = SimMPI(n_ranks, profile.machine)
+        comm = make_communicator(n_ranks=n_ranks, machine=profile.machine)
         backend = get_backend("ours")(comm, grid, (n_vertices, n_vertices))
         per_rank = partition_tuples_round_robin(src, dst, values, n_ranks, seed=53)
         with comm.timer() as timer:
@@ -315,7 +315,7 @@ def run_rmat_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
         values = np.random.default_rng(61).random(src.size)
         src, dst, values = src[:total_w], dst[:total_w], values[:total_w]
         grid = ProcessGrid(n_ranks)
-        comm = SimMPI(n_ranks, profile.machine)
+        comm = make_communicator(n_ranks=n_ranks, machine=profile.machine)
         backend = get_backend("ours")(comm, grid, (n_vertices, n_vertices))
         per_rank = partition_tuples_round_robin(src, dst, values, n_ranks, seed=67)
         with comm.timer() as timer:

@@ -4,8 +4,8 @@ A backend owns one distributed adjacency matrix and exposes the operations
 measured by the paper's data-structure experiments (Figs. 2–8):
 construction from scattered tuples, batched insertions, batched value
 updates and batched deletions.  The benchmark drivers time these calls with
-the simulated clock, so every backend must perform its work through the
-shared :class:`~repro.runtime.simmpi.SimMPI` communicator.
+the communicator's clock, so every backend must perform its work through the
+shared :class:`~repro.runtime.backend.Communicator`.
 """
 
 from __future__ import annotations
@@ -16,7 +16,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse import COOMatrix
 
@@ -46,7 +46,7 @@ class Backend(abc.ABC):
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         semiring: Semiring = PLUS_TIMES,

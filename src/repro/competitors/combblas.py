@@ -23,7 +23,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse import COOMatrix, DCSRMatrix
@@ -46,7 +46,7 @@ class CombBLASBackend(Backend):
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         semiring: Semiring = PLUS_TIMES,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse import COOMatrix
 from repro.distributed import DynamicDistMatrix, build_update_matrix
@@ -30,7 +30,7 @@ class OurBackend(Backend):
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         semiring: Semiring = PLUS_TIMES,

@@ -24,7 +24,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse import COOMatrix, CSRMatrix
@@ -42,7 +42,7 @@ class PETScBackend(Backend):
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         semiring: Semiring = PLUS_TIMES,

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import Semiring
 from repro.sparse import COOMatrix, CSRMatrix, spgemm_local
@@ -55,7 +55,7 @@ def add_product_to_result(
 
 
 def static_spgemm_combblas(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     a: DistMatrixBase,
     b: DistMatrixBase,
@@ -72,7 +72,7 @@ def static_spgemm_combblas(
 
 
 def static_spgemm_ctf(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     a: DistMatrixBase,
     b: DistMatrixBase,
@@ -111,7 +111,7 @@ def static_spgemm_ctf(
 
 
 def static_spgemm_petsc_1d(
-    comm: SimMPI,
+    comm: Communicator,
     a_rows_per_rank: dict[int, CSRMatrix],
     row_offsets: np.ndarray,
     b_global: CSRMatrix,

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.semirings import Semiring, SemiringError
 from repro.sparse import BloomFilterMatrix, COOMatrix, CSRMatrix, spgemm_local
 from repro.distributed import (
@@ -54,7 +54,7 @@ class DynamicProduct:
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         a: DynamicDistMatrix,
         b: DynamicDistMatrix,

@@ -28,7 +28,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import Semiring
 from repro.sparse import BloomFilterMatrix, COOMatrix
@@ -47,7 +47,7 @@ def _row_range_offsets(n_rows: int, parts: int) -> np.ndarray:
 
 
 def sparse_reduce_to_root(
-    comm: SimMPI,
+    comm: Communicator,
     group: Sequence[int],
     root: int,
     contributions: Mapping[int, COOMatrix],
@@ -136,7 +136,7 @@ def sparse_reduce_to_root(
 
 
 def bloom_reduce_to_root(
-    comm: SimMPI,
+    comm: Communicator,
     group: Sequence[int],
     root: int,
     contributions: Mapping[int, BloomFilterMatrix],

@@ -31,7 +31,7 @@ result matrix ``C``.
 from __future__ import annotations
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import Semiring, SemiringError
 from repro.sparse import BloomFilterMatrix, COOMatrix, spgemm_local
@@ -67,7 +67,7 @@ def _check_operands(
 
 
 def compute_cstar(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     a: DistMatrixBase,
     b_prime: DistMatrixBase,
@@ -259,7 +259,7 @@ def compute_cstar(
 
 
 def dynamic_spgemm_algebraic(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     a: DistMatrixBase,
     b_prime: DistMatrixBase,
@@ -312,7 +312,7 @@ def dynamic_spgemm_algebraic(
 
 
 def _transpose_exchange(
-    comm: SimMPI, grid: ProcessGrid, mat
+    comm: Communicator, grid: ProcessGrid, mat
 ) -> dict[int, object]:
     """Send every block to its transposed grid position.
 

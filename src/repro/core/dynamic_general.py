@@ -33,7 +33,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import Semiring
 from repro.sparse import (
@@ -101,7 +101,7 @@ def _csr_iter(block):
 
 
 def dynamic_spgemm_general(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     a_old: DistMatrixBase,
     a_prime: DistMatrixBase,

@@ -20,7 +20,7 @@ This implementation is used
 from __future__ import annotations
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import Semiring
 from repro.sparse import BloomFilterMatrix, COOMatrix, CSRMatrix, DHBMatrix, spgemm_local
@@ -36,7 +36,7 @@ def _local_block_as_operand(block):
 
 
 def summa_spgemm(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     a: DistMatrixBase,
     b: DistMatrixBase,

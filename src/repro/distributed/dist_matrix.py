@@ -10,9 +10,10 @@ Two flavours, mirroring Section IV of the paper:
   hypersparse) and by the competitor backends that rebuild static storage
   on every batch.
 
-Both classes live on the simulated runtime: the orchestrator owns a dict
+Both classes live on the orchestration runtime: the orchestrator owns a dict
 ``rank -> local block``; all per-rank kernels are executed through
-``SimMPI.run_local`` so that their cost lands on the right simulated clock.
+``Communicator.run_local`` so that their cost lands on the right rank,
+whichever backend (simulator or MPI) executes the program.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse import COOMatrix, CSRMatrix, DCSRMatrix, DHBMatrix
@@ -42,7 +43,7 @@ class DistMatrixBase:
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         dist: BlockDistribution,
         semiring: Semiring,
@@ -147,7 +148,7 @@ class DynamicDistMatrix(DistMatrixBase):
     @classmethod
     def empty(
         cls,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         semiring: Semiring = PLUS_TIMES,
@@ -162,7 +163,7 @@ class DynamicDistMatrix(DistMatrixBase):
     @classmethod
     def from_tuples(
         cls,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         tuples_per_rank: Mapping[int, TupleArrays],
@@ -321,7 +322,7 @@ class StaticDistMatrix(DistMatrixBase):
 
     def __init__(
         self,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         dist: BlockDistribution,
         semiring: Semiring,
@@ -337,7 +338,7 @@ class StaticDistMatrix(DistMatrixBase):
     @classmethod
     def empty(
         cls,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         semiring: Semiring = PLUS_TIMES,
@@ -355,7 +356,7 @@ class StaticDistMatrix(DistMatrixBase):
     @classmethod
     def from_tuples(
         cls,
-        comm: SimMPI,
+        comm: Communicator,
         grid: ProcessGrid,
         shape: tuple[int, int],
         tuples_per_rank: Mapping[int, TupleArrays],

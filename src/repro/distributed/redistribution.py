@@ -25,7 +25,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.distributed.distribution import BlockDistribution
 
@@ -114,7 +114,7 @@ def _concat_inbox(chunks: list[TupleArrays], dtype) -> TupleArrays:
 
 
 def redistribute_tuples(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     dist: BlockDistribution,
     tuples_per_rank: Mapping[int, TupleArrays],
@@ -206,7 +206,7 @@ def redistribute_tuples(
 
 
 def redistribute_tuples_single_phase(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     dist: BlockDistribution,
     tuples_per_rank: Mapping[int, TupleArrays],

@@ -24,7 +24,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.simmpi import SimMPI
+from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse import COOMatrix, DCSRMatrix, CSRMatrix
@@ -162,7 +162,7 @@ class UpdateBatch:
 
 
 def build_update_matrix(
-    comm: SimMPI,
+    comm: Communicator,
     grid: ProcessGrid,
     dist: BlockDistribution,
     batch: UpdateBatch | Mapping[int, TupleArrays],

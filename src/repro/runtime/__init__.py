@@ -1,35 +1,51 @@
-"""Simulated MPI runtime substrate.
+"""Runtime substrate: communicator backends, process grids, statistics.
 
-The original system runs on a 16-node cluster with 4 MPI ranks per node and
-6 OpenMP threads per rank.  This environment has a single core and no MPI
-implementation, so the distributed algorithms in this repository execute
-against a *simulated* MPI layer:
+Distributed algorithms in this repository are written in bulk-synchronous
+SPMD "orchestration" style against the :class:`Communicator` protocol; which
+runtime actually executes them is selected by :func:`make_communicator`
+(``backend=...`` argument or the ``REPRO_BACKEND`` environment variable):
 
-* Algorithms are written in bulk-synchronous SPMD style.  Each simulated
-  rank owns local state (matrix blocks, tuple buffers, …) and local kernels
-  are executed rank-by-rank while their wall-clock time is measured.
-* Communication primitives (:class:`SimMPI` collectives) move NumPy payloads
-  between rank-local stores and charge a Hockney ``α + β·bytes`` cost model,
-  with logarithmic trees for broadcast/reduce, exactly mirroring the
-  latency/bandwidth analysis in Sections IV and V of the paper.
-* :class:`CommStats` records per-category bytes, message counts, modelled
-  time and measured local time — this is what the paper's breakdown figures
-  (Fig. 7 and Fig. 12) report.
+* ``"sim"`` (default) — :class:`SimMPI`, a single-process simulator.  Each
+  simulated rank owns local state; local kernels are executed rank-by-rank
+  while their wall-clock time is measured, and communication primitives move
+  NumPy payloads between rank-local stores while charging a Hockney
+  ``α + β·bytes`` cost model with logarithmic trees for broadcast/reduce,
+  mirroring the latency/bandwidth analysis in Sections IV and V of the
+  paper.  It reports *modelled parallel time*: absolute values are not
+  comparable to the paper's cluster, but relative behaviour (who wins,
+  crossovers, scaling shape) is preserved.
+* ``"mpi"`` — :class:`MPIBackend`, the same orchestration surface on top of
+  ``mpi4py``, falling back to a built-in single-rank emulator when mpi4py
+  is not installed.
 
-The simulator reports *modelled parallel time*: the per-rank clocks advance
-by measured local compute (divided by a modelled intra-rank OpenMP speedup)
-plus modelled communication cost, and collectives synchronise the clocks of
-the participating group.  Absolute values are not comparable to the paper's
-cluster, but the relative behaviour (who wins, crossovers, scaling shape)
-is driven by communication volume and per-rank work, which are preserved.
+:class:`CommStats` records per-category bytes, message counts, modelled time
+and measured local time for either backend — this is what the paper's
+breakdown figures (Fig. 7 and Fig. 12) report.
 """
 
+from repro.runtime.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    Communicator,
+    available_backends,
+    make_communicator,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.runtime.config import MachineModel, NODE_CONFIGS, ranks_for_nodes
 from repro.runtime.grid import ProcessGrid
+from repro.runtime.mpi_backend import EmulatedComm, MPIBackend, mpi_is_available
+from repro.runtime.simmpi import SimMPI, payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
-from repro.runtime.simmpi import SimMPI
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "Communicator",
+    "available_backends",
+    "make_communicator",
+    "register_backend",
+    "resolve_backend_name",
     "MachineModel",
     "NODE_CONFIGS",
     "ranks_for_nodes",
@@ -37,4 +53,8 @@ __all__ = [
     "CommStats",
     "StatCategory",
     "SimMPI",
+    "payload_nbytes",
+    "EmulatedComm",
+    "MPIBackend",
+    "mpi_is_available",
 ]

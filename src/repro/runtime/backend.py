@@ -1,0 +1,319 @@
+"""Backend-agnostic communicator protocol, registry and factory.
+
+Every distributed algorithm in this repository is written in bulk-synchronous
+"global orchestration" style against a small communicator surface: local
+kernels are dispatched per rank via ``run_local`` / ``map_local``, payloads
+move between ranks through ``exchange`` and the MPI-style collectives, and
+per-category accounting lands in a :class:`~repro.runtime.stats.CommStats`.
+:class:`Communicator` captures that surface as a structural
+:class:`typing.Protocol`, so algorithms depend on the *contract* rather than
+on a concrete backend class.
+
+Two backends ship with the repository:
+
+* ``"sim"`` — :class:`repro.runtime.simmpi.SimMPI`: the single-process
+  simulator with per-rank modelled clocks and a Hockney ``α + β·bytes`` cost
+  model.  This is the default and what the paper-reproduction figures use.
+* ``"mpi"`` — :class:`repro.runtime.mpi_backend.MPIBackend`: executes the
+  same orchestration programs on top of ``mpi4py``, degrading to a built-in
+  single-rank emulator when mpi4py is not installed (so the code path can be
+  exercised on any machine).
+
+Backends live in a registry keyed by name; external code can plug in its own
+implementation with :func:`register_backend`.  :func:`make_communicator`
+resolves the backend from an explicit argument, else from the
+``REPRO_BACKEND`` environment variable, else the default ``"sim"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.runtime.config import MachineModel
+from repro.runtime.stats import CommStats, StatCategory
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "Communicator",
+    "available_backends",
+    "check_rank",
+    "make_communicator",
+    "normalize_group",
+    "register_backend",
+    "resolve_backend_name",
+]
+
+#: Environment variable consulted by :func:`make_communicator` when no
+#: explicit backend name is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Backend used when neither an argument nor the environment selects one.
+DEFAULT_BACKEND = "sim"
+
+
+# ----------------------------------------------------------------------
+# shared rank/group validation helpers (used by every backend)
+# ----------------------------------------------------------------------
+def check_rank(n_ranks: int, rank: int) -> None:
+    """Raise :class:`IndexError` unless ``0 <= rank < n_ranks``."""
+    if not (0 <= rank < n_ranks):
+        raise IndexError(f"rank {rank} outside communicator of size {n_ranks}")
+
+
+def normalize_group(n_ranks: int, group: Sequence[int] | None) -> list[int]:
+    """Validate a communication group, defaulting to all ranks.
+
+    Duplicates are dropped (first occurrence wins), order is preserved, and
+    an empty group raises :class:`ValueError` — the semantics every backend
+    must share so that group-collective call sites behave identically.
+    """
+    if group is None:
+        return list(range(n_ranks))
+    ranks = list(dict.fromkeys(int(r) for r in group))
+    if not ranks:
+        raise ValueError("communication group must not be empty")
+    for r in ranks:
+        check_rank(n_ranks, r)
+    return ranks
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class Communicator(Protocol):
+    """Structural protocol of the orchestration-style communicator.
+
+    Implementations execute bulk-synchronous SPMD programs over
+    ``n_ranks`` logical ranks.  The orchestration program calls
+    ``run_local`` to attribute local kernels to a rank and the collectives
+    to move per-rank payload mappings; how ranks map onto real processes
+    (all-in-one simulation, mpi4py, …) is the backend's business.
+    """
+
+    n_ranks: int
+    machine: MachineModel
+    stats: CommStats
+    track_time: bool
+
+    # -- clock / bookkeeping ------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of logical ranks (alias of ``n_ranks``)."""
+        ...
+
+    def elapsed(self) -> float:
+        """Parallel time so far (modelled or wall-clock, backend-defined)."""
+        ...
+
+    def reset_clock(self) -> None: ...
+
+    def reset(self) -> None: ...
+
+    def barrier(self, group: Sequence[int] | None = None) -> None: ...
+
+    def timer(self) -> Any:
+        """Context manager yielding an object with a ``seconds`` attribute."""
+        ...
+
+    # -- local computation --------------------------------------------
+    def run_local(
+        self,
+        rank: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        category: str = StatCategory.LOCAL_COMPUTE,
+        **kwargs: Any,
+    ) -> Any: ...
+
+    def map_local(
+        self,
+        fn: Callable[..., Any],
+        per_rank_args: Sequence[tuple] | Mapping[int, tuple],
+        *,
+        category: str = StatCategory.LOCAL_COMPUTE,
+        group: Sequence[int] | None = None,
+    ) -> dict[int, Any]: ...
+
+    def charge_local(
+        self,
+        rank: int,
+        measured_seconds: float,
+        *,
+        category: str = StatCategory.LOCAL_COMPUTE,
+    ) -> None: ...
+
+    # -- point-to-point -----------------------------------------------
+    def exchange(
+        self,
+        messages: Iterable[tuple[int, int, Any]],
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> dict[int, list[tuple[int, Any]]]: ...
+
+    def sendrecv(
+        self,
+        rank_a: int,
+        rank_b: int,
+        payload_ab: Any,
+        payload_ba: Any,
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> tuple[Any, Any]: ...
+
+    # -- collectives --------------------------------------------------
+    def alltoallv(
+        self,
+        sendbufs: Mapping[int, Mapping[int, Any]],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLTOALL,
+    ) -> dict[int, dict[int, Any]]: ...
+
+    def bcast(
+        self,
+        root: int,
+        payload: Any,
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.BCAST,
+    ) -> dict[int, Any]: ...
+
+    def gather(
+        self,
+        root: int,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.GATHER,
+    ) -> dict[int, Any]: ...
+
+    def scatter(
+        self,
+        root: int,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.SCATTER,
+    ) -> dict[int, Any]: ...
+
+    def allgather(
+        self,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLGATHER,
+    ) -> dict[int, dict[int, Any]]: ...
+
+    def reduce(
+        self,
+        root: int,
+        payloads: Mapping[int, Any],
+        combine: Callable[[Any, Any], Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.REDUCE,
+        measure_combine: bool = True,
+    ) -> Any: ...
+
+    def allreduce(
+        self,
+        payloads: Mapping[int, Any],
+        combine: Callable[[Any, Any], Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLREDUCE,
+    ) -> dict[int, Any]: ...
+
+
+# ----------------------------------------------------------------------
+# backend registry + factory
+# ----------------------------------------------------------------------
+_BACKEND_REGISTRY: dict[str, Callable[..., Communicator]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Communicator]) -> None:
+    """Register (or replace) a communicator backend under ``name``.
+
+    ``factory`` is called as ``factory(n_ranks=..., machine=..., **kwargs)``
+    and must return a :class:`Communicator` implementation.
+    """
+    if not name or not name.strip():
+        raise ValueError("backend name must be a non-empty string")
+    _BACKEND_REGISTRY[name.strip().lower()] = factory
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_BACKEND_REGISTRY)
+
+
+def resolve_backend_name(backend: str | None = None) -> str:
+    """Resolve the effective backend name (argument → env var → default)."""
+    if backend is None or not backend.strip():
+        backend = (os.environ.get(BACKEND_ENV_VAR) or "").strip() or DEFAULT_BACKEND
+    return backend.strip().lower()
+
+
+def make_communicator(
+    backend: str | None = None,
+    *,
+    n_ranks: int = 1,
+    machine: MachineModel | None = None,
+    **kwargs: Any,
+) -> Communicator:
+    """Create a communicator for ``n_ranks`` logical ranks.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``"sim"`` or ``"mpi"`` out of the box).
+        When omitted, the ``REPRO_BACKEND`` environment variable is
+        consulted, then the default ``"sim"``.
+    n_ranks:
+        Number of logical ranks the orchestration program addresses.
+    machine:
+        Optional :class:`MachineModel` (cost model for the simulator;
+        carried as metadata by real backends).
+    kwargs:
+        Extra backend-specific options (e.g. ``track_time=False`` or the
+        mpi backend's ``force_emulator=True``).
+    """
+    name = resolve_backend_name(backend)
+    factory = _BACKEND_REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown communicator backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return factory(n_ranks=n_ranks, machine=machine, **kwargs)
+
+
+def _sim_factory(
+    n_ranks: int = 1, machine: MachineModel | None = None, **kwargs: Any
+) -> Communicator:
+    from repro.runtime.simmpi import SimMPI
+
+    return SimMPI(n_ranks, machine, **kwargs)
+
+
+def _mpi_factory(
+    n_ranks: int = 1, machine: MachineModel | None = None, **kwargs: Any
+) -> Communicator:
+    from repro.runtime.mpi_backend import MPIBackend
+
+    return MPIBackend(n_ranks, machine, **kwargs)
+
+
+register_backend("sim", _sim_factory)
+register_backend("mpi", _mpi_factory)

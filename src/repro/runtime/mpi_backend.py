@@ -1,0 +1,643 @@
+"""mpi4py-backed communicator with a built-in single-rank emulator.
+
+:class:`MPIBackend` runs the same orchestration-style
+:class:`~repro.runtime.backend.Communicator` surface as
+:class:`~repro.runtime.simmpi.SimMPI`, but on top of a *real* MPI
+communicator.  The supported configuration today is a **single-process
+world** (``mpiexec -n 1`` or the emulator below): the calling process owns
+every logical rank and executes the whole orchestration program with real
+wall-clock timing.
+
+The module also carries the groundwork for multi-process worlds — logical
+ranks distributed round-robin over processes (rank ``r`` on process
+``r % world_size``), ``run_local`` restricted to owned ranks, collectives
+merging per-process partial payload mappings through the corresponding
+mpi4py collectives — but the orchestration call sites in ``core/`` and
+``distributed/`` still assume all-rank data visibility, so multi-process
+construction is refused with :class:`NotImplementedError` until they are
+made locality-aware.
+
+When mpi4py is not installed (or ``force_emulator=True``) the underlying
+communicator is :class:`EmulatedComm` — a size-1 stand-in for
+``mpi4py.MPI.COMM_WORLD`` in the spirit of cctbx's ``libtbx.mpi4py``
+fallback.  With a world of one process every logical rank is owned locally,
+so the backend behaves like a cost-model-free ``SimMPI``: identical payload
+routing and identical per-category byte / message accounting, with
+``elapsed()`` reporting real wall-clock time instead of modelled time.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.runtime.backend import check_rank, normalize_group
+from repro.runtime.config import MachineModel
+from repro.runtime.simmpi import payload_nbytes
+from repro.runtime.stats import CommStats, StatCategory
+
+__all__ = ["EmulatedComm", "MPIBackend", "load_mpi", "mpi_is_available"]
+
+
+class EmulatedComm:
+    """Single-process stand-in for ``mpi4py.MPI.COMM_WORLD``.
+
+    Implements the lowercase (pickle-based) mpi4py communicator methods the
+    backend uses, for a world of exactly one rank, so the same
+    :class:`MPIBackend` code path runs whether or not mpi4py is installed.
+    """
+
+    def Get_rank(self) -> int:
+        return 0
+
+    def Get_size(self) -> int:
+        return 1
+
+    def barrier(self) -> None:
+        pass
+
+    Barrier = barrier
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        return obj
+
+    def gather(self, sendobj: Any, root: int = 0) -> list[Any]:
+        self._check_root(root)
+        return [sendobj]
+
+    def allgather(self, sendobj: Any) -> list[Any]:
+        return [sendobj]
+
+    def scatter(self, sendobj: Sequence[Any], root: int = 0) -> Any:
+        self._check_root(root)
+        if len(sendobj) != 1:
+            raise ValueError("scatter payload must have one entry per rank")
+        return sendobj[0]
+
+    def alltoall(self, sendobj: Sequence[Any]) -> list[Any]:
+        if len(sendobj) != 1:
+            raise ValueError("alltoall payload must have one entry per rank")
+        return list(sendobj)
+
+    def reduce(self, sendobj: Any, op: Any = None, root: int = 0) -> Any:
+        self._check_root(root)
+        return sendobj
+
+    def allreduce(self, sendobj: Any, op: Any = None) -> Any:
+        return sendobj
+
+    @staticmethod
+    def _check_root(root: int) -> None:
+        if root != 0:
+            raise ValueError(f"emulated single-rank world has no rank {root}")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "EmulatedComm(size=1)"
+
+
+def mpi_is_available() -> bool:
+    """``True`` when the real ``mpi4py`` package can be imported."""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def load_mpi(force_emulator: bool = False):
+    """Return ``(comm, is_real)``: mpi4py's ``COMM_WORLD`` or the emulator.
+
+    Follows the cctbx ``libtbx.mpi4py`` idiom — try the real package, warn
+    once and fall back to the single-rank emulator when it is absent.
+    """
+    if not force_emulator:
+        try:
+            from mpi4py import MPI
+
+            return MPI.COMM_WORLD, True
+        except ImportError:
+            warnings.warn(
+                "mpi4py is not installed; the 'mpi' backend runs on the "
+                "built-in single-rank emulator",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return EmulatedComm(), False
+
+
+class MPIBackend:
+    """Orchestration-style communicator over mpi4py (or its emulator).
+
+    Statistics semantics: *logical* messages and bytes are recorded exactly
+    like :class:`SimMPI` (a payload travelling between two distinct logical
+    ranks counts, even when both ranks live on the same process), so
+    communication-volume comparisons are backend-independent.  Per-category
+    ``modeled_seconds`` record measured wall-clock time — on a real backend
+    the model *is* the measurement.  With a multi-process world each process
+    records only the traffic of the logical ranks it owns.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: MachineModel | None = None,
+        *,
+        track_time: bool = True,
+        comm: Any = None,
+        force_emulator: bool = False,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.n_ranks = int(n_ranks)
+        self.machine = machine if machine is not None else MachineModel()
+        self.stats = CommStats()
+        self.track_time = track_time
+        if comm is None:
+            comm, is_real = load_mpi(force_emulator)
+        else:
+            is_real = not isinstance(comm, EmulatedComm)
+        self._comm = comm
+        self.is_real_mpi = is_real
+        self.world_size = int(comm.Get_size())
+        self.world_rank = int(comm.Get_rank())
+        if self.world_size > self.n_ranks:
+            raise ValueError(
+                f"MPI world of {self.world_size} processes cannot host only "
+                f"{self.n_ranks} logical ranks"
+            )
+        if self.world_size > 1:
+            # The orchestration call sites still assume every logical rank's
+            # data is visible to the calling process; the cross-process merge
+            # logic below is groundwork, not a supported mode.  Fail fast
+            # rather than silently computing partial results.
+            raise NotImplementedError(
+                "multi-process MPI execution is not supported yet: run with "
+                "a single MPI process (or the built-in emulator), or use "
+                "the 'sim' backend for multi-rank simulation"
+            )
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # rank ownership
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of logical ranks."""
+        return self.n_ranks
+
+    def owner_of(self, rank: int) -> int:
+        """World rank of the process hosting logical ``rank``."""
+        return rank % self.world_size
+
+    def owns(self, rank: int) -> bool:
+        return self.owner_of(rank) == self.world_rank
+
+    # ------------------------------------------------------------------
+    # clock management
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Wall-clock seconds since creation / the last clock reset."""
+        return time.perf_counter() - self._t0
+
+    def reset_clock(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def reset(self) -> None:
+        self.reset_clock()
+        self.stats.reset()
+
+    def barrier(self, group: Sequence[int] | None = None) -> None:
+        normalize_group(self.n_ranks, group)
+        if self.world_size > 1:
+            self._comm.barrier()
+
+    @contextmanager
+    def timer(self):
+        """Context manager measuring wall-clock time of a region."""
+
+        class _Timer:
+            seconds = 0.0
+
+        holder = _Timer()
+        start = self.elapsed()
+        yield holder
+        holder.seconds = self.elapsed() - start
+
+    # ------------------------------------------------------------------
+    # local computation
+    # ------------------------------------------------------------------
+    def run_local(
+        self,
+        rank: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        category: str = StatCategory.LOCAL_COMPUTE,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn`` as rank-local work; ``None`` on non-owning processes."""
+        check_rank(self.n_ranks, rank)
+        if not self.owns(rank):
+            return None
+        if not self.track_time:
+            return fn(*args, **kwargs)
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        measured = time.perf_counter() - start
+        self.stats.record(
+            category,
+            operations=1,
+            modeled_seconds=measured,
+            measured_seconds=measured,
+        )
+        return result
+
+    def map_local(
+        self,
+        fn: Callable[..., Any],
+        per_rank_args: Sequence[tuple] | Mapping[int, tuple],
+        *,
+        category: str = StatCategory.LOCAL_COMPUTE,
+        group: Sequence[int] | None = None,
+    ) -> dict[int, Any]:
+        """Run ``fn`` per owned rank; returns ``rank -> result`` for them."""
+        ranks = normalize_group(self.n_ranks, group)
+        if isinstance(per_rank_args, Mapping):
+            items = [(r, per_rank_args[r]) for r in ranks if r in per_rank_args]
+        else:
+            if len(per_rank_args) != len(ranks):
+                raise ValueError(
+                    "per_rank_args length does not match the group size"
+                )
+            items = list(zip(ranks, per_rank_args))
+        results: dict[int, Any] = {}
+        for rank, args in items:
+            if self.owns(rank):
+                results[rank] = self.run_local(rank, fn, *args, category=category)
+        return results
+
+    def charge_local(
+        self,
+        rank: int,
+        measured_seconds: float,
+        *,
+        category: str = StatCategory.LOCAL_COMPUTE,
+    ) -> None:
+        """Record already-measured local time for an owned rank."""
+        check_rank(self.n_ranks, rank)
+        if not self.owns(rank):
+            return
+        self.stats.record(
+            category,
+            operations=1,
+            modeled_seconds=measured_seconds,
+            measured_seconds=measured_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # point-to-point communication
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        messages: Iterable[tuple[int, int, Any]],
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> dict[int, list[tuple[int, Any]]]:
+        """Deliver point-to-point messages posted by owned source ranks."""
+        start = time.perf_counter()
+        inbox: dict[int, list[tuple[int, Any]]] = {}
+        outgoing: list[list[tuple[int, int, Any]]] = [
+            [] for _ in range(self.world_size)
+        ]
+        total_bytes = 0
+        n_msgs = 0
+        for src, dst, payload in messages:
+            check_rank(self.n_ranks, src)
+            check_rank(self.n_ranks, dst)
+            if not self.owns(src):
+                continue
+            # Byte accounting mirrors SimMPI exactly: self-messages count
+            # their payload bytes but not as messages.
+            total_bytes += payload_nbytes(payload)
+            if src != dst:
+                n_msgs += 1
+            owner = self.owner_of(dst)
+            if owner == self.world_rank:
+                inbox.setdefault(dst, []).append((src, payload))
+            else:
+                outgoing[owner].append((src, dst, payload))
+        if self.world_size > 1:
+            arrived = self._comm.alltoall(outgoing)
+            for bucket in arrived:
+                for src, dst, payload in bucket:
+                    inbox.setdefault(dst, []).append((src, payload))
+        self.stats.record(
+            category,
+            operations=1,
+            messages=n_msgs,
+            nbytes=total_bytes,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return inbox
+
+    def sendrecv(
+        self,
+        rank_a: int,
+        rank_b: int,
+        payload_ab: Any,
+        payload_ba: Any,
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> tuple[Any, Any]:
+        """Pairwise exchange: returns ``(received_by_a, received_by_b)``."""
+        inbox = self.exchange(
+            [(rank_a, rank_b, payload_ab), (rank_b, rank_a, payload_ba)],
+            category=category,
+        )
+        recv_a = inbox.get(rank_a, [(rank_b, None)])[0][1]
+        recv_b = inbox.get(rank_b, [(rank_a, None)])[0][1]
+        return recv_a, recv_b
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def alltoallv(
+        self,
+        sendbufs: Mapping[int, Mapping[int, Any]],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLTOALL,
+    ) -> dict[int, dict[int, Any]]:
+        """Personalised all-to-all; returns ``recvbufs[dst][src]``."""
+        start = time.perf_counter()
+        ranks = normalize_group(self.n_ranks, group)
+        rank_set = set(ranks)
+        for src in sendbufs:
+            check_rank(self.n_ranks, src)
+            if src not in rank_set:
+                raise ValueError(f"sender rank {src} is not part of the group")
+            for dst in sendbufs[src]:
+                if dst not in rank_set:
+                    raise ValueError(
+                        f"destination rank {dst} is not part of the group"
+                    )
+        recvbufs: dict[int, dict[int, Any]] = {
+            r: {} for r in ranks if self.owns(r)
+        }
+        outgoing: list[list[tuple[int, int, Any]]] = [
+            [] for _ in range(self.world_size)
+        ]
+        total_bytes = 0
+        n_msgs = 0
+        for src in ranks:
+            if not self.owns(src):
+                continue
+            for dst, payload in sendbufs.get(src, {}).items():
+                if src != dst:
+                    total_bytes += payload_nbytes(payload)
+                    n_msgs += 1
+                owner = self.owner_of(dst)
+                if owner == self.world_rank:
+                    recvbufs[dst][src] = payload
+                else:
+                    outgoing[owner].append((src, dst, payload))
+        if self.world_size > 1:
+            arrived = self._comm.alltoall(outgoing)
+            for bucket in arrived:
+                for src, dst, payload in bucket:
+                    recvbufs[dst][src] = payload
+        self.stats.record(
+            category,
+            operations=1,
+            messages=n_msgs,
+            nbytes=total_bytes,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return recvbufs
+
+    def bcast(
+        self,
+        root: int,
+        payload: Any,
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.BCAST,
+    ) -> dict[int, Any]:
+        """Broadcast from ``root``; returns ``rank -> payload``."""
+        start = time.perf_counter()
+        ranks = normalize_group(self.n_ranks, group)
+        if root not in ranks:
+            raise ValueError(f"broadcast root {root} is not part of the group")
+        value = payload
+        if self.world_size > 1:
+            value = self._comm.bcast(
+                payload if self.owns(root) else None, root=self.owner_of(root)
+            )
+        # Each receiving rank accounts its incoming copy; summed over all
+        # processes this equals SimMPI's global (g-1) messages.
+        n_recv = sum(1 for r in ranks if self.owns(r) and r != root)
+        nbytes = payload_nbytes(value)
+        self.stats.record(
+            category,
+            operations=1,
+            messages=n_recv,
+            nbytes=nbytes * n_recv,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return {r: value for r in ranks}
+
+    def gather(
+        self,
+        root: int,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.GATHER,
+    ) -> dict[int, Any]:
+        """Gather one payload per group member onto ``root``."""
+        start = time.perf_counter()
+        ranks = normalize_group(self.n_ranks, group)
+        if root not in ranks:
+            raise ValueError(f"gather root {root} is not part of the group")
+        mine = {src: payloads.get(src) for src in ranks if self.owns(src)}
+        total_bytes = sum(
+            payload_nbytes(v) for src, v in mine.items() if src != root
+        )
+        n_msgs = sum(1 for src in mine if src != root)
+        merged = mine
+        if self.world_size > 1:
+            parts = self._comm.gather(mine, root=self.owner_of(root))
+            if parts is not None:
+                merged = {}
+                for part in parts:
+                    merged.update(part)
+        self.stats.record(
+            category,
+            operations=1,
+            messages=n_msgs,
+            nbytes=total_bytes,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return {src: merged.get(src) for src in ranks}
+
+    def scatter(
+        self,
+        root: int,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.SCATTER,
+    ) -> dict[int, Any]:
+        """Scatter rank-specific payloads from ``root`` to the group."""
+        start = time.perf_counter()
+        ranks = normalize_group(self.n_ranks, group)
+        if root not in ranks:
+            raise ValueError(f"scatter root {root} is not part of the group")
+        total_bytes = 0
+        n_msgs = 0
+        if self.owns(root):
+            for dst in ranks:
+                if dst != root:
+                    total_bytes += payload_nbytes(payloads.get(dst))
+                    n_msgs += 1
+        part: Mapping[int, Any] = payloads
+        if self.world_size > 1:
+            parts = None
+            if self.owns(root):
+                parts = [
+                    {r: payloads.get(r) for r in ranks if r % self.world_size == q}
+                    for q in range(self.world_size)
+                ]
+            part = self._comm.scatter(parts, root=self.owner_of(root))
+        self.stats.record(
+            category,
+            operations=1,
+            messages=n_msgs,
+            nbytes=total_bytes,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return {dst: part.get(dst) for dst in ranks if self.owns(dst)}
+
+    def allgather(
+        self,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLGATHER,
+    ) -> dict[int, dict[int, Any]]:
+        """All-gather: every rank receives every payload."""
+        start = time.perf_counter()
+        ranks = normalize_group(self.n_ranks, group)
+        g = len(ranks)
+        mine = {r: payloads.get(r) for r in ranks if self.owns(r)}
+        merged = dict(mine)
+        if self.world_size > 1:
+            for part in self._comm.allgather(mine):
+                merged.update(part)
+        gathered = {r: merged.get(r) for r in ranks}
+        sizes = {r: payload_nbytes(v) for r, v in gathered.items()}
+        total = sum(sizes.values())
+        # Per owned rank: g-1 incoming messages carrying everyone else's
+        # payload; summed over processes this equals SimMPI's global
+        # g·(g-1) messages and total·(g-1) bytes.
+        owned = [r for r in ranks if self.owns(r)]
+        self.stats.record(
+            category,
+            operations=1,
+            messages=len(owned) * (g - 1),
+            nbytes=sum(total - sizes[r] for r in owned),
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return {r: dict(gathered) for r in ranks}
+
+    def reduce(
+        self,
+        root: int,
+        payloads: Mapping[int, Any],
+        combine: Callable[[Any, Any], Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.REDUCE,
+        measure_combine: bool = True,
+    ) -> Any:
+        """Reduce one payload per rank onto ``root``.
+
+        ``combine`` must be associative; with a multi-process world it must
+        also tolerate the cross-process fold order (root's process first,
+        then ascending world rank).  The reduced value is returned on the
+        process owning ``root`` (and, with a single-process world, always).
+        """
+        start = time.perf_counter()
+        ranks = normalize_group(self.n_ranks, group)
+        if root not in ranks:
+            raise ValueError(f"reduce root {root} is not part of the group")
+        order = [root] + [r for r in ranks if r != root]
+        total_bytes = sum(
+            payload_nbytes(payloads.get(r))
+            for r in order[1:]
+            if self.owns(r)
+        )
+        partial: Any = None
+        have_partial = False
+        for r in order:
+            if not self.owns(r):
+                continue
+            value = payloads.get(r)
+            if not have_partial:
+                partial, have_partial = value, True
+            else:
+                partial = combine(partial, value)
+        result = partial
+        if self.world_size > 1:
+            parts = self._comm.gather(
+                (have_partial, partial), root=self.owner_of(root)
+            )
+            if parts is None:
+                # Not the process owning the root: the reduced value is not
+                # available here.  Returning the local partial fold would be
+                # silently wrong.
+                result = None
+            else:
+                folded: Any = None
+                have = False
+                for got, value in parts:
+                    if not got:
+                        continue
+                    if not have:
+                        folded, have = value, True
+                    else:
+                        folded = combine(folded, value)
+                result = folded
+        self.stats.record(
+            category,
+            operations=1,
+            messages=sum(1 for r in order[1:] if self.owns(r)),
+            nbytes=total_bytes,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        return result
+
+    def allreduce(
+        self,
+        payloads: Mapping[int, Any],
+        combine: Callable[[Any, Any], Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLREDUCE,
+    ) -> dict[int, Any]:
+        """Reduce-then-broadcast allreduce; returns ``rank -> result``."""
+        ranks = normalize_group(self.n_ranks, group)
+        root = ranks[0]
+        result = self.reduce(
+            root, payloads, combine, group=ranks, category=category
+        )
+        return self.bcast(root, result, group=ranks, category=category)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        kind = "mpi4py" if self.is_real_mpi else "emulated"
+        return (
+            f"MPIBackend(p={self.n_ranks}, world={self.world_size}, "
+            f"backend={kind})"
+        )

@@ -20,15 +20,21 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.runtime.backend import check_rank, normalize_group
 from repro.runtime.config import MachineModel
 from repro.runtime.stats import CommStats, StatCategory
 
 __all__ = ["SimMPI", "payload_nbytes"]
+
+#: Payload types already reported by the unknown-type fallback warning
+#: (keyed by the type object — distinct types may share a qualname).
+_UNSIZED_PAYLOAD_TYPES: set[type] = set()
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -56,7 +62,17 @@ def payload_nbytes(obj: Any) -> int:
     if isinstance(obj, (list, tuple, set, frozenset)):
         return sum(payload_nbytes(item) for item in obj)
     # Fallback: unknown object; charge a fixed small overhead so it is not
-    # silently free to communicate.
+    # free to communicate, and warn once per type — a flat 64 bytes for a
+    # large payload would silently corrupt the communication cost model.
+    if type(obj) not in _UNSIZED_PAYLOAD_TYPES:
+        _UNSIZED_PAYLOAD_TYPES.add(type(obj))
+        warnings.warn(
+            f"payload_nbytes: unknown payload type {type(obj).__qualname__!r}; charging a "
+            "flat 64 bytes — implement an 'nbytes' attribute for accurate "
+            "communication costs",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return 64
 
 
@@ -565,20 +581,10 @@ class SimMPI:
     # helpers
     # ------------------------------------------------------------------
     def _group(self, group: Sequence[int] | None) -> list[int]:
-        if group is None:
-            return list(range(self.n_ranks))
-        ranks = list(dict.fromkeys(int(r) for r in group))
-        if not ranks:
-            raise ValueError("communication group must not be empty")
-        for r in ranks:
-            self._check_rank(r)
-        return ranks
+        return normalize_group(self.n_ranks, group)
 
     def _check_rank(self, rank: int) -> None:
-        if not (0 <= rank < self.n_ranks):
-            raise IndexError(
-                f"rank {rank} outside communicator of size {self.n_ranks}"
-            )
+        check_rank(self.n_ranks, rank)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"SimMPI(p={self.n_ranks}, elapsed={self.elapsed():.6f}s)"

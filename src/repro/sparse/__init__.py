@@ -18,6 +18,12 @@ distributed algorithms: element-wise ``ADD`` / ``MERGE`` / ``MASK``
 its masked variant, and the 64-bit Bloom-filter matrices of Section V-B.
 """
 
+from repro.sparse.layout import (
+    RowReader,
+    register_row_layout,
+    registered_row_layouts,
+    row_reader,
+)
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.dcsr import DCSRMatrix
@@ -37,6 +43,10 @@ from repro.sparse.spgemm_local import (
 )
 
 __all__ = [
+    "RowReader",
+    "register_row_layout",
+    "registered_row_layouts",
+    "row_reader",
     "COOMatrix",
     "CSRMatrix",
     "DCSRMatrix",

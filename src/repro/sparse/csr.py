@@ -12,11 +12,13 @@ kernel relies on it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse.coo import COOMatrix
+from repro.sparse.layout import register_row_layout
 
 __all__ = ["CSRMatrix"]
 
@@ -132,6 +134,16 @@ class CSRMatrix:
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return self.indices[lo:hi], self.values[lo:hi]
 
+    def row_arrays(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(cols, vals)`` of row ``i`` — the uniform row-access protocol."""
+        return self.row(i)
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, cols, vals)`` for every non-empty row."""
+        for i in self.nonzero_rows():
+            cols, vals = self.row(int(i))
+            yield int(i), cols, vals
+
     def row_nnz(self) -> np.ndarray:
         """Number of structural non-zeros in every row."""
         return np.diff(self.indptr)
@@ -225,3 +237,6 @@ class CSRMatrix:
             f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
             f"semiring={self.semiring.name!r})"
         )
+
+
+register_row_layout(CSRMatrix)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.layout import register_row_layout
 
 __all__ = ["DCSRMatrix"]
 
@@ -57,6 +58,9 @@ class DCSRMatrix:
                 raise ValueError("nz_rows must be strictly increasing")
         if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= m):
             raise ValueError("column index out of bounds for shape")
+        #: lazily built row-id -> stored-slot index (the arrays are never
+        #: mutated in place, so the cache cannot go stale)
+        self._row_index: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -138,6 +142,24 @@ class DCSRMatrix:
             lo, hi = self.indptr[k], self.indptr[k + 1]
             yield int(row), self.indices[lo:hi], self.values[lo:hi]
 
+    def row_arrays(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(cols, vals)`` of row ``i``; empty arrays for an empty row.
+
+        DCSR has no O(1) row lookup, so the first call builds a row-id →
+        slot hash index which is cached for the lifetime of the matrix —
+        SpGEMM kernels probe the right operand once per left-operand entry
+        and must not rebuild the index on every invocation.
+        """
+        if self._row_index is None:
+            self._row_index = {
+                int(r): k for k, r in enumerate(self.nz_rows)
+            }
+        slot = self._row_index.get(int(i))
+        if slot is None:
+            return np.empty(0, dtype=np.int64), self.semiring.zeros(0)
+        lo, hi = self.indptr[slot], self.indptr[slot + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
     def row_by_position(self, k: int) -> tuple[int, np.ndarray, np.ndarray]:
         """The ``k``-th stored (non-empty) row."""
         if not (0 <= k < self.n_nonzero_rows):
@@ -186,3 +208,6 @@ class DCSRMatrix:
             f"DCSRMatrix(shape={self.shape}, nnz={self.nnz}, "
             f"nz_rows={self.n_nonzero_rows}, semiring={self.semiring.name!r})"
         )
+
+
+register_row_layout(DCSRMatrix)

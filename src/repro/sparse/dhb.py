@@ -25,6 +25,7 @@ from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.dcsr import DCSRMatrix
+from repro.sparse.layout import register_row_layout
 
 __all__ = ["DHBRow", "DHBMatrix"]
 
@@ -547,3 +548,6 @@ def _as_coo(mat) -> COOMatrix:
     if hasattr(mat, "to_coo"):
         return mat.to_coo()
     raise TypeError(f"cannot interpret {type(mat).__name__} as an update matrix")
+
+
+register_row_layout(DHBMatrix)

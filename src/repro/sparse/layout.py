@@ -1,0 +1,88 @@
+"""Uniform row-access protocol and registry over sparse matrix layouts.
+
+The local SpGEMM kernels need exactly two capabilities from an operand,
+regardless of its storage layout:
+
+* ``iter_rows()`` — yield ``(row, cols, vals)`` for every non-empty row
+  (left operands are only ever *iterated*);
+* ``row_arrays(i)`` — return ``(cols, vals)`` of row ``i``, empty arrays
+  when the row is empty (right operands are accessed row-by-row).
+
+:class:`RowReader` captures this as a structural protocol.  All built-in
+layouts (:class:`~repro.sparse.coo.COOMatrix`,
+:class:`~repro.sparse.csr.CSRMatrix`, :class:`~repro.sparse.dcsr.DCSRMatrix`,
+:class:`~repro.sparse.dhb.DHBMatrix`) implement it natively — DCSR caches
+its row-id → slot index and COO caches its converted forms, so repeated
+kernel invocations on the same operand do not rebuild them.
+
+Layouts that cannot (or should not) implement the methods themselves are
+plugged in through a type registry: :func:`register_row_layout` maps a class
+to an adapter factory, and :func:`row_reader` resolves an operand by walking
+its MRO through the registry before falling back to the native protocol.
+This replaces the ``isinstance`` dispatch chains the kernels used to carry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "RowReader",
+    "register_row_layout",
+    "registered_row_layouts",
+    "row_reader",
+]
+
+
+@runtime_checkable
+class RowReader(Protocol):
+    """Row-wise view of a sparse operand, independent of storage layout."""
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, cols, vals)`` for every non-empty row."""
+        ...
+
+    def row_arrays(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(cols, vals)`` of row ``i`` (empty arrays for an empty row)."""
+        ...
+
+
+#: type -> adapter factory returning a :class:`RowReader` for an instance.
+_ROW_LAYOUT_REGISTRY: dict[type, Callable[[Any], RowReader]] = {}
+
+
+def register_row_layout(
+    cls: type, adapter: Callable[[Any], RowReader] | None = None
+) -> None:
+    """Register ``cls`` as a row-readable layout.
+
+    ``adapter`` turns an instance into a :class:`RowReader`; omit it for
+    classes that implement the protocol themselves (identity adapter).
+    """
+    _ROW_LAYOUT_REGISTRY[cls] = adapter if adapter is not None else (lambda m: m)
+
+
+def registered_row_layouts() -> tuple[type, ...]:
+    """The registered layout classes (mainly for introspection/tests)."""
+    return tuple(_ROW_LAYOUT_REGISTRY)
+
+
+def row_reader(mat: Any) -> RowReader:
+    """Resolve a :class:`RowReader` for ``mat``.
+
+    Resolution order: exact type in the registry, then base classes in MRO
+    order, then the native method protocol.  Raises :class:`TypeError` for
+    operands that provide none of these.
+    """
+    for base in type(mat).__mro__:
+        adapter = _ROW_LAYOUT_REGISTRY.get(base)
+        if adapter is not None:
+            return adapter(mat)
+    if isinstance(mat, RowReader):
+        return mat
+    raise TypeError(
+        f"unsupported operand layout {type(mat).__name__}: expected a "
+        "registered layout or an object with iter_rows()/row_arrays()"
+    )

@@ -19,62 +19,15 @@ Three kernels are provided:
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.semirings import Semiring
 from repro.sparse.bloom import BLOOM_BITS, BloomFilterMatrix
 from repro.sparse.coo import COOMatrix
-from repro.sparse.csr import CSRMatrix
-from repro.sparse.dcsr import DCSRMatrix
-from repro.sparse.dhb import DHBMatrix
+from repro.sparse.layout import row_reader
 from repro.sparse.spa import SparseAccumulator
 
 __all__ = ["spgemm_local", "spgemm_local_masked", "spgemm_rowwise_spa"]
-
-
-# ----------------------------------------------------------------------
-# helpers: uniform row iteration / row access across matrix layouts
-# ----------------------------------------------------------------------
-def _iter_nonzero_rows(mat):
-    """Yield ``(row, cols, vals)`` over non-empty rows of any layout."""
-    if isinstance(mat, DCSRMatrix):
-        yield from mat.iter_rows()
-    elif isinstance(mat, CSRMatrix):
-        for i in mat.nonzero_rows():
-            cols, vals = mat.row(int(i))
-            yield int(i), cols, vals
-    elif isinstance(mat, DHBMatrix):
-        yield from mat.iter_rows()
-    elif isinstance(mat, COOMatrix):
-        yield from _iter_nonzero_rows(DCSRMatrix.from_coo(mat, dedup=False))
-    else:
-        raise TypeError(f"unsupported left operand type {type(mat).__name__}")
-
-
-def _row_accessor(mat) -> Callable[[int], tuple[np.ndarray, np.ndarray]]:
-    """Return a function ``k -> (cols, vals)`` for the right operand."""
-    if isinstance(mat, CSRMatrix):
-        return mat.row
-    if isinstance(mat, DHBMatrix):
-        return mat.row_arrays
-    if isinstance(mat, DCSRMatrix):
-        index = {int(r): k for k, r in enumerate(mat.nz_rows)}
-        empty_cols = np.empty(0, dtype=np.int64)
-        empty_vals = mat.semiring.zeros(0)
-
-        def access(k: int) -> tuple[np.ndarray, np.ndarray]:
-            slot = index.get(int(k))
-            if slot is None:
-                return empty_cols, empty_vals
-            lo, hi = mat.indptr[slot], mat.indptr[slot + 1]
-            return mat.indices[lo:hi], mat.values[lo:hi]
-
-        return access
-    if isinstance(mat, COOMatrix):
-        return _row_accessor(CSRMatrix.from_coo(mat, dedup=False))
-    raise TypeError(f"unsupported right operand type {type(mat).__name__}")
 
 
 def _check_shapes(a_shape: tuple[int, int], b_shape: tuple[int, int]) -> tuple[int, int]:
@@ -112,10 +65,9 @@ def _dedup_row(
 
 def _scipy_fast_path(a, b, semiring: Semiring) -> COOMatrix:
     """``(+, ·)`` fast path via scipy.sparse CSR multiplication."""
-    import scipy.sparse as sp
 
     def to_scipy(mat):
-        if isinstance(mat, CSRMatrix):
+        if hasattr(mat, "to_scipy"):
             return mat.to_scipy()
         if hasattr(mat, "to_csr"):
             return mat.to_csr().to_scipy()
@@ -180,13 +132,13 @@ def spgemm_local(
     if use_scipy and semiring.name == "plus_times" and not compute_bloom:
         return _scipy_fast_path(a, b, semiring), None
 
-    b_row = _row_accessor(b)
+    b_row = row_reader(b).row_arrays
     out_rows: list[np.ndarray] = []
     out_cols: list[np.ndarray] = []
     out_vals: list[np.ndarray] = []
     bloom_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
 
-    for i, a_cols, a_vals in _iter_nonzero_rows(a):
+    for i, a_cols, a_vals in row_reader(a).iter_rows():
         chunks_c: list[np.ndarray] = []
         chunks_v: list[np.ndarray] = []
         chunks_b: list[np.ndarray] = []
@@ -248,13 +200,13 @@ def spgemm_local_masked(
     local step ``Z, H ← A^R_{k,i} B'_{i,j} masked at C*_{k,j}``.
     """
     n, m = _check_shapes(a.shape, b.shape)
-    b_row = _row_accessor(b)
+    b_row = row_reader(b).row_arrays
     out_rows: list[np.ndarray] = []
     out_cols: list[np.ndarray] = []
     out_vals: list[np.ndarray] = []
     bloom_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
 
-    for i, a_cols, a_vals in _iter_nonzero_rows(a):
+    for i, a_cols, a_vals in row_reader(a).iter_rows():
         allowed = mask_rows.get(int(i))
         if allowed is None or allowed.size == 0:
             continue
@@ -318,12 +270,12 @@ def spgemm_rowwise_spa(
     both the plain and the masked vectorised kernels.
     """
     n, m = _check_shapes(a.shape, b.shape)
-    b_row = _row_accessor(b)
+    b_row = row_reader(b).row_arrays
     spa = SparseAccumulator(semiring)
     rows_out: list[np.ndarray] = []
     cols_out: list[np.ndarray] = []
     vals_out: list[np.ndarray] = []
-    for i, a_cols, a_vals in _iter_nonzero_rows(a):
+    for i, a_cols, a_vals in row_reader(a).iter_rows():
         allowed: set[int] | None = None
         if mask_rows is not None:
             allowed_arr = mask_rows.get(int(i))

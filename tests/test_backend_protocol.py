@@ -1,0 +1,276 @@
+"""Backend-conformance suite.
+
+Runs the same collective-semantics checks against every communicator
+backend: the :class:`SimMPI` simulator and the :class:`MPIBackend` pinned to
+its single-rank emulator (mpi4py absent).  The orchestration algorithms rely
+on these exact semantics — payload routing, return shapes, error behaviour
+and logical byte/message accounting — so any backend drift shows up here
+before it corrupts an experiment.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Communicator,
+    MPIBackend,
+    SimMPI,
+    available_backends,
+    make_communicator,
+    payload_nbytes,
+    register_backend,
+)
+from repro.runtime.mpi_backend import EmulatedComm
+
+
+def _sim(p: int) -> Communicator:
+    return SimMPI(p)
+
+
+def _mpi_emulated(p: int) -> Communicator:
+    return MPIBackend(p, force_emulator=True)
+
+
+BACKENDS = [
+    pytest.param(_sim, id="sim"),
+    pytest.param(_mpi_emulated, id="mpi-emulated"),
+]
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+class TestConformance:
+    def test_satisfies_protocol(self, factory):
+        comm = factory(4)
+        assert isinstance(comm, Communicator)
+        assert comm.p == comm.n_ranks == 4
+
+    def test_bcast_reaches_every_rank(self, factory):
+        comm = factory(4)
+        payload = np.arange(8)
+        received = comm.bcast(1, payload)
+        assert set(received) == {0, 1, 2, 3}
+        for value in received.values():
+            assert np.array_equal(value, payload)
+
+    def test_bcast_group_and_root_validation(self, factory):
+        comm = factory(4)
+        received = comm.bcast(2, "x", group=[2, 3])
+        assert set(received) == {2, 3}
+        with pytest.raises(ValueError):
+            comm.bcast(0, "x", group=[2, 3])
+        with pytest.raises(IndexError):
+            comm.bcast(7, "x", group=[7])
+        with pytest.raises(ValueError):
+            comm.bcast(0, "x", group=[])
+
+    def test_allgather_returns_independent_dicts(self, factory):
+        comm = factory(3)
+        payloads = {r: r * 10 for r in range(3)}
+        gathered = comm.allgather(payloads)
+        assert set(gathered) == {0, 1, 2}
+        for r in range(3):
+            assert gathered[r] == {0: 0, 1: 10, 2: 20}
+        gathered[0][1] = -1
+        assert gathered[1][1] == 10
+
+    def test_alltoallv_routes_personalised_payloads(self, factory):
+        comm = factory(3)
+        sendbufs = {
+            0: {1: "a", 2: "b"},
+            1: {0: "c"},
+            2: {2: "d"},
+        }
+        recv = comm.alltoallv(sendbufs)
+        assert recv[1][0] == "a"
+        assert recv[2][0] == "b"
+        assert recv[0][1] == "c"
+        assert recv[2][2] == "d"
+        assert recv[0].keys() == {1}
+
+    def test_alltoallv_group_membership_checks(self, factory):
+        comm = factory(4)
+        with pytest.raises(ValueError):
+            comm.alltoallv({3: {0: "x"}}, group=[0, 1])
+        with pytest.raises(ValueError):
+            comm.alltoallv({0: {3: "x"}}, group=[0, 1])
+
+    def test_exchange_and_sendrecv(self, factory):
+        comm = factory(4)
+        inbox = comm.exchange([(0, 1, "m01"), (2, 1, "m21"), (3, 3, "m33")])
+        assert [src for src, _ in inbox[1]] == [0, 2]
+        assert inbox[3] == [(3, "m33")]
+        a_got, b_got = comm.sendrecv(0, 2, "ab", "ba")
+        assert (a_got, b_got) == ("ba", "ab")
+
+    def test_gather_scatter_round_trip(self, factory):
+        comm = factory(4)
+        payloads = {r: np.full(2, r) for r in range(4)}
+        gathered = comm.gather(0, payloads)
+        assert set(gathered) == {0, 1, 2, 3}
+        scattered = comm.scatter(0, gathered)
+        for r in range(4):
+            assert np.array_equal(scattered[r], payloads[r])
+
+    def test_reduce_and_allreduce(self, factory):
+        comm = factory(5)
+        payloads = {r: np.array([r, 1.0]) for r in range(5)}
+        total = comm.reduce(2, payloads, lambda a, b: a + b)
+        assert np.allclose(total, [0 + 1 + 2 + 3 + 4, 5.0])
+        results = comm.allreduce(payloads, lambda a, b: a + b)
+        assert set(results) == set(range(5))
+        for value in results.values():
+            assert np.allclose(value, [10.0, 5.0])
+        with pytest.raises(ValueError):
+            comm.reduce(4, payloads, lambda a, b: a + b, group=[0, 1])
+
+    def test_run_local_and_map_local(self, factory):
+        comm = factory(3)
+        assert comm.run_local(1, lambda x: x * 2, 21) == 42
+        with pytest.raises(IndexError):
+            comm.run_local(5, lambda: None)
+        by_seq = comm.map_local(lambda x: x + 1, [(10,), (20,), (30,)])
+        assert by_seq == {0: 11, 1: 21, 2: 31}
+        by_map = comm.map_local(lambda x: -x, {2: (5,)})
+        assert by_map == {2: -5}
+        with pytest.raises(ValueError):
+            comm.map_local(lambda x: x, [(1,)], group=[0, 1])
+
+    def test_timer_and_clock_reset(self, factory):
+        comm = factory(2)
+        with comm.timer() as t:
+            comm.bcast(0, np.zeros(1024))
+        assert t.seconds >= 0.0
+        assert comm.elapsed() >= 0.0
+        comm.reset()
+        assert not comm.stats.categories
+
+    def test_barrier_accepts_groups(self, factory):
+        comm = factory(4)
+        comm.barrier()
+        comm.barrier(group=[1, 3])
+        with pytest.raises(ValueError):
+            comm.barrier(group=[])
+
+
+def _collective_script(comm: Communicator) -> None:
+    payload = {r: np.arange(4) + r for r in range(comm.n_ranks)}
+    comm.bcast(0, np.ones(16))
+    comm.allgather(payload)
+    comm.alltoallv(
+        {0: {0: np.zeros(16), 1: np.zeros(8)}, 1: {0: np.zeros(4)}},
+        group=[0, 1],
+    )
+    comm.exchange([(0, 1, np.zeros(2)), (1, 0, np.zeros(2)), (2, 2, np.zeros(32))])
+    comm.gather(0, payload)
+    comm.scatter(0, payload)
+
+
+def test_logical_traffic_accounting_matches_simulator():
+    """Emulated MPIBackend records the same logical bytes/messages as SimMPI."""
+    sim, mpi = SimMPI(4), MPIBackend(4, force_emulator=True)
+    _collective_script(sim)
+    _collective_script(mpi)
+    assert set(sim.stats.categories) == set(mpi.stats.categories)
+    for name, totals in sim.stats.categories.items():
+        other = mpi.stats.categories[name]
+        assert totals.bytes == other.bytes, name
+        assert totals.messages == other.messages, name
+        assert totals.operations == other.operations, name
+
+
+class TestMPIBackendSpecifics:
+    def test_emulated_world_owns_every_rank(self):
+        comm = MPIBackend(6, force_emulator=True)
+        assert not comm.is_real_mpi
+        assert comm.world_size == 1
+        assert all(comm.owns(r) for r in range(6))
+
+    def test_world_larger_than_ranks_is_rejected(self):
+        class FakeComm(EmulatedComm):
+            def Get_size(self):
+                return 4
+
+        with pytest.raises(ValueError):
+            MPIBackend(2, comm=FakeComm())
+
+    def test_multi_process_world_is_refused_for_now(self):
+        """Orchestration call sites assume all-rank visibility; a >1-process
+        world must fail fast instead of silently computing partial results."""
+
+        class TwoProcComm(EmulatedComm):
+            def Get_size(self):
+                return 2
+
+        with pytest.raises(NotImplementedError, match="multi-process"):
+            MPIBackend(4, comm=TwoProcComm())
+
+    def test_emulated_comm_is_single_rank(self):
+        comm = EmulatedComm()
+        assert comm.Get_size() == 1 and comm.Get_rank() == 0
+        assert comm.bcast("x") == "x"
+        assert comm.allgather("y") == ["y"]
+        assert comm.alltoall(["z"]) == ["z"]
+        with pytest.raises(ValueError):
+            comm.bcast("x", root=1)
+        with pytest.raises(ValueError):
+            comm.scatter(["a", "b"])
+
+
+class TestFactory:
+    def test_default_is_simulator(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        comm = make_communicator(n_ranks=4)
+        assert isinstance(comm, SimMPI)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "mpi")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            comm = make_communicator(n_ranks=4)
+        assert isinstance(comm, MPIBackend)
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "mpi")
+        comm = make_communicator("sim", n_ranks=2)
+        assert isinstance(comm, SimMPI)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown communicator backend"):
+            make_communicator("no-such-backend", n_ranks=2)
+
+    def test_register_custom_backend(self):
+        created = {}
+
+        def factory(n_ranks=1, machine=None, **kwargs):
+            comm = SimMPI(n_ranks, machine)
+            created["comm"] = comm
+            return comm
+
+        register_backend("test-custom", factory)
+        assert "test-custom" in available_backends()
+        comm = make_communicator("test-custom", n_ranks=3)
+        assert comm is created["comm"]
+        assert comm.n_ranks == 3
+
+
+class TestPayloadNbytes:
+    def test_unknown_type_warns_once_per_type(self):
+        class Opaque:
+            pass
+
+        with pytest.warns(RuntimeWarning, match="unknown payload type"):
+            assert payload_nbytes(Opaque()) == 64
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert payload_nbytes(Opaque()) == 64
+
+    def test_known_types_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            payload_nbytes(np.zeros(4))
+            payload_nbytes({"a": [1, 2.5, None, b"xy"]})
+            payload_nbytes("text")
