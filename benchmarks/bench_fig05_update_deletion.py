@@ -1,4 +1,9 @@
-"""Figure 5a/5b: mean update and deletion performance vs. batch size."""
+"""Figure 5a/5b: mean update and deletion performance vs. batch size.
+
+Both protocols are replayable scenarios executed via ``Scenario.replay()``;
+unsupported operations truncate a backend's replay and drop it from the
+figure (PETSc deletions, as in the paper).
+"""
 
 from repro.bench import experiments_updates
 
@@ -10,11 +15,13 @@ def test_fig05a_updates(benchmark, profile):
         benchmark, experiments_updates.run_updates_deletions, profile, operation="update"
     )
     assert result.experiment == "figure_5a"
+    assert result.metadata["protocol"] == "scenario:update"
 
 
 def test_fig05b_deletions(benchmark, profile):
     result = run_experiment(
         benchmark, experiments_updates.run_updates_deletions, profile, operation="delete"
     )
+    assert result.metadata["protocol"] == "scenario:delete"
     # PETSc does not support deletions and must be absent (as in the paper)
     assert "petsc" not in set(result.column("backend"))

@@ -1,4 +1,4 @@
-"""Figure 6: weak scalability of insertions."""
+"""Figure 6: weak scalability of insertions (scenario-replay protocol)."""
 
 from repro.bench import experiments_updates
 
@@ -7,4 +7,5 @@ from conftest import run_experiment
 
 def test_fig06_weak_scaling(benchmark, profile):
     result = run_experiment(benchmark, experiments_updates.run_insert_weak_scaling, profile)
+    assert result.metadata["protocol"] == "scenario:insert"
     assert list(result.column("n_ranks")) == list(profile.scaling_ranks)

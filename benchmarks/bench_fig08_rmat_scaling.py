@@ -1,4 +1,9 @@
-"""Figure 8: strong and weak scaling of insertions on R-MAT graphs."""
+"""Figure 8: strong and weak scaling of insertions on R-MAT graphs.
+
+Each data point is a timed-construction scenario
+(:func:`repro.bench.workloads.construction_scenario`) replayed on a fresh
+communicator.
+"""
 
 from repro.bench import experiments_updates
 
@@ -7,4 +12,5 @@ from conftest import run_experiment
 
 def test_fig08_rmat_scaling(benchmark, profile):
     result = run_experiment(benchmark, experiments_updates.run_rmat_scaling, profile)
+    assert result.metadata["protocol"] == "scenario:construction"
     assert {"strong", "weak"} == set(result.column("mode"))

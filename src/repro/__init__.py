@@ -21,7 +21,9 @@ The package provides
 * graph generators and the Table-I surrogate catalogue (:mod:`repro.graphs`),
 * applications (triangle counting, shortest paths, contraction;
   :mod:`repro.apps`) and the benchmark harness reproducing every table and
-  figure of the paper (:mod:`repro.bench`).
+  figure of the paper (:mod:`repro.bench`),
+* replayable, fully seeded dynamic-graph scenarios and the cross-backend
+  replay driver (:mod:`repro.scenarios`).
 """
 
 from repro.semirings import (
@@ -73,6 +75,12 @@ from repro.core import (
     summa_spgemm,
     transpose_dist,
 )
+from repro.scenarios import (
+    Scenario,
+    ScenarioResult,
+    library_scenarios,
+    replay,
+)
 
 __version__ = "1.0.0"
 
@@ -122,4 +130,9 @@ __all__ = [
     "dynamic_spgemm_general",
     "compute_cstar",
     "transpose_dist",
+    # scenarios
+    "Scenario",
+    "ScenarioResult",
+    "library_scenarios",
+    "replay",
 ]

@@ -23,10 +23,20 @@ Fig 11    :func:`repro.bench.experiments_spgemm.run_spgemm_weak_scaling`
 Fig 12    :func:`repro.bench.experiments_spgemm.run_spgemm_breakdown`
 ablations :mod:`repro.bench.ablations`
 ========  ==========================================================
+
+The batched protocols behind Figs. 4–11 are expressed as replayable
+scenarios (:mod:`repro.scenarios`) built by the ``*_scenario`` helpers in
+:mod:`repro.bench.workloads`; the drivers replay one scenario per
+configuration against every backend under comparison.
 """
 
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.reporting import ExperimentResult, format_table, print_result
+from repro.bench.workloads import (
+    batched_operation_scenario,
+    construction_scenario,
+    spgemm_stream_scenario,
+)
 from repro.bench import experiments_updates, experiments_spgemm, ablations, workloads
 
 __all__ = [
@@ -35,6 +45,9 @@ __all__ = [
     "ExperimentResult",
     "format_table",
     "print_result",
+    "batched_operation_scenario",
+    "construction_scenario",
+    "spgemm_stream_scenario",
     "experiments_updates",
     "experiments_spgemm",
     "ablations",

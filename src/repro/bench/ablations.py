@@ -30,7 +30,7 @@ from repro.core import dynamic_spgemm_algebraic, summa_spgemm
 from repro.competitors import CombBLASBackend, OurBackend
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.reporting import ExperimentResult
-from repro.bench.workloads import draw_batch, prepare_instance
+from repro.bench.workloads import draw_batch, prepare_instance, spawn_batch_seeds
 
 __all__ = [
     "run_redistribution_ablation",
@@ -137,8 +137,9 @@ def run_dynamic_storage_ablation(profile: BenchProfile | None = None) -> Experim
             backend = backend_cls(comm, grid, (workload.n, workload.n))
             backend.construct(partition_tuples_round_robin(*initial_half, p, seed=181))
             total = 0.0
+            draw_seeds = spawn_batch_seeds(191, profile.batches_per_config)
             for b in range(profile.batches_per_config):
-                batch = draw_batch(insert_pool, batch_total, seed=191 + b)
+                batch = draw_batch(insert_pool, batch_total, seed=draw_seeds[b])
                 per_rank = partition_tuples_round_robin(*batch, p, seed=193 + b)
                 with comm.timer() as timer:
                     backend.insert_batch(per_rank)

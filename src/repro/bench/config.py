@@ -85,7 +85,7 @@ PROFILES: dict[str, BenchProfile] = {
         update_batch_sizes=(16, 64, 256),
         spgemm_batch_sizes=(8, 32),
         spgemm_general_batch_sizes=(8, 16),
-        batches_per_config=2,
+        batches_per_config=4,
         scaling_ranks=(4, 16),
         weak_scaling_batch=256,
         spgemm_scaling_nnz_per_rank=512,

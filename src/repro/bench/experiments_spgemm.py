@@ -1,6 +1,15 @@
-"""Experiment drivers for the dynamic SpGEMM evaluation (Figs. 9–12)."""
+"""Experiment drivers for the dynamic SpGEMM evaluation (Figs. 9–12).
+
+The update-stream protocols are expressed as replayable scenarios
+(:func:`repro.bench.workloads.spgemm_stream_scenario`): our approach
+replays them natively through :meth:`Scenario.replay` (Algorithm 1 / 2),
+while the competitor loops iterate the *same* scenario steps — identical
+batches and scatter seeds for every system under comparison.
+"""
 
 from __future__ import annotations
+
+from functools import partial
 
 import numpy as np
 
@@ -8,23 +17,25 @@ from repro.runtime import ProcessGrid, StatCategory, make_communicator
 from repro.semirings import MIN_PLUS, PLUS_TIMES
 from repro.sparse import CSRMatrix, COOMatrix
 from repro.distributed import (
-    BlockDistribution,
     DynamicDistMatrix,
     StaticDistMatrix,
-    UpdateBatch,
     build_update_matrix,
-    partition_tuples_round_robin,
 )
-from repro.core import DynamicProduct, dynamic_spgemm_algebraic
 from repro.competitors import (
     static_spgemm_combblas,
     static_spgemm_ctf,
     static_spgemm_petsc_1d,
 )
 from repro.competitors.combblas import CombBLASBackend
+from repro.scenarios import (
+    NativeExecutor,
+    Scenario,
+    ScenarioResult,
+    trimmed_mean_seconds,
+)
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.reporting import ExperimentResult
-from repro.bench.workloads import draw_batch, prepare_instance
+from repro.bench.workloads import prepare_instance, spgemm_stream_scenario
 
 __all__ = [
     "run_spgemm_algebraic",
@@ -34,6 +45,20 @@ __all__ = [
 ]
 
 SPGEMM_BACKENDS = ("ours", "combblas", "ctf", "petsc")
+
+
+def _replay_ours(
+    scenario: Scenario, *, n_ranks: int, machine
+) -> ScenarioResult:
+    """Replay a SpGEMM scenario natively (CSR operand, DCSR updates)."""
+    comm = make_communicator(n_ranks=n_ranks, machine=machine)
+    return scenario.replay(
+        comm=comm,
+        layout="csr",
+        executor_factory=partial(NativeExecutor, update_layout="dcsr"),
+        check_snapshots=False,
+        collect_final=False,
+    )
 
 
 def _petsc_row_offsets(n_rows: int, parts: int) -> np.ndarray:
@@ -72,6 +97,20 @@ def _petsc_rows(
     return out
 
 
+def _b_static_from_scenario(
+    comm, grid, scenario: Scenario, semiring
+) -> StaticDistMatrix:
+    """The fixed right operand of a scenario as a CSR static matrix."""
+    from repro.distributed import partition_tuples_round_robin
+
+    per_rank = partition_tuples_round_robin(
+        *scenario.b_tuples, grid.n_ranks, seed=scenario.construct_seed
+    )
+    return StaticDistMatrix.from_tuples(
+        comm, grid, scenario.shape, per_rank, semiring, layout="csr"
+    )
+
+
 # ----------------------------------------------------------------------
 # Figure 9: algebraic case
 # ----------------------------------------------------------------------
@@ -85,9 +124,9 @@ def run_spgemm_algebraic(
 
     ``C' = A'·B`` where ``B`` is the (static) adjacency matrix and ``A'``
     grows from the zero matrix by batches of insertions drawn from the
-    adjacency matrix.  Our approach applies Algorithm 1 (``C += A*·B``);
-    the competitors compute ``A*·B`` with their static distributed SpGEMM
-    and add it to ``C``.
+    adjacency matrix.  Our approach replays the scenario natively
+    (Algorithm 1, ``C += A*·B``); the competitors iterate the same scenario
+    steps and compute ``A*·B`` with their static distributed SpGEMM.
     """
     profile = profile or get_profile()
     p = profile.n_ranks
@@ -95,7 +134,6 @@ def run_spgemm_algebraic(
     name = instance or profile.instances[0]
     workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=71)
     shape = (workload.n, workload.n)
-    pool = (workload.rows, workload.cols, workload.values)
 
     result = ExperimentResult(
         experiment="figure_9",
@@ -107,22 +145,30 @@ def run_spgemm_algebraic(
             "n_ranks": p,
             "semiring": "plus_times",
             "batches_per_config": profile.batches_per_config,
+            "protocol": "scenario:spgemm-algebraic",
         },
     )
 
     for batch_per_rank in profile.spgemm_batch_sizes:
         batch_total = batch_per_rank * p
+        scenario = spgemm_stream_scenario(
+            workload,
+            n_batches=profile.batches_per_config,
+            batch_total=batch_total,
+            mode="algebraic",
+            seed=79,
+        )
         for backend_name in backends:
+            if backend_name == "ours":
+                replayed = _replay_ours(
+                    scenario, n_ranks=p, machine=profile.spgemm_machine
+                )
+                mean_s = replayed.trimmed_mean_step_seconds()
+                result.add_row(name, backend_name, batch_per_rank, mean_s * 1e3)
+                continue
             comm = make_communicator(n_ranks=p, machine=profile.spgemm_machine)
             # B: full adjacency, static CSR blocks (not part of measured time)
-            b_static = StaticDistMatrix.from_tuples(
-                comm,
-                grid,
-                shape,
-                workload.all_tuples_per_rank(p, seed=73),
-                PLUS_TIMES,
-                layout="csr",
-            )
+            b_static = _b_static_from_scenario(comm, grid, scenario, PLUS_TIMES)
             c_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
             a_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
             petsc_ranks = max(1, p // comm.machine.ranks_per_node)
@@ -134,20 +180,11 @@ def run_spgemm_algebraic(
             )
             petsc_result_rows: dict[int, COOMatrix] = {}
             comm.reset_clock()
-            total = 0.0
-            for b in range(profile.batches_per_config):
-                batch = draw_batch(pool, batch_total, seed=79 + b)
-                per_rank = partition_tuples_round_robin(*batch, p, seed=83 + b)
+            times: list[float] = []
+            for step in scenario.update_steps():
+                per_rank = step.per_rank(p)
                 with comm.timer() as timer:
-                    if backend_name == "ours":
-                        a_star = build_update_matrix(
-                            comm, grid, a_dyn.dist, per_rank, PLUS_TIMES, layout="dcsr"
-                        )
-                        dynamic_spgemm_algebraic(
-                            comm, grid, a_dyn, b_static, a_star, None, c_dyn
-                        )
-                        a_dyn.add_update(a_star)
-                    elif backend_name in ("combblas", "ctf"):
+                    if backend_name in ("combblas", "ctf"):
                         a_star = build_update_matrix(
                             comm,
                             grid,
@@ -169,16 +206,18 @@ def run_spgemm_algebraic(
                     else:  # petsc
                         static_spgemm_petsc_1d(
                             comm,
-                            _petsc_rows(batch, shape, petsc_offsets, petsc_ranks, PLUS_TIMES),
+                            _petsc_rows(
+                                step.tuples(), shape, petsc_offsets, petsc_ranks, PLUS_TIMES
+                            ),
                             petsc_offsets,
                             b_global_csr,
                             semiring=PLUS_TIMES,
                             n_ranks=petsc_ranks,
                             accumulate_into=petsc_result_rows,
                         )
-                total += timer.seconds
+                times.append(timer.seconds)
             result.add_row(
-                name, backend_name, batch_per_rank, total / profile.batches_per_config * 1e3
+                name, backend_name, batch_per_rank, trimmed_mean_seconds(times) * 1e3
             )
     return result
 
@@ -194,11 +233,11 @@ def run_spgemm_general(
 ) -> ExperimentResult:
     """Fig. 10: dynamic SpGEMM with general updates (``(min, +)`` semiring).
 
-    Insertions into ``A'`` are not expressible as additions for the
+    Value updates to ``A'`` are not expressible as additions for the
     competitors' workflow, so they must recompute ``A'·B`` from scratch
-    every batch; our approach runs Algorithm 2 (masked recomputation driven
-    by the Bloom filter).  PETSc does not support other semirings and keeps
-    ``(+, ·)``, as in the paper.
+    every batch; our approach replays the scenario natively (Algorithm 2,
+    masked recomputation driven by the Bloom filter).  PETSc does not
+    support other semirings and keeps ``(+, ·)``, as in the paper.
     """
     profile = profile or get_profile()
     p = profile.n_ranks
@@ -206,7 +245,6 @@ def run_spgemm_general(
     name = instance or profile.instances[0]
     workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=89)
     shape = (workload.n, workload.n)
-    pool = (workload.rows, workload.cols, workload.values)
 
     result = ExperimentResult(
         experiment="figure_10",
@@ -218,54 +256,53 @@ def run_spgemm_general(
             "n_ranks": p,
             "semiring": "min_plus (plus_times for PETSc)",
             "batches_per_config": profile.batches_per_config,
+            "protocol": "scenario:spgemm-general",
         },
     )
 
     for batch_per_rank in profile.spgemm_general_batch_sizes:
         batch_total = batch_per_rank * p
+        scenario = spgemm_stream_scenario(
+            workload,
+            n_batches=profile.batches_per_config,
+            batch_total=batch_total,
+            mode="general",
+            kind="update",
+            semiring_name="min_plus",
+            seed=101,
+        )
         for backend_name in backends:
-            comm = make_communicator(n_ranks=p, machine=profile.spgemm_machine)
-            semiring = PLUS_TIMES if backend_name == "petsc" else MIN_PLUS
-            b_tuples = workload.all_tuples_per_rank(p, seed=97)
-            total = 0.0
+            times: list[float] = []
             if backend_name == "ours":
-                b_dyn = DynamicDistMatrix.from_tuples(
-                    comm, grid, shape, b_tuples, semiring, combine="last"
+                replayed = _replay_ours(
+                    scenario, n_ranks=p, machine=profile.spgemm_machine
                 )
-                a_dyn = DynamicDistMatrix.empty(comm, grid, shape, semiring)
-                product = DynamicProduct(
-                    comm, grid, a_dyn, b_dyn, semiring=semiring, mode="general"
+                result.add_row(
+                    name,
+                    backend_name,
+                    batch_per_rank,
+                    replayed.trimmed_mean_step_seconds() * 1e3,
                 )
+                continue
+            comm = make_communicator(n_ranks=p, machine=profile.spgemm_machine)
+            if backend_name in ("combblas", "ctf"):
+                b_static = _b_static_from_scenario(comm, grid, scenario, MIN_PLUS)
+                a_backend = CombBLASBackend(comm, grid, shape, MIN_PLUS)
                 comm.reset_clock()
-                for b in range(profile.batches_per_config):
-                    batch = draw_batch(pool, batch_total, seed=101 + b)
-                    update = UpdateBatch.from_global(
-                        shape, *batch, p, kind="update", semiring=semiring, seed=103 + b
-                    )
-                    with comm.timer() as timer:
-                        product.apply_updates(a_batch=update)
-                    total += timer.seconds
-            elif backend_name in ("combblas", "ctf"):
-                b_static = StaticDistMatrix.from_tuples(
-                    comm, grid, shape, b_tuples, semiring, layout="csr"
-                )
-                a_backend = CombBLASBackend(comm, grid, shape, semiring)
-                comm.reset_clock()
-                for b in range(profile.batches_per_config):
-                    batch = draw_batch(pool, batch_total, seed=101 + b)
-                    per_rank = partition_tuples_round_robin(*batch, p, seed=107 + b)
+                for step in scenario.update_steps():
+                    per_rank = step.per_rank(p)
                     with comm.timer() as timer:
                         a_backend.update_batch(per_rank)
                         a_prime = a_backend.as_static_dist()
                         if backend_name == "combblas":
                             static_spgemm_combblas(
-                                comm, grid, a_prime, b_static, semiring=semiring
+                                comm, grid, a_prime, b_static, semiring=MIN_PLUS
                             )
                         else:
                             static_spgemm_ctf(
-                                comm, grid, a_prime, b_static, semiring=semiring
+                                comm, grid, a_prime, b_static, semiring=MIN_PLUS
                             )
-                    total += timer.seconds
+                    times.append(timer.seconds)
             else:  # petsc, (+, ·) only
                 petsc_ranks = max(1, p // comm.machine.ranks_per_node)
                 petsc_offsets = _petsc_row_offsets(shape[0], petsc_ranks)
@@ -280,9 +317,8 @@ def run_spgemm_general(
                 )
                 a_rows_acc: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
                 comm.reset_clock()
-                for b in range(profile.batches_per_config):
-                    batch = draw_batch(pool, batch_total, seed=101 + b)
-                    a_rows_acc.append(batch)
+                for step in scenario.update_steps():
+                    a_rows_acc.append(step.tuples())
                     merged = (
                         np.concatenate([x[0] for x in a_rows_acc]),
                         np.concatenate([x[1] for x in a_rows_acc]),
@@ -297,9 +333,9 @@ def run_spgemm_general(
                             semiring=PLUS_TIMES,
                             n_ranks=petsc_ranks,
                         )
-                    total += timer.seconds
+                    times.append(timer.seconds)
             result.add_row(
-                name, backend_name, batch_per_rank, total / profile.batches_per_config * 1e3
+                name, backend_name, batch_per_rank, trimmed_mean_seconds(times) * 1e3
             )
     return result
 
@@ -310,38 +346,19 @@ def run_spgemm_general(
 def _spgemm_scaling_run(
     n_ranks: int, profile: BenchProfile, *, instance: str | None = None
 ) -> tuple[float, int, dict[str, float]]:
-    grid = ProcessGrid(n_ranks)
     name = instance or profile.instances[0]
     workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=109)
-    shape = (workload.n, workload.n)
-    pool = (workload.rows, workload.cols, workload.values)
-    comm = make_communicator(n_ranks=n_ranks, machine=profile.spgemm_machine)
-    b_static = StaticDistMatrix.from_tuples(
-        comm,
-        grid,
-        shape,
-        workload.all_tuples_per_rank(n_ranks, seed=113),
-        PLUS_TIMES,
-        layout="csr",
-    )
-    a_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
-    c_dyn = DynamicDistMatrix.empty(comm, grid, shape, PLUS_TIMES)
     batch_total = profile.spgemm_scaling_nnz_per_rank * n_ranks
-    comm.reset_clock()
-    snapshot = comm.stats.snapshot()
-    total = 0.0
-    for b in range(profile.batches_per_config):
-        batch = draw_batch(pool, batch_total, seed=127 + b)
-        per_rank = partition_tuples_round_robin(*batch, n_ranks, seed=131 + b)
-        with comm.timer() as timer:
-            a_star = build_update_matrix(
-                comm, grid, a_dyn.dist, per_rank, PLUS_TIMES, layout="dcsr"
-            )
-            dynamic_spgemm_algebraic(comm, grid, a_dyn, b_static, a_star, None, c_dyn)
-            a_dyn.add_update(a_star)
-        total += timer.seconds
-    breakdown = comm.stats.diff(snapshot).breakdown(StatCategory.SPGEMM_BREAKDOWN)
-    return total / profile.batches_per_config, batch_total, breakdown
+    scenario = spgemm_stream_scenario(
+        workload,
+        n_batches=profile.batches_per_config,
+        batch_total=batch_total,
+        mode="algebraic",
+        seed=127,
+    )
+    replayed = _replay_ours(scenario, n_ranks=n_ranks, machine=profile.spgemm_machine)
+    breakdown = replayed.breakdown(StatCategory.SPGEMM_BREAKDOWN)
+    return replayed.trimmed_mean_step_seconds(), batch_total, breakdown
 
 
 def run_spgemm_weak_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
@@ -351,7 +368,11 @@ def run_spgemm_weak_scaling(profile: BenchProfile | None = None) -> ExperimentRe
         experiment="figure_11",
         title="Weak scalability of dynamic SpGEMM (algebraic case)",
         columns=["n_ranks", "config", "nnz_per_rank", "time_per_nnz_us"],
-        metadata={"profile": profile.name, "instance": profile.instances[0]},
+        metadata={
+            "profile": profile.name,
+            "instance": profile.instances[0],
+            "protocol": "scenario:spgemm-algebraic",
+        },
     )
     for n_ranks in profile.scaling_ranks:
         mean_s, batch_total, _ = _spgemm_scaling_run(n_ranks, profile)
@@ -372,7 +393,11 @@ def run_spgemm_breakdown(profile: BenchProfile | None = None) -> ExperimentResul
         experiment="figure_12",
         title="Breakdown of dynamic SpGEMM running time (per non-zero)",
         columns=["n_ranks", "phase", "time_per_nnz_us"],
-        metadata={"profile": profile.name, "instance": profile.instances[0]},
+        metadata={
+            "profile": profile.name,
+            "instance": profile.instances[0],
+            "protocol": "scenario:spgemm-algebraic",
+        },
     )
     for n_ranks in profile.scaling_ranks:
         _, batch_total, breakdown = _spgemm_scaling_run(n_ranks, profile)

@@ -1,17 +1,28 @@
-"""Experiment drivers for the data-structure evaluation (Table I, Figs. 2–8)."""
+"""Experiment drivers for the data-structure evaluation (Table I, Figs. 2–8).
+
+Every batched protocol is expressed as a replayable
+:class:`~repro.scenarios.model.Scenario` (built by the ``*_scenario``
+helpers in :mod:`repro.bench.workloads`) and executed through
+:meth:`Scenario.replay` with a
+:class:`~repro.scenarios.replay.CompetitorExecutor` bound to the backend
+under measurement — one trace, every system, identical batches.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import MachineModel, ProcessGrid, StatCategory, make_communicator
-from repro.semirings import PLUS_TIMES
+from repro.runtime import MachineModel, StatCategory, make_communicator
 from repro.graphs import TABLE1_INSTANCES, rmat_edges
-from repro.distributed import partition_tuples_round_robin
-from repro.competitors import UnsupportedOperation, get_backend
+from repro.competitors import get_backend
+from repro.scenarios import CompetitorExecutor, Scenario, ScenarioResult
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.reporting import ExperimentResult
-from repro.bench.workloads import draw_batch, prepare_instance, split_batches
+from repro.bench.workloads import (
+    batched_operation_scenario,
+    construction_scenario,
+    prepare_instance,
+)
 
 __all__ = [
     "run_table1",
@@ -24,6 +35,23 @@ __all__ = [
 ]
 
 DEFAULT_BACKENDS = ("ours", "combblas", "ctf", "petsc")
+
+
+def _replay_on_backend(
+    scenario: Scenario,
+    backend_name: str,
+    *,
+    n_ranks: int,
+    machine: MachineModel,
+) -> ScenarioResult:
+    """Replay a scenario against one benchmark backend (fresh communicator)."""
+    comm = make_communicator(n_ranks=n_ranks, machine=machine)
+    return scenario.replay(
+        comm=comm,
+        executor_factory=CompetitorExecutor.factory(backend_name),
+        check_snapshots=False,
+        collect_final=False,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -73,7 +101,6 @@ def run_construction(
     """Fig. 2/3: adjacency-matrix construction, relative to CombBLAS."""
     profile = profile or get_profile()
     p = profile.n_ranks
-    grid = ProcessGrid(p)
     result = ExperimentResult(
         experiment="figure_3",
         title="Matrix construction performance (relative to CombBLAS)",
@@ -82,19 +109,24 @@ def run_construction(
             "profile": profile.name,
             "n_ranks": p,
             "scale_divisor": profile.scale_divisor,
+            "protocol": "scenario:construction",
             "note": "relative > 1 means faster than CombBLAS (as in Fig. 2/3)",
         },
     )
     for name in profile.instances:
         workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=3)
-        tuples = workload.all_tuples_per_rank(p, seed=5)
+        scenario = construction_scenario(
+            f"{name}:construction",
+            (workload.n, workload.n),
+            workload.all_tuples(),
+            seed=5,
+        )
         times: dict[str, float] = {}
         for backend_name in backends:
-            comm = make_communicator(n_ranks=p, machine=profile.machine)
-            backend = get_backend(backend_name)(comm, grid, (workload.n, workload.n))
-            with comm.timer() as timer:
-                backend.construct(tuples)
-            times[backend_name] = timer.seconds
+            replayed = _replay_on_backend(
+                scenario, backend_name, n_ranks=p, machine=profile.machine
+            )
+            times[backend_name] = replayed.steps[0].seconds
         base = times.get("combblas")
         for backend_name in backends:
             rel = (base / times[backend_name]) if base else float("nan")
@@ -111,7 +143,6 @@ def _run_batched_operation(
     backends: tuple[str, ...],
 ) -> ExperimentResult:
     p = profile.n_ranks
-    grid = ProcessGrid(p)
     figure = {"insert": "figure_4", "update": "figure_5a", "delete": "figure_5b"}[operation]
     result = ExperimentResult(
         experiment=figure,
@@ -122,54 +153,38 @@ def _run_batched_operation(
             "n_ranks": p,
             "batches_per_config": profile.batches_per_config,
             "scale_divisor": profile.scale_divisor,
+            "protocol": f"scenario:{operation}",
         },
     )
     for name in profile.instances:
         workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=7)
-        initial_half, insert_pool = workload.split_half(seed=11)
+        # One scenario per batch size, replayed on every backend: identical
+        # batches and scatter seeds for all systems under comparison.
+        scenarios = {
+            batch_per_rank: batched_operation_scenario(
+                workload,
+                operation,
+                n_batches=profile.batches_per_config,
+                batch_total=batch_per_rank * p,
+                seed=17,
+            )
+            for batch_per_rank in profile.update_batch_sizes
+        }
         for backend_name in backends:
             backend_cls = get_backend(backend_name)
             if operation == "delete" and not backend_cls.supports_deletions:
                 continue
             for batch_per_rank in profile.update_batch_sizes:
                 batch_total = batch_per_rank * p
-                comm = make_communicator(n_ranks=p, machine=profile.machine)
-                backend = backend_cls(comm, grid, (workload.n, workload.n))
-                if operation == "insert":
-                    initial = partition_tuples_round_robin(*initial_half, p, seed=13)
-                    pool = insert_pool
-                else:
-                    initial = workload.all_tuples_per_rank(p, seed=13)
-                    pool = (workload.rows, workload.cols, workload.values)
-                backend.construct(initial)
-                if operation == "delete":
-                    batches = split_batches(
-                        pool, profile.batches_per_config, batch_total, seed=17
-                    )
-                else:
-                    batches = [
-                        draw_batch(pool, batch_total, seed=17 + b)
-                        for b in range(profile.batches_per_config)
-                    ]
-                total = 0.0
-                measured = 0
-                for b, batch in enumerate(batches):
-                    per_rank = partition_tuples_round_robin(*batch, p, seed=19 + b)
-                    with comm.timer() as timer:
-                        try:
-                            if operation == "insert":
-                                backend.insert_batch(per_rank)
-                            elif operation == "update":
-                                backend.update_batch(per_rank)
-                            else:
-                                backend.delete_batch(per_rank)
-                        except UnsupportedOperation:
-                            break
-                    total += timer.seconds
-                    measured += 1
-                if measured == 0:
+                replayed = _replay_on_backend(
+                    scenarios[batch_per_rank],
+                    backend_name,
+                    n_ranks=p,
+                    machine=profile.machine,
+                )
+                if not replayed.measured_steps():
                     continue
-                mean_s = total / measured
+                mean_s = replayed.trimmed_mean_step_seconds()
                 result.add_row(
                     name,
                     backend_name,
@@ -212,35 +227,34 @@ def _insertion_scaling_run(
     machine: MachineModel | None = None,
 ) -> tuple[float, int, dict[str, float]]:
     """One weak-scaling data point: (mean batch seconds, batch nnz, breakdown)."""
-    grid = ProcessGrid(n_ranks)
     machine = machine or profile.machine
     name = instance or profile.instances[0]
     workload = prepare_instance(name, scale_divisor=profile.scale_divisor, seed=23)
-    initial_half, insert_pool = workload.split_half(seed=29)
-    comm = make_communicator(n_ranks=n_ranks, machine=machine)
-    backend = get_backend("ours")(comm, grid, (workload.n, workload.n))
-    backend.construct(partition_tuples_round_robin(*initial_half, n_ranks, seed=31))
     batch_total = profile.weak_scaling_batch * n_ranks
-    snapshot = comm.stats.snapshot()
-    total = 0.0
-    for b in range(profile.batches_per_config):
-        batch = draw_batch(insert_pool, batch_total, seed=37 + b)
-        per_rank = partition_tuples_round_robin(*batch, n_ranks, seed=41 + b)
-        with comm.timer() as timer:
-            backend.insert_batch(per_rank)
-        total += timer.seconds
-    breakdown = comm.stats.diff(snapshot).breakdown(StatCategory.INSERTION_BREAKDOWN)
-    return total / profile.batches_per_config, batch_total, breakdown
+    scenario = batched_operation_scenario(
+        workload,
+        "insert",
+        n_batches=profile.batches_per_config,
+        batch_total=batch_total,
+        seed=29,
+    )
+    replayed = _replay_on_backend(scenario, "ours", n_ranks=n_ranks, machine=machine)
+    breakdown = replayed.breakdown(StatCategory.INSERTION_BREAKDOWN)
+    return replayed.trimmed_mean_step_seconds(), batch_total, breakdown
 
 
 def run_insert_weak_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
-    """Fig. 6: weak scaling of insertions (time per non-zero vs. ranks)."""
+    """Fig. 6: weak scaling of insertions (time per inserted non-zero)."""
     profile = profile or get_profile()
     result = ExperimentResult(
         experiment="figure_6",
         title="Weak scalability of insertions (time per inserted non-zero)",
         columns=["n_ranks", "config", "batch_per_rank", "time_per_nnz_ns"],
-        metadata={"profile": profile.name, "instance": profile.instances[0]},
+        metadata={
+            "profile": profile.name,
+            "instance": profile.instances[0],
+            "protocol": "scenario:insert",
+        },
     )
     for n_ranks in profile.scaling_ranks:
         mean_s, batch_total, _ = _insertion_scaling_run(n_ranks, profile)
@@ -258,7 +272,11 @@ def run_insert_breakdown(profile: BenchProfile | None = None) -> ExperimentResul
         experiment="figure_7",
         title="Breakdown of insertion running time (per inserted non-zero)",
         columns=["n_ranks", "phase", "time_per_nnz_ns"],
-        metadata={"profile": profile.name, "instance": profile.instances[0]},
+        metadata={
+            "profile": profile.name,
+            "instance": profile.instances[0],
+            "protocol": "scenario:insert",
+        },
     )
     for n_ranks in profile.scaling_ranks:
         _, batch_total, breakdown = _insertion_scaling_run(n_ranks, profile)
@@ -284,6 +302,7 @@ def run_rmat_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
             "profile": profile.name,
             "strong_total_log2": profile.rmat_strong_total_log2,
             "weak_per_rank_log2": profile.rmat_weak_per_rank_log2,
+            "protocol": "scenario:construction",
         },
     )
     # ---------------- strong scaling (fixed total insertions) ------------
@@ -292,18 +311,22 @@ def run_rmat_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
     n_vertices, src, dst = rmat_edges(scale, max(1, total // (1 << scale)), seed=43)
     values = np.random.default_rng(47).random(src.size)
     src, dst, values = src[:total], dst[:total], values[:total]
+    strong = construction_scenario(
+        f"rmat-strong-2^{profile.rmat_strong_total_log2}",
+        (n_vertices, n_vertices),
+        (src, dst, values),
+        seed=53,
+    )
     baseline = None
     for n_ranks in profile.scaling_ranks:
-        grid = ProcessGrid(n_ranks)
-        comm = make_communicator(n_ranks=n_ranks, machine=profile.machine)
-        backend = get_backend("ours")(comm, grid, (n_vertices, n_vertices))
-        per_rank = partition_tuples_round_robin(src, dst, values, n_ranks, seed=53)
-        with comm.timer() as timer:
-            backend.construct(per_rank)
+        replayed = _replay_on_backend(
+            strong, "ours", n_ranks=n_ranks, machine=profile.machine
+        )
+        seconds = replayed.steps[0].seconds
         if baseline is None:
-            baseline = timer.seconds
-        speedup = baseline / timer.seconds if timer.seconds else float("nan")
-        result.add_row("strong", n_ranks, total, timer.seconds, speedup)
+            baseline = seconds
+        speedup = baseline / seconds if seconds else float("nan")
+        result.add_row("strong", n_ranks, total, seconds, speedup)
     # ---------------- weak scaling (fixed insertions per rank) -----------
     per_rank_count = 1 << profile.rmat_weak_per_rank_log2
     for n_ranks in profile.scaling_ranks:
@@ -314,13 +337,17 @@ def run_rmat_scaling(profile: BenchProfile | None = None) -> ExperimentResult:
         )
         values = np.random.default_rng(61).random(src.size)
         src, dst, values = src[:total_w], dst[:total_w], values[:total_w]
-        grid = ProcessGrid(n_ranks)
-        comm = make_communicator(n_ranks=n_ranks, machine=profile.machine)
-        backend = get_backend("ours")(comm, grid, (n_vertices, n_vertices))
-        per_rank = partition_tuples_round_robin(src, dst, values, n_ranks, seed=67)
-        with comm.timer() as timer:
-            backend.construct(per_rank)
+        weak = construction_scenario(
+            f"rmat-weak-2^{profile.rmat_weak_per_rank_log2}x{n_ranks}",
+            (n_vertices, n_vertices),
+            (src, dst, values),
+            seed=67,
+        )
+        replayed = _replay_on_backend(
+            weak, "ours", n_ranks=n_ranks, machine=profile.machine
+        )
+        seconds = replayed.steps[0].seconds
         result.add_row(
-            "weak", n_ranks, total_w, timer.seconds, timer.seconds / total_w * 1e9
+            "weak", n_ranks, total_w, seconds, seconds / total_w * 1e9
         )
     return result

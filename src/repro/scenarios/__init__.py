@@ -1,0 +1,88 @@
+"""Replayable dynamic-graph scenarios.
+
+The paper's experiments are all instances of one pattern — seeded streams
+of insert / update / delete batches interleaved with dynamic SpGEMM — and
+this package makes that pattern a first-class, declarative object instead
+of a bespoke loop per benchmark driver.
+
+Module map
+----------
+==============  ==========================================================
+``model``       :class:`Scenario` (the declarative, fully seeded trace),
+                the step types :class:`InsertBatch`, :class:`DeleteBatch`,
+                :class:`ValueUpdateBatch`, :class:`SpGEMMStep`,
+                :class:`SnapshotCheck`, and the structured results
+                :class:`ScenarioResult` / :class:`StepStats`.
+``generators``  The trace library: ``grow_from_empty``,
+                ``steady_state_churn``, ``sliding_window``,
+                ``bursty_skewed_stream``, ``mixed_update_multiply``;
+                registry ``SCENARIO_GENERATORS`` and
+                :func:`library_scenarios`.
+``replay``      :func:`replay` — run any scenario on any communicator
+                backend, rank count and local layout (``REPLAY_LAYOUTS``),
+                through :class:`NativeExecutor` (the paper's machinery) or
+                :class:`CompetitorExecutor` (benchmark backends).
+==============  ==========================================================
+
+A scenario materialises all randomness at generation time (per-step tuples
+plus explicit partition seeds derived via ``SeedSequence``), so one trace
+replays bit-for-bit on the ``sim`` and ``mpi`` backends — the property the
+cross-backend differential suite (``tests/test_scenarios_differential.py``)
+asserts for every library scenario, every layout and both backends.
+"""
+
+from repro.scenarios.model import (
+    DeleteBatch,
+    InsertBatch,
+    Scenario,
+    ScenarioResult,
+    ScenarioStep,
+    SnapshotCheck,
+    SpGEMMStep,
+    StepStats,
+    ValueUpdateBatch,
+    canonical_tuples,
+    trimmed_mean_seconds,
+)
+from repro.scenarios.generators import (
+    SCENARIO_GENERATORS,
+    bursty_skewed_stream,
+    grow_from_empty,
+    library_scenarios,
+    mixed_update_multiply,
+    sliding_window,
+    steady_state_churn,
+)
+from repro.scenarios.replay import (
+    REPLAY_LAYOUTS,
+    CompetitorExecutor,
+    NativeExecutor,
+    ScenarioCheckError,
+    replay,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioStep",
+    "InsertBatch",
+    "DeleteBatch",
+    "ValueUpdateBatch",
+    "SpGEMMStep",
+    "SnapshotCheck",
+    "ScenarioResult",
+    "StepStats",
+    "canonical_tuples",
+    "trimmed_mean_seconds",
+    "SCENARIO_GENERATORS",
+    "library_scenarios",
+    "grow_from_empty",
+    "steady_state_churn",
+    "sliding_window",
+    "bursty_skewed_stream",
+    "mixed_update_multiply",
+    "REPLAY_LAYOUTS",
+    "replay",
+    "NativeExecutor",
+    "CompetitorExecutor",
+    "ScenarioCheckError",
+]

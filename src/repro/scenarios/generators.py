@@ -1,0 +1,382 @@
+"""Library of seeded scenario generators.
+
+Each generator returns a fully materialised
+:class:`~repro.scenarios.model.Scenario`: every random draw is derived from
+the ``seed`` argument through independent :class:`numpy.random.SeedSequence`
+children, so the same call always produces the identical trace and two
+different seeds never share RNG streams.
+
+The traces mirror the dynamic-graph regimes of the paper's experiments
+(Sections IV-A, VII) and the batched streaming regimes studied for very
+large dynamic datasets in the related work:
+
+* :func:`grow_from_empty` — pure insertion stream (Fig. 4 regime);
+* :func:`steady_state_churn` — stationary nnz under interleaved insert /
+  delete / value-update rounds (Fig. 5 regime);
+* :func:`sliding_window` — streaming window: every insert batch expires
+  ``window`` steps later as a deletion batch;
+* :func:`bursty_skewed_stream` — R-MAT (social-skew) stream with bursty
+  batch sizes and occasional deletions;
+* :func:`mixed_update_multiply` — dynamic SpGEMM: the left operand grows
+  through update+multiply rounds (Fig. 9 regime) with full product
+  verification at the checkpoints.
+
+``SCENARIO_GENERATORS`` maps generator names to callables and
+:func:`library_scenarios` instantiates one default-sized scenario per
+generator — the set the cross-backend differential suite replays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs import erdos_renyi_edges, rmat_edges
+from repro.scenarios.model import (
+    DeleteBatch,
+    InsertBatch,
+    Scenario,
+    SnapshotCheck,
+    SpGEMMStep,
+    TupleArrays,
+    ValueUpdateBatch,
+    seed_int,
+    spawn_seeds,
+)
+
+__all__ = [
+    "SCENARIO_GENERATORS",
+    "library_scenarios",
+    "grow_from_empty",
+    "steady_state_churn",
+    "sliding_window",
+    "bursty_skewed_stream",
+    "mixed_update_multiply",
+]
+
+#: R-MAT quadrant probabilities of the most skewed (social) category.
+_SOCIAL_PARAMS = (0.57, 0.19, 0.19, 0.05)
+
+
+def _child_seeds(seed: int, n: int, *, salt: int) -> list[int]:
+    """``n`` independent integer seeds derived from ``(seed, salt)``."""
+    return [seed_int(c) for c in spawn_seeds([int(seed), int(salt)], n)]
+
+
+def _unique_edge_pool(
+    n: int,
+    target: int,
+    seed: int,
+    *,
+    skewed: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """At most ``target`` unique (row, col) pairs on an ``n × n`` matrix."""
+    if skewed:
+        scale = max(2, int(np.ceil(np.log2(n))))
+        n_vertices, src, dst = rmat_edges(
+            scale,
+            max(1, int(np.ceil(2.0 * target / (1 << scale)))),
+            params=_SOCIAL_PARAMS,
+            seed=seed,
+            deduplicate=True,
+            remove_self_loops=True,
+        )
+        src, dst = src % n, dst % n
+    else:
+        src, dst = erdos_renyi_edges(n, 2 * target, seed=seed, deduplicate=True)
+    keys = src.astype(np.int64) * n + dst.astype(np.int64)
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    src, dst = src[first], dst[first]
+    return src[:target].astype(np.int64), dst[:target].astype(np.int64)
+
+
+def _values(rng: np.random.Generator, size: int) -> np.ndarray:
+    return rng.random(size) + 0.25
+
+
+# ----------------------------------------------------------------------
+# 1. grow-from-empty insertion stream
+# ----------------------------------------------------------------------
+def grow_from_empty(
+    *, n: int = 64, n_batches: int = 6, batch: int = 56, seed: int = 0
+) -> Scenario:
+    """Pure insertion stream: the matrix grows from empty in equal batches."""
+    pool_seed, value_seed = _child_seeds(seed, 2, salt=0x6F01)
+    rows, cols = _unique_edge_pool(n, n_batches * batch, pool_seed)
+    batch = rows.size // n_batches
+    rng = np.random.default_rng(value_seed)
+    steps: list = []
+    for b in range(n_batches):
+        sel = slice(b * batch, (b + 1) * batch)
+        steps.append(
+            InsertBatch(
+                rows[sel], cols[sel], _values(rng, batch), label=f"insert[{b}]"
+            )
+        )
+        if b == n_batches // 2 - 1 or b == n_batches - 1:
+            steps.append(
+                SnapshotCheck(expect_nnz=(b + 1) * batch, label=f"nnz@{b}")
+            )
+    return Scenario(
+        name="grow_from_empty",
+        shape=(n, n),
+        steps=steps,
+        seed=seed,
+        metadata={"generator": "grow_from_empty", "batch": batch},
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. steady-state churn
+# ----------------------------------------------------------------------
+def steady_state_churn(
+    *, n: int = 64, rounds: int = 4, batch: int = 32, seed: int = 0
+) -> Scenario:
+    """Stationary-size trace: each round inserts, deletes and re-values.
+
+    The generator tracks the exact set of present coordinates, so every
+    round inserts only absent coordinates, deletes and value-updates only
+    present ones, and the snapshot checks pin the exact nnz.
+    """
+    pool_seed, pick_seed, value_seed = _child_seeds(seed, 3, salt=0x6F02)
+    initial_size = 6 * batch
+    pool_rows, pool_cols = _unique_edge_pool(
+        n, initial_size + rounds * batch, pool_seed
+    )
+    rng_pick = np.random.default_rng(pick_seed)
+    rng_val = np.random.default_rng(value_seed)
+
+    present = [(int(i), int(j)) for i, j in zip(pool_rows[:initial_size], pool_cols[:initial_size])]
+    free = [(int(i), int(j)) for i, j in zip(pool_rows[initial_size:], pool_cols[initial_size:])]
+    initial: TupleArrays = (
+        pool_rows[:initial_size],
+        pool_cols[:initial_size],
+        _values(rng_val, initial_size),
+    )
+
+    def _as_arrays(pairs: list[tuple[int, int]]) -> tuple[np.ndarray, np.ndarray]:
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return arr[:, 0], arr[:, 1]
+
+    steps: list = []
+    for r in range(rounds):
+        # insert `batch` absent coordinates
+        take = min(batch, len(free))
+        idx = rng_pick.choice(len(free), size=take, replace=False)
+        inserted = [free[i] for i in idx]
+        chosen = set(idx.tolist())
+        free = [p for k, p in enumerate(free) if k not in chosen]
+        present.extend(inserted)
+        ir, ic = _as_arrays(inserted)
+        steps.append(InsertBatch(ir, ic, _values(rng_val, take), label=f"churn-in[{r}]"))
+        # delete `batch` present coordinates (they become free again)
+        idx = rng_pick.choice(len(present), size=min(batch, len(present)), replace=False)
+        deleted = [present[i] for i in idx]
+        chosen = set(idx.tolist())
+        present = [p for k, p in enumerate(present) if k not in chosen]
+        free.extend(deleted)
+        dr, dc = _as_arrays(deleted)
+        steps.append(
+            DeleteBatch(dr, dc, np.ones(dr.size), label=f"churn-del[{r}]")
+        )
+        # overwrite the values of `batch` surviving coordinates
+        idx = rng_pick.choice(len(present), size=min(batch, len(present)), replace=False)
+        updated = [present[i] for i in idx]
+        ur, uc = _as_arrays(updated)
+        steps.append(
+            ValueUpdateBatch(
+                ur, uc, _values(rng_val, ur.size), label=f"churn-upd[{r}]"
+            )
+        )
+        steps.append(SnapshotCheck(expect_nnz=len(present), label=f"nnz@{r}"))
+    return Scenario(
+        name="steady_state_churn",
+        shape=(n, n),
+        steps=steps,
+        initial_tuples=initial,
+        seed=seed,
+        metadata={"generator": "steady_state_churn", "rounds": rounds, "batch": batch},
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. sliding window
+# ----------------------------------------------------------------------
+def sliding_window(
+    *,
+    n: int = 64,
+    window: int = 3,
+    n_batches: int = 7,
+    batch: int = 40,
+    seed: int = 0,
+) -> Scenario:
+    """Streaming window: batch ``b`` is deleted again at step ``b + window``.
+
+    After the trace only the last ``window`` insert batches remain, which
+    the final snapshot pins exactly — the regime of streaming-window
+    analytics over an edge stream.
+    """
+    if n_batches <= window:
+        raise ValueError("need more batches than the window length")
+    pool_seed, value_seed = _child_seeds(seed, 2, salt=0x6F03)
+    rows, cols = _unique_edge_pool(n, n_batches * batch, pool_seed)
+    batch = rows.size // n_batches
+    rng = np.random.default_rng(value_seed)
+    batches = [
+        (rows[b * batch : (b + 1) * batch], cols[b * batch : (b + 1) * batch])
+        for b in range(n_batches)
+    ]
+    steps: list = []
+    live = 0
+    for b in range(n_batches):
+        br, bc = batches[b]
+        steps.append(InsertBatch(br, bc, _values(rng, batch), label=f"window-in[{b}]"))
+        live += batch
+        if b >= window:
+            er, ec = batches[b - window]
+            steps.append(
+                DeleteBatch(er, ec, np.ones(er.size), label=f"window-expire[{b - window}]")
+            )
+            live -= batch
+        steps.append(SnapshotCheck(expect_nnz=live, label=f"nnz@{b}"))
+    return Scenario(
+        name="sliding_window",
+        shape=(n, n),
+        steps=steps,
+        seed=seed,
+        metadata={
+            "generator": "sliding_window",
+            "window": window,
+            "batch": batch,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. bursty skewed stream
+# ----------------------------------------------------------------------
+def bursty_skewed_stream(
+    *,
+    n: int = 96,
+    bursts: tuple[int, ...] = (16, 16, 144, 16, 112, 16),
+    delete_every: int = 3,
+    delete_batch: int = 24,
+    seed: int = 0,
+    semiring_name: str = "min_plus",
+) -> Scenario:
+    """Bursty R-MAT stream: small steady batches punctuated by large bursts.
+
+    Batches are drawn *with replacement* from a skewed (social-parameter)
+    R-MAT pool, so duplicate coordinates are ⊕-combined — over ``min_plus``
+    by default, exercising a non-ring semiring.  Every ``delete_every``-th
+    step additionally deletes a batch of currently present coordinates.
+    The generator tracks the exact present set for the snapshot checks.
+    """
+    pool_seed, draw_seed, value_seed = _child_seeds(seed, 3, salt=0x6F04)
+    pool_rows, pool_cols = _unique_edge_pool(n, 6 * max(bursts), pool_seed, skewed=True)
+    rng_draw = np.random.default_rng(draw_seed)
+    rng_val = np.random.default_rng(value_seed)
+    present: set[tuple[int, int]] = set()
+    steps: list = []
+    for b, size in enumerate(bursts):
+        idx = rng_draw.choice(pool_rows.size, size=size, replace=True)
+        br, bc = pool_rows[idx], pool_cols[idx]
+        present.update((int(i), int(j)) for i, j in zip(br, bc))
+        steps.append(
+            InsertBatch(br, bc, _values(rng_val, size), label=f"burst[{b}]x{size}")
+        )
+        if delete_every and (b + 1) % delete_every == 0 and present:
+            candidates = sorted(present)
+            idx = rng_draw.choice(
+                len(candidates), size=min(delete_batch, len(candidates)), replace=False
+            )
+            dropped = [candidates[i] for i in idx]
+            present.difference_update(dropped)
+            arr = np.asarray(dropped, dtype=np.int64).reshape(-1, 2)
+            steps.append(
+                DeleteBatch(
+                    arr[:, 0], arr[:, 1], np.ones(arr.shape[0]), label=f"burst-del[{b}]"
+                )
+            )
+        steps.append(SnapshotCheck(expect_nnz=len(present), label=f"nnz@{b}"))
+    return Scenario(
+        name="bursty_skewed_stream",
+        shape=(n, n),
+        steps=steps,
+        seed=seed,
+        semiring_name=semiring_name,
+        metadata={"generator": "bursty_skewed_stream", "bursts": list(bursts)},
+    )
+
+
+# ----------------------------------------------------------------------
+# 5. mixed update + multiply phases
+# ----------------------------------------------------------------------
+def mixed_update_multiply(
+    *,
+    n: int = 48,
+    n_batches: int = 4,
+    batch: int = 36,
+    b_edges: int = 200,
+    seed: int = 0,
+) -> Scenario:
+    """Dynamic SpGEMM trace: ``A`` grows through update+multiply rounds.
+
+    Every batch flows through an algebraic :class:`SpGEMMStep` (Algorithm 1:
+    ``C ⊕= A*·B``, ``A ⊕= A*``), and the checkpoints recompute ``A·B`` from
+    scratch to verify the maintained product — the Fig. 9 protocol as a
+    replayable trace.
+    """
+    pool_seed, b_seed, value_seed = _child_seeds(seed, 3, salt=0x6F05)
+    rows, cols = _unique_edge_pool(n, n_batches * batch, pool_seed)
+    batch = rows.size // n_batches
+    rng = np.random.default_rng(value_seed)
+    b_rows, b_cols = _unique_edge_pool(n, b_edges, b_seed)
+    b_tuples: TupleArrays = (b_rows, b_cols, _values(rng, b_rows.size))
+    steps: list = []
+    for b in range(n_batches):
+        sel = slice(b * batch, (b + 1) * batch)
+        steps.append(
+            SpGEMMStep(
+                rows[sel],
+                cols[sel],
+                _values(rng, batch),
+                label=f"update+multiply[{b}]",
+                mode="algebraic",
+            )
+        )
+        if b == n_batches // 2 - 1 or b == n_batches - 1:
+            steps.append(
+                SnapshotCheck(
+                    expect_nnz=(b + 1) * batch,
+                    verify_product=True,
+                    label=f"product@{b}",
+                )
+            )
+    return Scenario(
+        name="mixed_update_multiply",
+        shape=(n, n),
+        steps=steps,
+        b_tuples=b_tuples,
+        seed=seed,
+        metadata={"generator": "mixed_update_multiply", "batch": batch},
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+SCENARIO_GENERATORS: dict[str, Callable[..., Scenario]] = {
+    "grow_from_empty": grow_from_empty,
+    "steady_state_churn": steady_state_churn,
+    "sliding_window": sliding_window,
+    "bursty_skewed_stream": bursty_skewed_stream,
+    "mixed_update_multiply": mixed_update_multiply,
+}
+
+
+def library_scenarios(*, seed: int = 0) -> list[Scenario]:
+    """One default-sized scenario per generator (differential-suite set)."""
+    return [gen(seed=seed) for gen in SCENARIO_GENERATORS.values()]

@@ -1,0 +1,574 @@
+"""Replay driver: run a :class:`~repro.scenarios.model.Scenario` anywhere.
+
+:func:`replay` executes a scenario against any registered communicator
+backend (``sim``, ``mpi``, …), any rank count and any local storage layout,
+and returns a structured :class:`~repro.scenarios.model.ScenarioResult`.
+The actual application of steps is delegated to an *executor*:
+
+* :class:`NativeExecutor` — the paper's own machinery: a
+  :class:`~repro.distributed.DynamicDistMatrix` target, hypersparse update
+  matrices, Algorithm 1 / 2 for :class:`~repro.scenarios.model.SpGEMMStep`
+  steps and support for all four local layouts (COO, CSR, DCSR, DHB) of the
+  static right-hand operand.
+* :class:`CompetitorExecutor` — wraps any backend from
+  :mod:`repro.competitors` (``ours``, ``combblas``, ``ctf``, ``petsc``), so
+  the benchmark drivers can replay one scenario against every system under
+  comparison.  Steps a backend does not support truncate the replay and are
+  reported via ``ScenarioResult.truncated_at``.
+
+Timing semantics match the bespoke loops the benchmark drivers used to
+carry: construction is untimed unless ``scenario.timed_construction`` is
+set, batch scattering (``partition_tuples_round_robin``) happens outside
+the timed region, and each step's timed region covers exactly the update /
+multiply work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime import ProcessGrid, make_communicator, resolve_backend_name
+from repro.runtime.backend import Communicator
+from repro.runtime.config import MachineModel
+from repro.semirings import Semiring
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    DCSRMatrix,
+    DHBMatrix,
+    spgemm_local,
+)
+from repro.distributed import (
+    DynamicDistMatrix,
+    StaticDistMatrix,
+    UpdateBatch,
+    build_update_matrix,
+    partition_tuples_round_robin,
+)
+from repro.core import DynamicProduct, dynamic_spgemm_algebraic
+from repro.scenarios.model import (
+    Scenario,
+    ScenarioResult,
+    ScenarioStep,
+    SnapshotCheck,
+    SpGEMMStep,
+    StepStats,
+    TupleArrays,
+    canonical_tuples,
+)
+
+__all__ = [
+    "REPLAY_LAYOUTS",
+    "ScenarioCheckError",
+    "NativeExecutor",
+    "CompetitorExecutor",
+    "replay",
+]
+
+#: Local layouts a scenario can be replayed against (the differential
+#: harness sweeps all of them).
+REPLAY_LAYOUTS = ("coo", "csr", "dcsr", "dhb")
+
+
+class ScenarioCheckError(RuntimeError):
+    """A :class:`SnapshotCheck` assertion failed during replay."""
+
+
+def _as_layout(block, layout: str):
+    """Convert a CSR block to the requested local layout."""
+    if layout == "csr":
+        return block
+    coo = block.to_coo()
+    if layout == "coo":
+        return coo
+    if layout == "dcsr":
+        return DCSRMatrix.from_coo(coo, dedup=False)
+    if layout == "dhb":
+        return DHBMatrix.from_coo(coo, combine_duplicates=False)
+    raise ValueError(f"unknown replay layout {layout!r} (use one of {REPLAY_LAYOUTS})")
+
+
+# ----------------------------------------------------------------------
+# native executor (the paper's machinery)
+# ----------------------------------------------------------------------
+class NativeExecutor:
+    """Replays a scenario on the repository's own distributed matrices."""
+
+    name = "native"
+    supports_layouts = True
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: ProcessGrid,
+        scenario: Scenario,
+        *,
+        layout: str = "csr",
+        update_layout: str | None = None,
+    ) -> None:
+        if layout not in REPLAY_LAYOUTS:
+            raise ValueError(
+                f"unknown replay layout {layout!r} (use one of {REPLAY_LAYOUTS})"
+            )
+        self.comm = comm
+        self.grid = grid
+        self.scenario = scenario
+        self.layout = layout
+        #: update matrices need a static assembly layout (CSR or DCSR);
+        #: by default they follow ``layout``, degrading to hypersparse DCSR
+        #: for the layouts without an assembly path
+        self.update_layout = update_layout or (
+            layout if layout in ("csr", "dcsr") else "dcsr"
+        )
+        self.semiring: Semiring = scenario.semiring
+        self.a: DynamicDistMatrix | None = None
+        self.b_static: StaticDistMatrix | None = None
+        self.c: DynamicDistMatrix | None = None
+        self.product: DynamicProduct | None = None
+        self._initial_per_rank: dict[int, TupleArrays] | None = None
+        self._b_per_rank: dict[int, TupleArrays] | None = None
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Scatter the construction tuples (outside the timed region)."""
+        scenario, grid = self.scenario, self.grid
+        if scenario.b_tuples is None and scenario.has_spgemm:
+            raise ValueError(
+                f"scenario {scenario.name!r} contains SpGEMM steps but no "
+                "b_tuples for the right-hand operand"
+            )
+        if scenario.initial_tuples is not None:
+            self._initial_per_rank = partition_tuples_round_robin(
+                *scenario.initial_tuples, grid.n_ranks, seed=scenario.construct_seed
+            )
+        if scenario.b_tuples is not None:
+            self._b_per_rank = partition_tuples_round_robin(
+                *scenario.b_tuples, grid.n_ranks, seed=scenario.construct_seed
+            )
+
+    def construct(self) -> None:
+        scenario, comm, grid = self.scenario, self.comm, self.grid
+        shape = scenario.shape
+        if self._initial_per_rank is not None:
+            self.a = DynamicDistMatrix.from_tuples(
+                comm, grid, shape, self._initial_per_rank, self.semiring, combine="add"
+            )
+        else:
+            self.a = DynamicDistMatrix.empty(comm, grid, shape, self.semiring)
+        if self._b_per_rank is None:
+            return
+        b_per_rank = self._b_per_rank
+        if scenario.has_general_spgemm:
+            # Algorithm 2 maintains the product through DynamicProduct and
+            # needs a dynamic right operand (last-write-wins duplicates).
+            b_dyn = DynamicDistMatrix.from_tuples(
+                comm, grid, shape, b_per_rank, self.semiring, combine="last"
+            )
+            self.product = DynamicProduct(
+                comm, grid, self.a, b_dyn, semiring=self.semiring, mode="general"
+            )
+            self.c = self.product.c
+        else:
+            b_static = StaticDistMatrix.from_tuples(
+                comm, grid, shape, b_per_rank, self.semiring, layout="csr"
+            )
+            if self.layout != "csr":
+                for rank in list(b_static.blocks):
+                    b_static.blocks[rank] = comm.run_local(
+                        rank, _as_layout, b_static.blocks[rank], self.layout
+                    )
+            self.b_static = b_static
+            self.c = DynamicDistMatrix.empty(comm, grid, shape, self.semiring)
+
+    # ------------------------------------------------------------------
+    def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
+        if isinstance(step, SpGEMMStep):
+            return self._apply_spgemm(step, per_rank)
+        assert self.a is not None
+        update = build_update_matrix(
+            self.comm,
+            self.grid,
+            self.a.dist,
+            per_rank,
+            self.semiring,
+            layout=self.update_layout,
+            combine="add" if step.kind == "insert" else "last",
+        )
+        if step.kind == "insert":
+            return self.a.add_update(update)
+        if step.kind == "update":
+            return self.a.merge_update(update)
+        return self.a.mask_update(update)
+
+    def _apply_spgemm(
+        self, step: SpGEMMStep, per_rank: dict[int, TupleArrays]
+    ) -> int:
+        assert self.a is not None
+        if step.mode == "general":
+            assert self.product is not None
+            batch = UpdateBatch(
+                shape=self.scenario.shape,
+                tuples_per_rank=dict(per_rank),
+                kind=step.kind,
+                semiring=self.semiring,
+            )
+            return self.product.apply_updates(a_batch=batch).touched_outputs
+        assert self.b_static is not None and self.c is not None
+        a_star = build_update_matrix(
+            self.comm,
+            self.grid,
+            self.a.dist,
+            per_rank,
+            self.semiring,
+            layout=self.update_layout,
+            combine="add",
+        )
+        touched = dynamic_spgemm_algebraic(
+            self.comm, self.grid, self.a, self.b_static, a_star, None, self.c
+        )
+        self.a.add_update(a_star)
+        return touched
+
+    # ------------------------------------------------------------------
+    def snapshot(self, step: SnapshotCheck) -> None:
+        assert self.a is not None
+        if step.expect_nnz is not None:
+            got = self.a.nnz()
+            if got != step.expect_nnz:
+                raise ScenarioCheckError(
+                    f"snapshot {step.label!r}: expected nnz {step.expect_nnz}, "
+                    f"got {got}"
+                )
+        if step.verify_product:
+            self._verify_product(step)
+
+    def _verify_product(self, step: SnapshotCheck) -> None:
+        if self.c is None or self.scenario.b_tuples is None:
+            raise ScenarioCheckError(
+                f"snapshot {step.label!r}: verify_product requires SpGEMM state"
+            )
+        a_global = CSRMatrix.from_coo(self.a.to_coo_global())
+        b_coo = COOMatrix(
+            shape=self.scenario.shape,
+            rows=self.scenario.b_tuples[0],
+            cols=self.scenario.b_tuples[1],
+            values=self.semiring.coerce(self.scenario.b_tuples[2]),
+            semiring=self.semiring,
+        ).sum_duplicates()
+        reference, _ = spgemm_local(
+            a_global, CSRMatrix.from_coo(b_coo), self.semiring, use_scipy=False
+        )
+        reference = reference.drop_zeros().sort()
+        maintained = self.c.to_coo_global().drop_zeros().sort()
+        ok = (
+            maintained.nnz == reference.nnz
+            and np.array_equal(maintained.rows, reference.rows)
+            and np.array_equal(maintained.cols, reference.cols)
+            and np.allclose(maintained.values, reference.values, rtol=1e-9)
+        )
+        if not ok:
+            raise ScenarioCheckError(
+                f"snapshot {step.label!r}: maintained C (nnz {maintained.nnz}) "
+                f"does not match recomputed A·B (nnz {reference.nnz})"
+            )
+
+    # ------------------------------------------------------------------
+    def final_a(self) -> TupleArrays:
+        assert self.a is not None
+        return canonical_tuples(self.a.to_coo_global())
+
+    def final_c(self) -> TupleArrays | None:
+        if self.c is None:
+            return None
+        return canonical_tuples(self.c.to_coo_global())
+
+
+# ----------------------------------------------------------------------
+# competitor executor (benchmark backends)
+# ----------------------------------------------------------------------
+class CompetitorExecutor:
+    """Replays the data-structure steps of a scenario on a benchmark backend.
+
+    SpGEMM steps are not expressible through the uniform
+    :class:`repro.competitors.base.Backend` interface and raise
+    :class:`~repro.competitors.base.UnsupportedOperation`, truncating the
+    replay (mirroring how the paper's figures drop unsupported systems).
+    """
+
+    name = "competitor"
+    supports_layouts = False
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: ProcessGrid,
+        scenario: Scenario,
+        *,
+        layout: str = "csr",
+        backend_name: str = "ours",
+        **backend_kwargs,
+    ) -> None:
+        from repro.competitors import get_backend
+
+        self.comm = comm
+        self.grid = grid
+        self.scenario = scenario
+        self.layout = layout
+        self.backend_name = backend_name
+        self.backend = get_backend(backend_name)(
+            comm, grid, scenario.shape, scenario.semiring, **backend_kwargs
+        )
+
+    @classmethod
+    def factory(cls, backend_name: str, **backend_kwargs) -> Callable:
+        """An ``executor_factory`` for :func:`replay` bound to a backend."""
+
+        def make(comm, grid, scenario, *, layout="csr"):
+            return cls(
+                comm,
+                grid,
+                scenario,
+                layout=layout,
+                backend_name=backend_name,
+                **backend_kwargs,
+            )
+
+        return make
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Scatter the construction tuples (outside the timed region)."""
+        scenario = self.scenario
+        initial = (
+            scenario.initial_tuples
+            if scenario.initial_tuples is not None
+            else (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        )
+        self._initial_per_rank = partition_tuples_round_robin(
+            *initial, self.grid.n_ranks, seed=scenario.construct_seed
+        )
+
+    def construct(self) -> None:
+        self.backend.construct(self._initial_per_rank)
+
+    def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
+        from repro.competitors import UnsupportedOperation
+
+        if isinstance(step, SpGEMMStep):
+            raise UnsupportedOperation(
+                f"backend {self.backend_name!r} cannot replay SpGEMM steps "
+                "through the uniform update interface"
+            )
+        if step.kind == "insert":
+            self.backend.insert_batch(per_rank)
+        elif step.kind == "update":
+            self.backend.update_batch(per_rank)
+        else:
+            self.backend.delete_batch(per_rank)
+        # The uniform backend interface does not report created/changed
+        # counts; the batch size is the comparable volume measure.
+        return step.n_tuples
+
+    def snapshot(self, step: SnapshotCheck) -> None:
+        if step.expect_nnz is not None:
+            got = self.backend.nnz()
+            if got != step.expect_nnz:
+                raise ScenarioCheckError(
+                    f"snapshot {step.label!r}: expected nnz {step.expect_nnz}, "
+                    f"got {got}"
+                )
+        if step.verify_product:
+            raise ScenarioCheckError(
+                "verify_product snapshots require the native executor"
+            )
+
+    def final_a(self) -> TupleArrays:
+        return canonical_tuples(self.backend.to_coo_global())
+
+    def final_c(self) -> TupleArrays | None:
+        return None
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+#: built-in communicator classes -> registered backend names, so results
+#: carry the same backend labels whether a comm or a name was passed
+_COMM_CLASS_NAMES = {"SimMPI": "sim", "MPIBackend": "mpi"}
+
+
+def _registry_name_of(comm: Communicator) -> str:
+    cls = type(comm).__name__
+    return _COMM_CLASS_NAMES.get(cls, cls.lower())
+
+
+def replay(
+    scenario: Scenario,
+    *,
+    backend: str | None = None,
+    n_ranks: int = 16,
+    machine: MachineModel | None = None,
+    layout: str = "csr",
+    comm: Communicator | None = None,
+    executor_factory: Callable | None = None,
+    check_snapshots: bool = True,
+    collect_final: bool = True,
+    **backend_kwargs,
+) -> ScenarioResult:
+    """Replay ``scenario`` and return its structured result.
+
+    Parameters
+    ----------
+    backend:
+        Communicator backend name (``"sim"``, ``"mpi"``, …); resolved like
+        :func:`repro.runtime.make_communicator` when ``comm`` is not given.
+    n_ranks, machine:
+        Communicator configuration (ignored when ``comm`` is passed).
+    layout:
+        Local storage layout of the static right-hand operand, one of
+        :data:`REPLAY_LAYOUTS`.
+    executor_factory:
+        ``(comm, grid, scenario, *, layout) -> executor``; defaults to
+        :class:`NativeExecutor`.  Use
+        ``CompetitorExecutor.factory("combblas")`` to replay against a
+        benchmark backend.
+    check_snapshots:
+        When False, :class:`SnapshotCheck` steps are recorded but not
+        evaluated (useful while benchmarking competitors).
+    collect_final:
+        When False, skip assembling the global final tuples (cheaper for
+        timing-only replays).
+    """
+    from repro.competitors import UnsupportedOperation
+
+    if comm is None:
+        backend_name = resolve_backend_name(backend)
+        comm = make_communicator(
+            backend_name, n_ranks=n_ranks, machine=machine, **backend_kwargs
+        )
+    else:
+        backend_name = (
+            resolve_backend_name(backend)
+            if backend
+            else _registry_name_of(comm)
+        )
+        n_ranks = comm.p
+    grid = ProcessGrid(n_ranks)
+    factory = executor_factory or NativeExecutor
+    executor = factory(comm, grid, scenario, layout=layout)
+
+    step_stats: list[StepStats] = []
+    applied_counts: dict[str, int] = {}
+    truncated_at: int | None = None
+    elapsed_start = comm.elapsed()
+    start = comm.stats.snapshot()
+
+    # ---------------- construction (optionally timed) -----------------
+    # The round-robin scatter is measurement infrastructure, not part of
+    # the construction protocol: it always stays outside the timed region.
+    executor.prepare()
+    if scenario.timed_construction:
+        before = comm.stats.snapshot()
+        with comm.timer() as timer:
+            executor.construct()
+        diff = comm.stats.diff(before)
+        n_initial = (
+            int(scenario.initial_tuples[0].size)
+            if scenario.initial_tuples is not None
+            else 0
+        )
+        step_stats.append(
+            StepStats(
+                index=-1,
+                kind="construct",
+                label="construct",
+                n_tuples=n_initial,
+                applied=n_initial,
+                seconds=timer.seconds,
+                comm_messages=diff.total_messages(),
+                comm_bytes=diff.total_bytes(),
+            )
+        )
+    else:
+        executor.construct()
+    post_construct = comm.stats.snapshot()
+
+    # ---------------- the trace ----------------------------------------
+    for index, step in enumerate(scenario.steps):
+        if isinstance(step, SnapshotCheck):
+            if check_snapshots:
+                executor.snapshot(step)
+            step_stats.append(
+                StepStats(
+                    index=index,
+                    kind="snapshot",
+                    label=step.label,
+                    n_tuples=0,
+                    applied=0,
+                    seconds=0.0,
+                )
+            )
+            continue
+        per_rank = step.per_rank(n_ranks)
+        before = comm.stats.snapshot()
+        try:
+            with comm.timer() as timer:
+                applied = executor.apply(step, per_rank)
+        except UnsupportedOperation:
+            step_stats.append(
+                StepStats(
+                    index=index,
+                    kind=step.kind,
+                    label=step.label,
+                    n_tuples=step.n_tuples,
+                    applied=0,
+                    seconds=0.0,
+                    supported=False,
+                )
+            )
+            truncated_at = index
+            break
+        diff = comm.stats.diff(before)
+        step_stats.append(
+            StepStats(
+                index=index,
+                kind=step.kind,
+                label=step.label,
+                n_tuples=step.n_tuples,
+                applied=int(applied),
+                seconds=timer.seconds,
+                comm_messages=diff.total_messages(),
+                comm_bytes=diff.total_bytes(),
+            )
+        )
+        applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
+
+    # ---------------- result -------------------------------------------
+    empty = (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+    )
+    final_a: TupleArrays = executor.final_a() if collect_final else empty
+    final_c = executor.final_c() if collect_final else None
+    return ScenarioResult(
+        scenario=scenario.name,
+        backend=backend_name,
+        n_ranks=n_ranks,
+        layout=layout,
+        semiring_name=scenario.semiring_name,
+        steps=step_stats,
+        final_a=final_a,
+        final_c=final_c,
+        applied_counts=applied_counts,
+        comm_stats=comm.stats.diff(start).as_dict(),
+        update_stats=comm.stats.diff(post_construct).as_dict(),
+        truncated_at=truncated_at,
+        elapsed_modeled=comm.elapsed() - elapsed_start,
+    )

@@ -67,14 +67,16 @@ class SparseAccumulator:
         ``allowed`` optionally restricts output columns (masked SpGEMM).
         """
         scaled = self.semiring.times(scale, vals)
+        # One dtype conversion for the whole row: ``tolist`` yields native
+        # Python ints, so the hot loop avoids a per-element ``int(c)`` call.
+        cols_int = np.asarray(cols, dtype=np.int64).tolist()
         if allowed is None:
-            for c, v in zip(cols, scaled):
-                self.accumulate(int(c), v, bloom_bit)
+            for c, v in zip(cols_int, scaled):
+                self.accumulate(c, v, bloom_bit)
         else:
-            for c, v in zip(cols, scaled):
-                ci = int(c)
-                if ci in allowed:
-                    self.accumulate(ci, v, bloom_bit)
+            for c, v in zip(cols_int, scaled):
+                if c in allowed:
+                    self.accumulate(c, v, bloom_bit)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,165 @@
+"""Cross-backend differential harness for the scenario library.
+
+Every generator-library scenario is replayed on the ``sim`` backend and on
+the (emulated) ``mpi`` backend, across **all four** local layouts of the
+static right-hand operand (COO, CSR, DCSR, DHB).  For each (scenario,
+layout) pair the two backends must produce
+
+* bit-identical final tuples of the maintained matrix ``A`` (and of the
+  maintained product ``C`` where the scenario multiplies),
+* identical applied-update counts per step,
+* identical per-category communication volume (messages and bytes).
+
+Layouts must additionally agree with each other on the final state
+(structurally identical, values up to float round-off from different
+accumulation orders).
+
+Set ``REPRO_SCENARIO_STATS_DIR`` to a directory to dump one JSON file of
+per-scenario comm statistics per (scenario, layout, backend) — the CI
+matrix job uploads these as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime import resolve_backend_name
+from repro.scenarios import (
+    REPLAY_LAYOUTS,
+    SCENARIO_GENERATORS,
+    ScenarioResult,
+    replay,
+)
+
+N_RANKS = 4
+SEED = 2022
+#: Both backends are always replayed; REPRO_BACKEND (via
+#: resolve_backend_name) selects which one leads as the reference leg of
+#: the cross-layout comparisons.
+_PREFERRED = resolve_backend_name(None)
+BACKENDS = (_PREFERRED, "mpi" if _PREFERRED == "sim" else "sim")
+REFERENCE = BACKENDS[0]
+
+def _dump_stats(result: ScenarioResult) -> None:
+    stats_dir = os.environ.get("REPRO_SCENARIO_STATS_DIR", "")
+    if not stats_dir:
+        return
+    out = Path(stats_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    name = f"{result.scenario}-{result.layout}-{result.backend}.json"
+    (out / name).write_text(json.dumps(result.as_dict(), indent=2, default=float))
+
+
+def _replay(generator_name: str, backend: str, layout: str) -> ScenarioResult:
+    scenario = SCENARIO_GENERATORS[generator_name](seed=SEED)
+    with warnings.catch_warnings():
+        # the emulated-mpi backend warns once when mpi4py is absent
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = replay(scenario, backend=backend, n_ranks=N_RANKS, layout=layout)
+    _dump_stats(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def results() -> dict[tuple[str, str, str], ScenarioResult]:
+    """Every (generator, backend, layout) replay, computed once."""
+    out: dict[tuple[str, str, str], ScenarioResult] = {}
+    for name in SCENARIO_GENERATORS:
+        for backend in BACKENDS:
+            for layout in REPLAY_LAYOUTS:
+                out[(name, backend, layout)] = _replay(name, backend, layout)
+    return out
+
+
+def _assert_tuples_identical(a, b, *, what: str) -> None:
+    assert np.array_equal(a[0], b[0]), f"{what}: row structure differs"
+    assert np.array_equal(a[1], b[1]), f"{what}: column structure differs"
+    assert np.array_equal(a[2], b[2]), f"{what}: values differ"
+
+
+@pytest.mark.parametrize("layout", REPLAY_LAYOUTS)
+@pytest.mark.parametrize("generator_name", sorted(SCENARIO_GENERATORS))
+class TestCrossBackend:
+    def test_final_tuples_identical(self, results, generator_name, layout):
+        sim = results[(generator_name, "sim", layout)]
+        mpi = results[(generator_name, "mpi", layout)]
+        assert sim.final_a[0].size > 0, "scenario must leave a non-empty matrix"
+        _assert_tuples_identical(
+            sim.final_a, mpi.final_a, what=f"{generator_name}/{layout}: A"
+        )
+        assert (sim.final_c is None) == (mpi.final_c is None)
+        if sim.final_c is not None:
+            _assert_tuples_identical(
+                sim.final_c, mpi.final_c, what=f"{generator_name}/{layout}: C"
+            )
+
+    def test_applied_counts_identical(self, results, generator_name, layout):
+        sim = results[(generator_name, "sim", layout)]
+        mpi = results[(generator_name, "mpi", layout)]
+        assert sim.truncated_at is None and mpi.truncated_at is None
+        assert sim.applied_counts == mpi.applied_counts
+        per_step_sim = [(s.kind, s.n_tuples, s.applied) for s in sim.steps]
+        per_step_mpi = [(s.kind, s.n_tuples, s.applied) for s in mpi.steps]
+        assert per_step_sim == per_step_mpi
+
+    def test_comm_volume_identical(self, results, generator_name, layout):
+        sim = results[(generator_name, "sim", layout)]
+        mpi = results[(generator_name, "mpi", layout)]
+        assert sim.comm_signature() == mpi.comm_signature()
+        assert sim.total_comm_bytes() > 0, "scenarios must actually communicate"
+        per_step_sim = [(s.comm_messages, s.comm_bytes) for s in sim.steps]
+        per_step_mpi = [(s.comm_messages, s.comm_bytes) for s in mpi.steps]
+        assert per_step_sim == per_step_mpi
+
+
+@pytest.mark.parametrize("generator_name", sorted(SCENARIO_GENERATORS))
+class TestCrossLayout:
+    def test_layouts_agree_on_final_state(self, results, generator_name):
+        reference = results[(generator_name, REFERENCE, REPLAY_LAYOUTS[0])]
+        for layout in REPLAY_LAYOUTS[1:]:
+            other = results[(generator_name, REFERENCE, layout)]
+            assert np.array_equal(reference.final_a[0], other.final_a[0])
+            assert np.array_equal(reference.final_a[1], other.final_a[1])
+            # different layouts may accumulate in different orders
+            assert np.allclose(reference.final_a[2], other.final_a[2], rtol=1e-9)
+            if reference.final_c is not None:
+                assert other.final_c is not None
+                assert np.array_equal(reference.final_c[0], other.final_c[0])
+                assert np.array_equal(reference.final_c[1], other.final_c[1])
+                assert np.allclose(
+                    reference.final_c[2], other.final_c[2], rtol=1e-9
+                )
+
+    def test_applied_counts_agree_across_layouts(self, results, generator_name):
+        reference = results[(generator_name, REFERENCE, REPLAY_LAYOUTS[0])]
+        for layout in REPLAY_LAYOUTS[1:]:
+            other = results[(generator_name, REFERENCE, layout)]
+            assert reference.applied_counts == other.applied_counts
+
+
+def test_library_covers_at_least_five_generators():
+    assert len(SCENARIO_GENERATORS) >= 5
+
+
+def test_snapshot_checks_ran(results):
+    """Every library scenario carries active snapshot checks."""
+    for name in SCENARIO_GENERATORS:
+        result = results[(name, REFERENCE, "csr")]
+        assert any(s.kind == "snapshot" for s in result.steps), name
+
+
+def test_stats_dump_round_trip(tmp_path, monkeypatch):
+    """The CI artifact dump produces valid JSON with the comm signature."""
+    monkeypatch.setenv("REPRO_SCENARIO_STATS_DIR", str(tmp_path))
+    result = _replay("grow_from_empty", "sim", "csr")
+    path = tmp_path / "grow_from_empty-csr-sim.json"
+    payload = json.loads(path.read_text())
+    assert payload["scenario"] == "grow_from_empty"
+    assert payload["comm_signature"]
+    assert payload["final_nnz"] == int(result.final_a[0].size)
