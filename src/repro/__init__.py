@@ -23,7 +23,9 @@ The package provides
   :mod:`repro.apps`) and the benchmark harness reproducing every table and
   figure of the paper (:mod:`repro.bench`),
 * replayable, fully seeded dynamic-graph scenarios and the cross-backend
-  replay driver (:mod:`repro.scenarios`).
+  replay driver (:mod:`repro.scenarios`),
+* unified performance instrumentation — nested phase timers, counters and
+  the ``BENCH_*.json`` regression harness (:mod:`repro.perf`).
 """
 
 from repro.semirings import (
@@ -81,6 +83,7 @@ from repro.scenarios import (
     library_scenarios,
     replay,
 )
+from repro.perf import PerfRecorder, use_recorder
 
 __version__ = "1.0.0"
 
@@ -135,4 +138,7 @@ __all__ = [
     "ScenarioResult",
     "library_scenarios",
     "replay",
+    # perf
+    "PerfRecorder",
+    "use_recorder",
 ]

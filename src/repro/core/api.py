@@ -109,6 +109,7 @@ class DynamicProduct:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:
+        """Shape of the maintained product ``C`` (rows of A × cols of B)."""
         return (self.a.shape[0], self.b.shape[1])
 
     # ------------------------------------------------------------------

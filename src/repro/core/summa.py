@@ -19,6 +19,7 @@ This implementation is used
 
 from __future__ import annotations
 
+from repro.perf.recorder import perf_phase
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
@@ -88,65 +89,75 @@ def summa_spgemm(
             for r in range(grid.n_ranks)
         }
 
-    for k in range(q):
-        # Broadcast A_{i,k} across each process row i.
-        a_recv: dict[int, object] = {}
-        for i in range(q):
-            root = grid.rank_of(i, k)
-            row_ranks = grid.row_group(i)
-            payload = a.blocks[root]
-            received = comm.bcast(root, payload, group=row_ranks, category=bcast_category)
-            for rank in row_ranks:
-                a_recv[rank] = received[rank]
-        # Broadcast B_{k,j} across each process column j.
-        b_recv: dict[int, object] = {}
-        for j in range(q):
-            root = grid.rank_of(k, j)
-            col_ranks = grid.col_group(j)
-            payload = b.blocks[root]
-            received = comm.bcast(root, payload, group=col_ranks, category=bcast_category)
-            for rank in col_ranks:
-                b_recv[rank] = received[rank]
+    with perf_phase("summa"):
+        for k in range(q):
+            with perf_phase("bcast"):
+                # Broadcast A_{i,k} across each process row i.
+                a_recv: dict[int, object] = {}
+                for i in range(q):
+                    root = grid.rank_of(i, k)
+                    row_ranks = grid.row_group(i)
+                    payload = a.blocks[root]
+                    received = comm.bcast(
+                        root, payload, group=row_ranks, category=bcast_category
+                    )
+                    for rank in row_ranks:
+                        a_recv[rank] = received[rank]
+                # Broadcast B_{k,j} across each process column j.
+                b_recv: dict[int, object] = {}
+                for j in range(q):
+                    root = grid.rank_of(k, j)
+                    col_ranks = grid.col_group(j)
+                    payload = b.blocks[root]
+                    received = comm.bcast(
+                        root, payload, group=col_ranks, category=bcast_category
+                    )
+                    for rank in col_ranks:
+                        b_recv[rank] = received[rank]
 
-        inner_offset = int(a.dist.col_offsets[k])
-        for rank in range(grid.n_ranks):
-            a_blk = _local_block_as_operand(a_recv[rank])
-            b_blk = _local_block_as_operand(b_recv[rank])
+            inner_offset = int(a.dist.col_offsets[k])
+            with perf_phase("local_mult"):
+                for rank in range(grid.n_ranks):
+                    a_blk = _local_block_as_operand(a_recv[rank])
+                    b_blk = _local_block_as_operand(b_recv[rank])
 
-            def _mult(a_blk=a_blk, b_blk=b_blk, inner_offset=inner_offset):
-                return spgemm_local(
-                    a_blk,
-                    b_blk,
-                    semiring,
-                    compute_bloom=compute_bloom,
-                    inner_offset=inner_offset,
+                    def _mult(a_blk=a_blk, b_blk=b_blk, inner_offset=inner_offset):
+                        return spgemm_local(
+                            a_blk,
+                            b_blk,
+                            semiring,
+                            compute_bloom=compute_bloom,
+                            inner_offset=inner_offset,
+                        )
+
+                    coo, bloom = comm.run_local(rank, _mult, category=mult_category)
+                    if coo.nnz:
+                        partials[rank].append(coo)
+                    if compute_bloom and bloom is not None and blooms is not None:
+                        blooms[rank].or_inplace(bloom)
+
+        # Local accumulation of the per-round partial products.
+        out_blocks: dict[int, object] = {}
+        with perf_phase("accumulate"):
+            for rank in range(grid.n_ranks):
+                block_shape = out_dist.block_shape_of_rank(rank)
+                pieces = partials[rank]
+
+                def _accumulate(pieces=pieces, block_shape=block_shape):
+                    if not pieces:
+                        combined = COOMatrix.empty(block_shape, semiring)
+                    else:
+                        combined = pieces[0]
+                        for extra in pieces[1:]:
+                            combined = combined.concatenate(extra)
+                        combined = combined.sum_duplicates()
+                    if output == "dynamic":
+                        return DHBMatrix.from_coo(combined, combine_duplicates=False)
+                    return CSRMatrix.from_coo(combined, dedup=False)
+
+                out_blocks[rank] = comm.run_local(
+                    rank, _accumulate, category=mult_category
                 )
-
-            coo, bloom = comm.run_local(rank, _mult, category=mult_category)
-            if coo.nnz:
-                partials[rank].append(coo)
-            if compute_bloom and bloom is not None and blooms is not None:
-                blooms[rank].or_inplace(bloom)
-
-    # Local accumulation of the per-round partial products.
-    out_blocks: dict[int, object] = {}
-    for rank in range(grid.n_ranks):
-        block_shape = out_dist.block_shape_of_rank(rank)
-        pieces = partials[rank]
-
-        def _accumulate(pieces=pieces, block_shape=block_shape):
-            if not pieces:
-                combined = COOMatrix.empty(block_shape, semiring)
-            else:
-                combined = pieces[0]
-                for extra in pieces[1:]:
-                    combined = combined.concatenate(extra)
-                combined = combined.sum_duplicates()
-            if output == "dynamic":
-                return DHBMatrix.from_coo(combined, combine_duplicates=False)
-            return CSRMatrix.from_coo(combined, dedup=False)
-
-        out_blocks[rank] = comm.run_local(rank, _accumulate, category=mult_category)
 
     if output == "dynamic":
         result: DistMatrixBase = DynamicDistMatrix(

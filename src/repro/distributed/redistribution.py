@@ -24,6 +24,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.perf.recorder import perf_count, perf_phase
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
@@ -141,66 +142,80 @@ def redistribute_tuples(
     """
     dtype = np.dtype(value_dtype)
     q = grid.q
-    local = {
-        rank: _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
-        for rank in range(grid.n_ranks)
-    }
+    with perf_phase("redistribute"):
+        local = {
+            rank: _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
+            for rank in range(grid.n_ranks)
+        }
+        perf_count(
+            "redistribute.tuples", sum(t[0].size for t in local.values())
+        )
 
-    # ---------------- phase 1: route to the correct process-grid row ----
-    # Communication happens within each grid column.
-    grouped: dict[int, tuple[TupleArrays, np.ndarray]] = {}
-    for rank in range(grid.n_ranks):
-        rows, cols, vals = local[rank]
+        # ------------- phase 1: route to the correct process-grid row ----
+        # Communication happens within each grid column.
+        grouped: dict[int, tuple[TupleArrays, np.ndarray]] = {}
+        with perf_phase("sort"):
+            for rank in range(grid.n_ranks):
+                rows, cols, vals = local[rank]
 
-        def _group(rows=rows, cols=cols, vals=vals):
-            dest_rows = dist.block_row_of(rows) if rows.size else rows
-            return group_by_buckets(rows, cols, vals, dest_rows, q, mode=sort_mode)
+                def _group(rows=rows, cols=cols, vals=vals):
+                    dest_rows = dist.block_row_of(rows) if rows.size else rows
+                    return group_by_buckets(
+                        rows, cols, vals, dest_rows, q, mode=sort_mode
+                    )
 
-        grouped[rank] = comm.run_local(rank, _group, category=sort_category)
+                grouped[rank] = comm.run_local(rank, _group, category=sort_category)
 
-    for col in range(q):
-        col_ranks = grid.col_group(col)
-        sendbufs: dict[int, dict[int, TupleArrays]] = {}
-        for rank in col_ranks:
-            data, offsets = grouped[rank]
-            outgoing: dict[int, TupleArrays] = {}
-            for dest_row in range(q):
-                chunk = _slice_bucket(data, offsets, dest_row)
-                if chunk[0].size:
-                    outgoing[grid.rank_of(dest_row, col)] = chunk
-            sendbufs[rank] = outgoing
-        recv = comm.alltoallv(sendbufs, group=col_ranks, category=comm_category)
-        for rank in col_ranks:
-            chunks = [payload for _src, payload in sorted(recv[rank].items())]
-            local[rank] = _concat_inbox(chunks, dtype)
+        with perf_phase("comm"):
+            for col in range(q):
+                col_ranks = grid.col_group(col)
+                sendbufs: dict[int, dict[int, TupleArrays]] = {}
+                for rank in col_ranks:
+                    data, offsets = grouped[rank]
+                    outgoing: dict[int, TupleArrays] = {}
+                    for dest_row in range(q):
+                        chunk = _slice_bucket(data, offsets, dest_row)
+                        if chunk[0].size:
+                            outgoing[grid.rank_of(dest_row, col)] = chunk
+                    sendbufs[rank] = outgoing
+                recv = comm.alltoallv(sendbufs, group=col_ranks, category=comm_category)
+                for rank in col_ranks:
+                    chunks = [payload for _src, payload in sorted(recv[rank].items())]
+                    local[rank] = _concat_inbox(chunks, dtype)
 
-    # ---------------- phase 2: route to the correct process-grid column -
-    # Tuples are now on the right grid row; communicate within each row.
-    for rank in range(grid.n_ranks):
-        rows, cols, vals = local[rank]
+        # ------------- phase 2: route to the correct process-grid column -
+        # Tuples are now on the right grid row; communicate within each row.
+        with perf_phase("sort"):
+            for rank in range(grid.n_ranks):
+                rows, cols, vals = local[rank]
 
-        def _group(rows=rows, cols=cols, vals=vals):
-            dest_cols = dist.block_col_of(cols) if cols.size else cols
-            return group_by_buckets(rows, cols, vals, dest_cols, q, mode=sort_mode)
+                def _group(rows=rows, cols=cols, vals=vals):
+                    dest_cols = dist.block_col_of(cols) if cols.size else cols
+                    return group_by_buckets(
+                        rows, cols, vals, dest_cols, q, mode=sort_mode
+                    )
 
-        grouped[rank] = comm.run_local(rank, _group, category=sort_category)
+                grouped[rank] = comm.run_local(rank, _group, category=sort_category)
 
-    result: dict[int, TupleArrays] = {r: _empty_tuples(dtype) for r in range(grid.n_ranks)}
-    for row in range(q):
-        row_ranks = grid.row_group(row)
-        sendbufs = {}
-        for rank in row_ranks:
-            data, offsets = grouped[rank]
-            outgoing = {}
-            for dest_col in range(q):
-                chunk = _slice_bucket(data, offsets, dest_col)
-                if chunk[0].size:
-                    outgoing[grid.rank_of(row, dest_col)] = chunk
-            sendbufs[rank] = outgoing
-        recv = comm.alltoallv(sendbufs, group=row_ranks, category=comm_category)
-        for rank in row_ranks:
-            chunks = [payload for _src, payload in sorted(recv[rank].items())]
-            result[rank] = _concat_inbox(chunks, dtype)
+        result: dict[int, TupleArrays] = {
+            r: _empty_tuples(dtype) for r in range(grid.n_ranks)
+        }
+        with perf_phase("comm"):
+            for row in range(q):
+                row_ranks = grid.row_group(row)
+                sendbufs = {}
+                for rank in row_ranks:
+                    data, offsets = grouped[rank]
+                    outgoing = {}
+                    for dest_col in range(q):
+                        chunk = _slice_bucket(data, offsets, dest_col)
+                        if chunk[0].size:
+                            outgoing[grid.rank_of(row, dest_col)] = chunk
+                    sendbufs[rank] = outgoing
+                recv = comm.alltoallv(sendbufs, group=row_ranks, category=comm_category)
+                for rank in row_ranks:
+                    chunks = [payload for _src, payload in sorted(recv[rank].items())]
+                    result[rank] = _concat_inbox(chunks, dtype)
 
     return result
 
@@ -224,25 +239,28 @@ def redistribute_tuples_single_phase(
     """
     dtype = np.dtype(value_dtype)
     p = grid.n_ranks
-    sendbufs: dict[int, dict[int, TupleArrays]] = {}
-    for rank in range(p):
-        rows, cols, vals = _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
+    with perf_phase("redistribute_single_phase"):
+        sendbufs: dict[int, dict[int, TupleArrays]] = {}
+        with perf_phase("sort"):
+            for rank in range(p):
+                rows, cols, vals = _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
 
-        def _group(rows=rows, cols=cols, vals=vals):
-            owners = dist.owner_of(rows, cols) if rows.size else rows
-            return group_by_buckets(rows, cols, vals, owners, p, mode=sort_mode)
+                def _group(rows=rows, cols=cols, vals=vals):
+                    owners = dist.owner_of(rows, cols) if rows.size else rows
+                    return group_by_buckets(rows, cols, vals, owners, p, mode=sort_mode)
 
-        data, offsets = comm.run_local(rank, _group, category=sort_category)
-        outgoing: dict[int, TupleArrays] = {}
-        for dest in range(p):
-            chunk = _slice_bucket(data, offsets, dest)
-            if chunk[0].size:
-                outgoing[dest] = chunk
-        sendbufs[rank] = outgoing
+                data, offsets = comm.run_local(rank, _group, category=sort_category)
+                outgoing: dict[int, TupleArrays] = {}
+                for dest in range(p):
+                    chunk = _slice_bucket(data, offsets, dest)
+                    if chunk[0].size:
+                        outgoing[dest] = chunk
+                sendbufs[rank] = outgoing
 
-    recv = comm.alltoallv(sendbufs, category=comm_category)
-    result: dict[int, TupleArrays] = {}
-    for rank in range(p):
-        chunks = [payload for _src, payload in sorted(recv.get(rank, {}).items())]
-        result[rank] = _concat_inbox(chunks, dtype)
+        with perf_phase("comm"):
+            recv = comm.alltoallv(sendbufs, category=comm_category)
+        result: dict[int, TupleArrays] = {}
+        for rank in range(p):
+            chunks = [payload for _src, payload in sorted(recv.get(rank, {}).items())]
+            result[rank] = _concat_inbox(chunks, dtype)
     return result

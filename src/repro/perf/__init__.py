@@ -1,0 +1,88 @@
+"""Unified performance instrumentation.
+
+Three pieces, layered bottom to top:
+
+``recorder``
+    :class:`PerfRecorder` — nested phase timers plus a counter registry,
+    with per-phase communication-volume attribution.  One module-level
+    *active* recorder (installed with :func:`use_recorder`) is consulted by
+    the instrumented hot paths (``spgemm_local``, DHB batch insertion, the
+    SPA, SUMMA, tuple redistribution, scenario replay) and by both
+    communicator backends through the :func:`record_comm_event` funnel —
+    the single code path that accounts bytes/messages for ``SimMPI`` *and*
+    ``MPIBackend``.  When no recorder is active every probe is a cheap
+    no-op, so production code pays almost nothing.
+
+``schema``
+    The checked-in ``BENCH_<fig>.json`` document schema
+    (:data:`BENCH_SCHEMA`), a dependency-free validator
+    (:func:`validate_bench`) and the :func:`bench_document` builder used by
+    ``benchmarks/run_suite.py``.
+
+``compare``
+    :func:`compare_documents` / the ``python -m repro.perf.compare`` CLI —
+    diff two ``BENCH_*.json`` files and fail (exit code 1) on a relative
+    slowdown above the threshold.
+
+The subsystem is dependency-free by design (stdlib + NumPy only) and never
+imports :mod:`repro.runtime`, so the runtime backends can import it without
+cycles.
+"""
+
+from repro.perf.recorder import (
+    PerfRecorder,
+    PhaseTotals,
+    get_recorder,
+    perf_count,
+    perf_phase,
+    record_comm_event,
+    use_recorder,
+)
+#: names resolved lazily from their submodule, so that running the CLIs as
+#: ``python -m repro.perf.compare`` / ``python -m repro.perf.schema`` does
+#: not re-import the module being executed (which would trigger a runpy
+#: warning)
+_LAZY_EXPORTS = {
+    "ComparisonReport": "compare",
+    "Regression": "compare",
+    "compare_documents": "compare",
+    "BENCH_SCHEMA": "schema",
+    "BENCH_SCHEMA_VERSION": "schema",
+    "BenchSchemaError": "schema",
+    "bench_document": "schema",
+    "bench_run_entry": "schema",
+    "git_sha": "schema",
+    "validate_bench": "schema",
+}
+
+
+def __getattr__(name: str):
+    """Lazily expose the :mod:`repro.perf.schema` / ``compare`` public names."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f"repro.perf.{module_name}")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PerfRecorder",
+    "PhaseTotals",
+    "get_recorder",
+    "use_recorder",
+    "perf_phase",
+    "perf_count",
+    "record_comm_event",
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "bench_document",
+    "bench_run_entry",
+    "git_sha",
+    "validate_bench",
+    "ComparisonReport",
+    "Regression",
+    "compare_documents",
+]

@@ -116,11 +116,17 @@ class Communicator(Protocol):
         """Parallel time so far (modelled or wall-clock, backend-defined)."""
         ...
 
-    def reset_clock(self) -> None: ...
+    def reset_clock(self) -> None:
+        """Reset the clock(s) behind :meth:`elapsed` (statistics survive)."""
+        ...
 
-    def reset(self) -> None: ...
+    def reset(self) -> None:
+        """Reset clocks *and* accumulated statistics."""
+        ...
 
-    def barrier(self, group: Sequence[int] | None = None) -> None: ...
+    def barrier(self, group: Sequence[int] | None = None) -> None:
+        """Synchronise the ranks of ``group`` (default: all ranks)."""
+        ...
 
     def timer(self) -> Any:
         """Context manager yielding an object with a ``seconds`` attribute."""
@@ -134,7 +140,14 @@ class Communicator(Protocol):
         *args: Any,
         category: str = StatCategory.LOCAL_COMPUTE,
         **kwargs: Any,
-    ) -> Any: ...
+    ) -> Any:
+        """Execute ``fn(*args, **kwargs)`` as local work of ``rank``.
+
+        The kernel's cost is charged to ``rank`` under ``category``;
+        returns the kernel's result (``None`` on non-owning processes of a
+        multi-process backend).
+        """
+        ...
 
     def map_local(
         self,
@@ -143,7 +156,14 @@ class Communicator(Protocol):
         *,
         category: str = StatCategory.LOCAL_COMPUTE,
         group: Sequence[int] | None = None,
-    ) -> dict[int, Any]: ...
+    ) -> dict[int, Any]:
+        """Run ``fn`` once per rank with rank-specific argument tuples.
+
+        ``per_rank_args`` is a mapping ``rank -> args`` or a sequence
+        aligned with ``group``; returns ``rank -> result`` for the ranks
+        that executed locally.
+        """
+        ...
 
     def charge_local(
         self,
@@ -151,7 +171,9 @@ class Communicator(Protocol):
         measured_seconds: float,
         *,
         category: str = StatCategory.LOCAL_COMPUTE,
-    ) -> None: ...
+    ) -> None:
+        """Charge already-measured local seconds to ``rank`` under ``category``."""
+        ...
 
     # -- point-to-point -----------------------------------------------
     def exchange(
@@ -159,7 +181,12 @@ class Communicator(Protocol):
         messages: Iterable[tuple[int, int, Any]],
         *,
         category: str = StatCategory.SEND_RECV,
-    ) -> dict[int, list[tuple[int, Any]]]: ...
+    ) -> dict[int, list[tuple[int, Any]]]:
+        """Deliver ``(src, dst, payload)`` messages posted simultaneously.
+
+        Returns ``dst -> [(src, payload), ...]`` in posting order.
+        """
+        ...
 
     def sendrecv(
         self,
@@ -169,7 +196,9 @@ class Communicator(Protocol):
         payload_ba: Any,
         *,
         category: str = StatCategory.SEND_RECV,
-    ) -> tuple[Any, Any]: ...
+    ) -> tuple[Any, Any]:
+        """Pairwise exchange; returns ``(received_by_a, received_by_b)``."""
+        ...
 
     # -- collectives --------------------------------------------------
     def alltoallv(
@@ -178,7 +207,12 @@ class Communicator(Protocol):
         *,
         group: Sequence[int] | None = None,
         category: str = StatCategory.ALLTOALL,
-    ) -> dict[int, dict[int, Any]]: ...
+    ) -> dict[int, dict[int, Any]]:
+        """Personalised all-to-all of ``sendbufs[src][dst]`` within ``group``.
+
+        Returns ``recvbufs[dst][src]``.
+        """
+        ...
 
     def bcast(
         self,
@@ -187,7 +221,9 @@ class Communicator(Protocol):
         *,
         group: Sequence[int] | None = None,
         category: str = StatCategory.BCAST,
-    ) -> dict[int, Any]: ...
+    ) -> dict[int, Any]:
+        """Broadcast ``payload`` from ``root``; returns ``rank -> payload``."""
+        ...
 
     def gather(
         self,
@@ -196,7 +232,9 @@ class Communicator(Protocol):
         *,
         group: Sequence[int] | None = None,
         category: str = StatCategory.GATHER,
-    ) -> dict[int, Any]: ...
+    ) -> dict[int, Any]:
+        """Gather one payload per group member onto ``root`` as ``{src: payload}``."""
+        ...
 
     def scatter(
         self,
@@ -205,7 +243,9 @@ class Communicator(Protocol):
         *,
         group: Sequence[int] | None = None,
         category: str = StatCategory.SCATTER,
-    ) -> dict[int, Any]: ...
+    ) -> dict[int, Any]:
+        """Scatter rank-specific payloads from ``root`` to the group."""
+        ...
 
     def allgather(
         self,
@@ -213,7 +253,9 @@ class Communicator(Protocol):
         *,
         group: Sequence[int] | None = None,
         category: str = StatCategory.ALLGATHER,
-    ) -> dict[int, dict[int, Any]]: ...
+    ) -> dict[int, dict[int, Any]]:
+        """All-gather: every rank receives every payload."""
+        ...
 
     def reduce(
         self,
@@ -224,7 +266,9 @@ class Communicator(Protocol):
         group: Sequence[int] | None = None,
         category: str = StatCategory.REDUCE,
         measure_combine: bool = True,
-    ) -> Any: ...
+    ) -> Any:
+        """Tree-reduce one payload per rank onto ``root`` with ``combine``."""
+        ...
 
     def allreduce(
         self,
@@ -233,7 +277,9 @@ class Communicator(Protocol):
         *,
         group: Sequence[int] | None = None,
         category: str = StatCategory.ALLREDUCE,
-    ) -> dict[int, Any]: ...
+    ) -> dict[int, Any]:
+        """Reduce-then-broadcast allreduce; returns ``rank -> result``."""
+        ...
 
 
 # ----------------------------------------------------------------------

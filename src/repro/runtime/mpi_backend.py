@@ -33,6 +33,7 @@ import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.perf.recorder import record_comm_event
 from repro.runtime.backend import check_rank, normalize_group
 from repro.runtime.config import MachineModel
 from repro.runtime.simmpi import payload_nbytes
@@ -50,43 +51,52 @@ class EmulatedComm:
     """
 
     def Get_rank(self) -> int:
+        """World rank of this process (always 0)."""
         return 0
 
     def Get_size(self) -> int:
+        """World size (always 1)."""
         return 1
 
     def barrier(self) -> None:
-        pass
+        """No-op: a single-rank world is always synchronised."""
 
     Barrier = barrier
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast: the single rank receives its own object."""
         self._check_root(root)
         return obj
 
     def gather(self, sendobj: Any, root: int = 0) -> list[Any]:
+        """Gather: a one-element list of the single rank's payload."""
         self._check_root(root)
         return [sendobj]
 
     def allgather(self, sendobj: Any) -> list[Any]:
+        """All-gather: a one-element list of the single rank's payload."""
         return [sendobj]
 
     def scatter(self, sendobj: Sequence[Any], root: int = 0) -> Any:
+        """Scatter: unwrap the single rank's share."""
         self._check_root(root)
         if len(sendobj) != 1:
             raise ValueError("scatter payload must have one entry per rank")
         return sendobj[0]
 
     def alltoall(self, sendobj: Sequence[Any]) -> list[Any]:
+        """All-to-all: the single rank's bucket comes straight back."""
         if len(sendobj) != 1:
             raise ValueError("alltoall payload must have one entry per rank")
         return list(sendobj)
 
     def reduce(self, sendobj: Any, op: Any = None, root: int = 0) -> Any:
+        """Reduce of one payload: the payload itself."""
         self._check_root(root)
         return sendobj
 
     def allreduce(self, sendobj: Any, op: Any = None) -> Any:
+        """Allreduce of one payload: the payload itself."""
         return sendobj
 
     @staticmethod
@@ -193,6 +203,7 @@ class MPIBackend:
         return rank % self.world_size
 
     def owns(self, rank: int) -> bool:
+        """``True`` when this process hosts logical ``rank``."""
         return self.owner_of(rank) == self.world_rank
 
     # ------------------------------------------------------------------
@@ -203,13 +214,16 @@ class MPIBackend:
         return time.perf_counter() - self._t0
 
     def reset_clock(self) -> None:
+        """Restart the wall-clock behind :meth:`elapsed`."""
         self._t0 = time.perf_counter()
 
     def reset(self) -> None:
+        """Reset the clock *and* the accumulated statistics."""
         self.reset_clock()
         self.stats.reset()
 
     def barrier(self, group: Sequence[int] | None = None) -> None:
+        """Synchronise the processes hosting ``group`` (no-op world of 1)."""
         normalize_group(self.n_ranks, group)
         if self.world_size > 1:
             self._comm.barrier()
@@ -246,7 +260,8 @@ class MPIBackend:
         start = time.perf_counter()
         result = fn(*args, **kwargs)
         measured = time.perf_counter() - start
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             modeled_seconds=measured,
@@ -289,7 +304,8 @@ class MPIBackend:
         check_rank(self.n_ranks, rank)
         if not self.owns(rank):
             return
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             modeled_seconds=measured_seconds,
@@ -333,7 +349,8 @@ class MPIBackend:
             for bucket in arrived:
                 for src, dst, payload in bucket:
                     inbox.setdefault(dst, []).append((src, payload))
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -408,7 +425,8 @@ class MPIBackend:
             for bucket in arrived:
                 for src, dst, payload in bucket:
                     recvbufs[dst][src] = payload
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -439,7 +457,8 @@ class MPIBackend:
         # processes this equals SimMPI's global (g-1) messages.
         n_recv = sum(1 for r in ranks if self.owns(r) and r != root)
         nbytes = payload_nbytes(value)
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_recv,
@@ -473,7 +492,8 @@ class MPIBackend:
                 merged = {}
                 for part in parts:
                     merged.update(part)
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -511,7 +531,8 @@ class MPIBackend:
                     for q in range(self.world_size)
                 ]
             part = self._comm.scatter(parts, root=self.owner_of(root))
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -543,7 +564,8 @@ class MPIBackend:
         # payload; summed over processes this equals SimMPI's global
         # g·(g-1) messages and total·(g-1) bytes.
         owned = [r for r in ranks if self.owns(r)]
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=len(owned) * (g - 1),
@@ -610,7 +632,8 @@ class MPIBackend:
                     else:
                         folded = combine(folded, value)
                 result = folded
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=sum(1 for r in order[1:] if self.owns(r)),

@@ -26,6 +26,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.perf.recorder import record_comm_event
 from repro.runtime.backend import check_rank, normalize_group
 from repro.runtime.config import MachineModel
 from repro.runtime.stats import CommStats, StatCategory
@@ -172,7 +173,8 @@ class SimMPI:
         measured = time.perf_counter() - start
         modeled = self.machine.compute_time(measured)
         self._clock[rank] += modeled
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             modeled_seconds=modeled,
@@ -219,7 +221,8 @@ class SimMPI:
         self._check_rank(rank)
         modeled = self.machine.compute_time(measured_seconds)
         self._clock[rank] += modeled
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             modeled_seconds=modeled,
@@ -271,7 +274,8 @@ class SimMPI:
         for rank, t in arrival.items():
             self._clock[rank] = max(self._clock[rank], t)
         modeled = float(self._clock.max() - before.max()) if msgs else 0.0
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -352,7 +356,8 @@ class SimMPI:
             finish = t0 + max(send_cost[r], recv_cost[r])
             self._clock[r] = finish
             max_finish = max(max_finish, finish)
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -384,7 +389,8 @@ class SimMPI:
         cost = rounds * (self.machine.alpha + self.machine.beta * nbytes)
         t0 = float(self._clock[ranks].max())
         self._clock[ranks] = t0 + cost
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=max(0, g - 1),
@@ -423,7 +429,8 @@ class SimMPI:
                 total_bytes += nbytes
                 n_msgs += 1
         self._clock[root] = t0 + root_cost
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -458,7 +465,8 @@ class SimMPI:
                 total_bytes += nbytes
                 n_msgs += 1
         self._clock[root] = t0 + root_cost
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,
@@ -489,7 +497,8 @@ class SimMPI:
         }
         for r in ranks:
             self._clock[r] = t0 + per_rank_cost[r]
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=g * (g - 1),
@@ -552,7 +561,8 @@ class SimMPI:
                 next_active.append(dst)
             active = next_active
         modeled = float(self._clock[ranks].max() - t0)
-        self.stats.record(
+        record_comm_event(
+            self.stats,
             category,
             operations=1,
             messages=n_msgs,

@@ -82,6 +82,7 @@ class CategoryTotals:
         modeled_seconds: float = 0.0,
         measured_seconds: float = 0.0,
     ) -> None:
+        """Accumulate one observation into the totals."""
         self.operations += operations
         self.messages += messages
         self.bytes += nbytes
@@ -89,6 +90,7 @@ class CategoryTotals:
         self.measured_seconds += measured_seconds
 
     def copy(self) -> "CategoryTotals":
+        """An independent copy of the totals."""
         return CategoryTotals(
             operations=self.operations,
             messages=self.messages,
@@ -98,6 +100,7 @@ class CategoryTotals:
         )
 
     def minus(self, other: "CategoryTotals") -> "CategoryTotals":
+        """Element-wise difference ``self - other`` (for snapshot diffs)."""
         return CategoryTotals(
             operations=self.operations - other.operations,
             messages=self.messages - other.messages,
@@ -107,6 +110,7 @@ class CategoryTotals:
         )
 
     def as_dict(self) -> dict[str, float]:
+        """JSON-friendly view of the totals."""
         return {
             "operations": self.operations,
             "messages": self.messages,
@@ -157,6 +161,7 @@ class CommStats:
         return sum(self.categories[n].bytes for n in names if n in self.categories)
 
     def total_modeled_seconds(self, names: Iterable[str] | None = None) -> float:
+        """Total modelled seconds over the given categories (or all)."""
         names = list(names) if names is not None else list(self.categories)
         return sum(
             self.categories[n].modeled_seconds
@@ -165,6 +170,7 @@ class CommStats:
         )
 
     def total_messages(self, names: Iterable[str] | None = None) -> int:
+        """Total message count over the given categories (or all)."""
         names = list(names) if names is not None else list(self.categories)
         return sum(self.categories[n].messages for n in names if n in self.categories)
 

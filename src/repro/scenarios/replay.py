@@ -29,6 +29,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.perf.recorder import perf_phase
 from repro.runtime import ProcessGrid, make_communicator, resolve_backend_name
 from repro.runtime.backend import Communicator
 from repro.runtime.config import MachineModel
@@ -472,10 +473,11 @@ def replay(
     # ---------------- construction (optionally timed) -----------------
     # The round-robin scatter is measurement infrastructure, not part of
     # the construction protocol: it always stays outside the timed region.
-    executor.prepare()
+    with perf_phase("replay_prepare"):
+        executor.prepare()
     if scenario.timed_construction:
         before = comm.stats.snapshot()
-        with comm.timer() as timer:
+        with comm.timer() as timer, perf_phase("replay_construct"):
             executor.construct()
         diff = comm.stats.diff(before)
         n_initial = (
@@ -496,7 +498,8 @@ def replay(
             )
         )
     else:
-        executor.construct()
+        with perf_phase("replay_construct"):
+            executor.construct()
     post_construct = comm.stats.snapshot()
 
     # ---------------- the trace ----------------------------------------
@@ -518,7 +521,7 @@ def replay(
         per_rank = step.per_rank(n_ranks)
         before = comm.stats.snapshot()
         try:
-            with comm.timer() as timer:
+            with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
                 applied = executor.apply(step, per_rank)
         except UnsupportedOperation:
             step_stats.append(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.perf.recorder import perf_count, perf_phase
 from repro.semirings import Semiring
 from repro.sparse.bloom import BLOOM_BITS, BloomFilterMatrix
 from repro.sparse.coo import COOMatrix
@@ -130,13 +131,40 @@ def spgemm_local(
             and getattr(b, "nnz", 0) > 0
         )
     if use_scipy and semiring.name == "plus_times" and not compute_bloom:
-        return _scipy_fast_path(a, b, semiring), None
+        with perf_phase("spgemm_local"):
+            result = _scipy_fast_path(a, b, semiring)
+        perf_count("spgemm.scipy_calls")
+        perf_count("spgemm.output_nnz", result.nnz)
+        return result, None
 
+    with perf_phase("spgemm_local"):
+        return _spgemm_rowwise(
+            a,
+            b,
+            semiring,
+            (n, m),
+            compute_bloom=compute_bloom,
+            inner_offset=inner_offset,
+        )
+
+
+def _spgemm_rowwise(
+    a,
+    b,
+    semiring: Semiring,
+    shape: tuple[int, int],
+    *,
+    compute_bloom: bool,
+    inner_offset: int,
+) -> tuple[COOMatrix, BloomFilterMatrix | None]:
+    """The vectorised Gustavson loop shared by the scipy-free path."""
+    n, m = shape
     b_row = row_reader(b).row_arrays
     out_rows: list[np.ndarray] = []
     out_cols: list[np.ndarray] = []
     out_vals: list[np.ndarray] = []
     bloom_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
+    n_terms = 0
 
     for i, a_cols, a_vals in row_reader(a).iter_rows():
         chunks_c: list[np.ndarray] = []
@@ -156,12 +184,16 @@ def spgemm_local(
         cols = np.concatenate(chunks_c)
         vals = np.concatenate(chunks_v)
         bits = np.concatenate(chunks_b) if compute_bloom else None
+        n_terms += cols.size
         cols, vals, bits = _dedup_row(cols, vals, bits, semiring)
         out_rows.append(np.full(cols.size, i, dtype=np.int64))
         out_cols.append(cols)
         out_vals.append(vals)
         if compute_bloom:
             bloom_entries.append((i, cols, bits))
+
+    perf_count("spgemm.terms", n_terms)
+    perf_count("spgemm.rows", len(out_rows))
 
     if not out_rows:
         result = COOMatrix.empty((n, m), semiring)
@@ -179,6 +211,7 @@ def spgemm_local(
         for i, cols, bits in bloom_entries:
             for j, bitfield in zip(cols, bits):
                 bloom.set_bits(int(i), int(j), int(bitfield))
+    perf_count("spgemm.output_nnz", result.nnz)
     return result, bloom
 
 
@@ -199,12 +232,34 @@ def spgemm_local_masked(
     the mapping produce no output.  This is the kernel of Algorithm 2's
     local step ``Z, H ← A^R_{k,i} B'_{i,j} masked at C*_{k,j}``.
     """
+    with perf_phase("spgemm_local_masked"):
+        return _spgemm_rowwise_masked(
+            a,
+            b,
+            semiring,
+            mask_rows,
+            compute_bloom=compute_bloom,
+            inner_offset=inner_offset,
+        )
+
+
+def _spgemm_rowwise_masked(
+    a,
+    b,
+    semiring: Semiring,
+    mask_rows: dict[int, np.ndarray],
+    *,
+    compute_bloom: bool,
+    inner_offset: int,
+) -> tuple[COOMatrix, BloomFilterMatrix | None]:
+    """Row-wise masked Gustavson loop behind :func:`spgemm_local_masked`."""
     n, m = _check_shapes(a.shape, b.shape)
     b_row = row_reader(b).row_arrays
     out_rows: list[np.ndarray] = []
     out_cols: list[np.ndarray] = []
     out_vals: list[np.ndarray] = []
     bloom_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
+    n_terms = 0
 
     for i, a_cols, a_vals in row_reader(a).iter_rows():
         allowed = mask_rows.get(int(i))
@@ -217,26 +272,36 @@ def spgemm_local_masked(
             b_cols, b_vals = b_row(int(k))
             if b_cols.size == 0:
                 continue
-            keep = np.isin(b_cols, allowed)
-            if not np.any(keep):
-                continue
-            kept_cols = b_cols[keep]
-            chunks_c.append(kept_cols)
-            chunks_v.append(semiring.times(a_ik, b_vals[keep]))
+            chunks_c.append(b_cols)
+            chunks_v.append(semiring.times(a_ik, b_vals))
             if compute_bloom:
                 bit = np.uint64(1) << np.uint64((int(k) + inner_offset) % BLOOM_BITS)
-                chunks_b.append(np.full(kept_cols.size, bit, dtype=np.uint64))
+                chunks_b.append(np.full(b_cols.size, bit, dtype=np.uint64))
         if not chunks_c:
             continue
         cols = np.concatenate(chunks_c)
         vals = np.concatenate(chunks_v)
         bits = np.concatenate(chunks_b) if compute_bloom else None
+        n_terms += cols.size
+        # One mask intersection for the whole output row (filtering commutes
+        # with the concatenation), instead of one ``np.isin`` per (row, k)
+        # term as the loop used to do.
+        keep = np.isin(cols, allowed)
+        if not np.any(keep):
+            continue
+        cols = cols[keep]
+        vals = vals[keep]
+        if bits is not None:
+            bits = bits[keep]
         cols, vals, bits = _dedup_row(cols, vals, bits, semiring)
         out_rows.append(np.full(cols.size, i, dtype=np.int64))
         out_cols.append(cols)
         out_vals.append(vals)
         if compute_bloom:
             bloom_entries.append((i, cols, bits))
+
+    perf_count("spgemm.masked_terms", n_terms)
+    perf_count("spgemm.masked_rows", len(out_rows))
 
     if not out_rows:
         result = COOMatrix.empty((n, m), semiring)
@@ -269,6 +334,18 @@ def spgemm_rowwise_spa(
     Slow but simple; used by the test-suite as an independent oracle for
     both the plain and the masked vectorised kernels.
     """
+    with perf_phase("spgemm_spa"):
+        return _spgemm_rowwise_spa(a, b, semiring, mask_rows=mask_rows)
+
+
+def _spgemm_rowwise_spa(
+    a,
+    b,
+    semiring: Semiring,
+    *,
+    mask_rows: dict[int, np.ndarray] | None = None,
+) -> COOMatrix:
+    """Accumulator loop behind :func:`spgemm_rowwise_spa`."""
     n, m = _check_shapes(a.shape, b.shape)
     b_row = row_reader(b).row_arrays
     spa = SparseAccumulator(semiring)

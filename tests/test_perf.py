@@ -1,0 +1,373 @@
+"""Tests for the perf instrumentation subsystem (`repro.perf`).
+
+Covers: nested-timer correctness, counter/phase merge across per-rank
+recorders, the backend accounting funnel, BENCH schema round-trips and the
+compare gate's pass/fail thresholds — plus the instrumentation contract of
+the replay driver (phases show up, comm volume is attributed).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    PerfRecorder,
+    bench_document,
+    bench_run_entry,
+    compare_documents,
+    get_recorder,
+    perf_count,
+    perf_phase,
+    use_recorder,
+    validate_bench,
+)
+from repro.runtime import SimMPI, make_communicator
+from repro.scenarios import grow_from_empty, replay
+
+
+# ----------------------------------------------------------------------
+# recorder: nested timers
+# ----------------------------------------------------------------------
+class FakeClock:
+    """Deterministic clock: each read advances by `step` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_nested_phases_accumulate_under_paths():
+    rec = PerfRecorder()
+    with rec.phase("outer"):
+        with rec.phase("inner"):
+            pass
+        with rec.phase("inner"):
+            pass
+    assert rec.phases["outer"].calls == 1
+    assert rec.phases["outer/inner"].calls == 2
+    assert "inner" not in rec.phases  # nested path, not a sibling root
+
+
+def test_nested_phase_timing_is_inclusive_and_exclusive_derives():
+    # Each clock read advances 1s: outer spans reads (0, 5) = 5s inclusive;
+    # the two inner phases span (1, 2) and (3, 4) = 1s each.
+    rec = PerfRecorder(clock=FakeClock())
+    with rec.phase("outer"):
+        with rec.phase("inner"):
+            pass
+        with rec.phase("inner"):
+            pass
+    assert rec.phase_seconds("outer") == pytest.approx(5.0)
+    assert rec.phase_seconds("outer/inner") == pytest.approx(2.0)
+    assert rec.exclusive_seconds("outer") == pytest.approx(3.0)
+    # exclusive only subtracts *direct* children
+    assert rec.exclusive_seconds("outer/inner") == pytest.approx(2.0)
+
+
+def test_phase_stack_restored_on_exception():
+    rec = PerfRecorder()
+    with pytest.raises(RuntimeError):
+        with rec.phase("outer"):
+            with rec.phase("inner"):
+                raise RuntimeError("boom")
+    assert rec.current_path() == ""
+    assert rec.phases["outer"].calls == 1
+    assert rec.phases["outer/inner"].calls == 1
+
+
+def test_phase_name_validation():
+    rec = PerfRecorder()
+    with pytest.raises(ValueError):
+        with rec.phase("bad/name"):
+            pass
+    with pytest.raises(ValueError):
+        with rec.phase(""):
+            pass
+
+
+# ----------------------------------------------------------------------
+# recorder: counters, comm, merge
+# ----------------------------------------------------------------------
+def test_counters_and_comm_attribution():
+    rec = PerfRecorder()
+    with rec.phase("work"):
+        rec.count("widgets", 3)
+        rec.record_comm("bcast", messages=4, nbytes=100, seconds=0.5)
+    rec.record_comm("bcast", messages=1, nbytes=10, seconds=0.1)  # outside phase
+    assert rec.counters["widgets"] == 3
+    assert rec.comm["bcast"] == {
+        "events": 2,
+        "messages": 5,
+        "bytes": 110,
+        "seconds": pytest.approx(0.6),
+    }
+    # only the in-phase share lands on the phase
+    assert rec.phases["work"].messages == 4
+    assert rec.phases["work"].bytes == 100
+    assert rec.total_comm() == {"messages": 5, "bytes": 110}
+
+
+def test_merge_across_ranks_sums_everything():
+    ranks = []
+    for rank in range(3):
+        rec = PerfRecorder()
+        with rec.phase("step"):
+            rec.count("entries", 10 * (rank + 1))
+            rec.record_comm("alltoall", messages=2, nbytes=rank + 1)
+        ranks.append(rec)
+    merged = PerfRecorder()
+    for rec in ranks:
+        merged.merge(rec)
+    assert merged.counters["entries"] == 60
+    assert merged.phases["step"].calls == 3
+    assert merged.comm["alltoall"]["messages"] == 6
+    assert merged.comm["alltoall"]["bytes"] == 6
+    assert merged.phases["step"].bytes == 6
+
+
+def test_module_probes_noop_without_active_recorder():
+    assert get_recorder() is None
+    with perf_phase("anything"):
+        perf_count("nothing")  # must not raise
+
+
+def test_use_recorder_nests_and_restores():
+    outer, inner = PerfRecorder(), PerfRecorder()
+    with use_recorder(outer):
+        assert get_recorder() is outer
+        with use_recorder(inner):
+            assert get_recorder() is inner
+            perf_count("x")
+        assert get_recorder() is outer
+    assert get_recorder() is None
+    assert inner.counters == {"x": 1}
+    assert outer.counters == {}
+
+
+def test_backend_funnel_records_into_stats_and_recorder():
+    rec = PerfRecorder()
+    with use_recorder(rec):
+        comm = SimMPI(4)
+        with rec.phase("exchange"):
+            comm.exchange([(0, 1, np.zeros(8)), (2, 3, np.zeros(4))])
+    # CommStats side (unchanged semantics)
+    assert comm.stats.categories["send_recv"].messages == 2
+    assert comm.stats.categories["send_recv"].bytes == 96
+    # recorder side, attributed to the open phase
+    assert rec.comm["send_recv"]["messages"] == 2
+    assert rec.phases["exchange"].bytes == 96
+
+
+def test_replay_populates_phases_and_comm():
+    scenario = grow_from_empty(n=48, n_batches=2, batch=64, seed=5)
+    rec = PerfRecorder()
+    with use_recorder(rec):
+        replay(scenario, n_ranks=4, collect_final=False)
+    assert rec.phases["replay_construct"].calls == 1
+    assert rec.phases["replay_insert"].calls == 2
+    assert rec.phase_seconds("replay_insert/redistribute") > 0.0
+    assert rec.phases["replay_insert"].bytes > 0
+    assert rec.counters["dhb.insert.entries"] > 0
+
+
+# ----------------------------------------------------------------------
+# schema round-trip
+# ----------------------------------------------------------------------
+def _sample_run(**overrides):
+    entry = bench_run_entry(
+        backend="sim",
+        layout="csr",
+        repeats=3,
+        elapsed_seconds_median=0.25,
+        phase_seconds_median={"replay_insert": 0.1, "replay_insert/redistribute": 0.04},
+        phase_calls={"replay_insert": 4},
+        counters={"dhb.insert.entries": 4096},
+        comm={"messages": 480, "bytes": 123456},
+        comm_categories={"alltoall": {"messages": 480, "bytes": 123456}},
+    )
+    entry.update(overrides)
+    return entry
+
+
+def _sample_document(**overrides):
+    doc = bench_document(
+        figure="fig04",
+        title="sample",
+        seed=0,
+        profile="smoke",
+        n_ranks=16,
+        runs=[_sample_run()],
+        extras={"note": "test"},
+        sha="deadbeef",
+    )
+    doc.update(overrides)
+    return doc
+
+
+def test_bench_document_round_trips_through_json():
+    doc = _sample_document()
+    validate_bench(doc)
+    restored = json.loads(json.dumps(doc))
+    validate_bench(restored)
+    assert restored == doc
+    assert restored["schema_version"] == BENCH_SCHEMA_VERSION
+    assert restored["git_sha"] == "deadbeef"
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        {"schema_version": 99},
+        {"runs": [{"backend": "sim"}]},
+        {"seed": "zero"},
+        {"n_ranks": 0},
+        {"runs": [_sample_run(elapsed_seconds_median=-1.0)]},
+        {"runs": [_sample_run(comm={"messages": 1})]},
+    ],
+)
+def test_schema_rejects_corrupt_documents(corrupt):
+    doc = _sample_document(**corrupt)
+    with pytest.raises(BenchSchemaError):
+        validate_bench(doc)
+
+
+def test_schema_rejects_missing_required_key():
+    doc = _sample_document()
+    del doc["git_sha"]
+    with pytest.raises(BenchSchemaError):
+        validate_bench(doc)
+
+
+# ----------------------------------------------------------------------
+# compare gate
+# ----------------------------------------------------------------------
+def test_compare_identical_documents_passes():
+    doc = _sample_document()
+    report = compare_documents(doc, doc, threshold=0.25)
+    assert not report.regressed
+    assert report.compared_metrics > 0
+
+
+def test_compare_flags_injected_2x_slowdown():
+    base = _sample_document()
+    slow = _sample_document()
+    slow["runs"][0]["phase_seconds_median"]["replay_insert"] *= 2.0
+    report = compare_documents(base, slow, threshold=0.25)
+    assert report.regressed
+    (regression,) = report.regressions
+    assert regression.metric == "phase:replay_insert"
+    assert regression.ratio == pytest.approx(2.0)
+
+
+def test_compare_tolerates_drift_below_threshold():
+    base = _sample_document()
+    near = _sample_document()
+    near["runs"][0]["elapsed_seconds_median"] *= 1.2  # under the 25% gate
+    assert not compare_documents(base, near, threshold=0.25).regressed
+
+
+def test_compare_absolute_floor_ignores_micro_phases():
+    base = _sample_document()
+    noisy = _sample_document()
+    noisy["runs"][0]["phase_seconds_median"]["replay_insert/redistribute"] = 0.0402
+    base["runs"][0]["phase_seconds_median"]["replay_insert/redistribute"] = 0.0200
+    # 2x ratio but only +20ms; with a large floor it must pass, with the
+    # default floor it must fail
+    assert not compare_documents(base, noisy, min_seconds=0.05).regressed
+    assert compare_documents(base, noisy, min_seconds=5e-4).regressed
+
+
+def test_compare_comm_volume_has_no_timing_floor():
+    base = _sample_document()
+    bloated = _sample_document()
+    bloated["runs"][0]["comm"]["bytes"] *= 2
+    report = compare_documents(base, bloated, min_seconds=1e9)
+    assert report.regressed
+    assert report.regressions[0].metric == "comm.bytes"
+
+
+def test_compare_refuses_cross_figure_documents():
+    base = _sample_document()
+    other = _sample_document(figure="fig08")
+    with pytest.raises(BenchSchemaError):
+        compare_documents(base, other)
+
+
+def test_compare_reports_unmatched_runs():
+    base = _sample_document()
+    wider = _sample_document()
+    wider["runs"] = [_sample_run(), _sample_run(layout="dhb")]
+    report = compare_documents(base, wider)
+    assert report.unmatched_runs == ["sim/dhb"]
+    assert not report.regressed
+
+
+def test_compare_cli_round_trip(tmp_path):
+    from repro.perf.compare import main
+
+    base_path = tmp_path / "base.json"
+    slow_path = tmp_path / "slow.json"
+    base = _sample_document()
+    slow = _sample_document()
+    slow["runs"][0]["elapsed_seconds_median"] *= 2.0
+    base_path.write_text(json.dumps(base))
+    slow_path.write_text(json.dumps(slow))
+    assert main([str(base_path), str(base_path)]) == 0
+    assert main([str(base_path), str(slow_path)]) == 1
+    assert main([str(base_path), str(tmp_path / "missing.json")]) == 2
+
+
+# ----------------------------------------------------------------------
+# the suite runner end to end (one tiny cell)
+# ----------------------------------------------------------------------
+def test_run_suite_emits_valid_documents(tmp_path):
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "run_suite.py"
+    spec = importlib.util.spec_from_file_location("run_suite", path)
+    run_suite_mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(run_suite_mod)
+    written = run_suite_mod.run_suite(
+        profile_name="smoke",
+        figs=("fig08",),
+        backends=("sim",),
+        layouts=("csr",),
+        repeats=1,
+        out_dir=str(tmp_path),
+    )
+    assert written == [str(tmp_path / "BENCH_fig08.json")]
+    with open(written[0], "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    validate_bench(document)
+    assert document["figure"] == "fig08"
+    (run,) = document["runs"]
+    assert (run["backend"], run["layout"]) == ("sim", "csr")
+    assert run["phase_seconds_median"]["replay_construct"] > 0.0
+    assert not compare_documents(document, document).regressed
+
+
+# ----------------------------------------------------------------------
+# cross-backend determinism of the funnel
+# ----------------------------------------------------------------------
+def test_comm_volume_identical_across_backends():
+    scenario = grow_from_empty(n=48, n_batches=2, batch=64, seed=5)
+    volumes = {}
+    for backend in ("sim", "mpi"):
+        rec = PerfRecorder()
+        comm = make_communicator(backend, n_ranks=4, force_emulator=True) \
+            if backend == "mpi" else make_communicator(backend, n_ranks=4)
+        with use_recorder(rec):
+            replay(scenario, comm=comm, collect_final=False)
+        volumes[backend] = rec.total_comm()
+    assert volumes["sim"] == volumes["mpi"]

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""AST-based docstring check for the public API (a tiny pydocstyle).
+
+Asserts that every public symbol — module, top-level class/function,
+public method — in the given files (or packages, walked recursively) has
+a docstring.  Private names (leading underscore), ``__dunder__`` methods
+other than ``__init__`` on public classes, and bodies consisting solely of
+``...`` (protocol stubs are still required to carry docstrings — only
+property setters are exempt) are handled as documented below.  Exit code 1
+lists every offender; used by the CI docs job.
+
+    python tools/check_docstrings.py src/repro/core/api.py src/repro/perf
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in_class(node: ast.ClassDef, path: str) -> list[str]:
+    errors = []
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(item.name) and item.name != "__init__":
+                continue
+            if item.name == "__init__":
+                # documented either on the class or on __init__ itself
+                if ast.get_docstring(node) or ast.get_docstring(item):
+                    continue
+            # property setters restate the getter's contract
+            if any(
+                isinstance(dec, ast.Attribute) and dec.attr == "setter"
+                for dec in item.decorator_list
+            ):
+                continue
+            if not ast.get_docstring(item):
+                errors.append(
+                    f"{path}:{item.lineno}: method "
+                    f"{node.name}.{item.name} lacks a docstring"
+                )
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    """Missing-docstring messages for one Python file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    errors: list[str] = []
+    if not ast.get_docstring(tree):
+        errors.append(f"{path}:1: module lacks a docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name) and not ast.get_docstring(node):
+                errors.append(
+                    f"{path}:{node.lineno}: function {node.name} lacks a docstring"
+                )
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if not ast.get_docstring(node):
+                errors.append(
+                    f"{path}:{node.lineno}: class {node.name} lacks a docstring"
+                )
+            errors.extend(_missing_in_class(node, path))
+    return errors
+
+
+def _expand(targets: list[str]) -> list[str]:
+    files: list[str] = []
+    for target in targets:
+        if os.path.isdir(target):
+            for root, _dirs, names in os.walk(target):
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        else:
+            files.append(target)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    targets = list(sys.argv[1:] if argv is None else argv)
+    if not targets:
+        print("usage: python tools/check_docstrings.py <file-or-package> ...")
+        return 2
+    errors: list[str] = []
+    files = _expand(targets)
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} file(s): {len(errors)} missing docstring(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

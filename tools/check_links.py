@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Fail on dead intra-repo links in the markdown docs.
+
+Scans the given markdown files (default: ``README.md`` and ``docs/*.md``)
+for inline links and checks that every *relative* target resolves to an
+existing file or directory (anchors are stripped; external ``http(s)``,
+``mailto`` and absolute links are ignored).  Exit code 1 lists every dead
+link; used by the CI docs job.
+
+    python tools/check_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+#: inline markdown links ``[text](target)``; images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that are not intra-repo files
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path: str) -> list[tuple[int, str]]:
+    """All ``(line_number, target)`` links of one markdown file."""
+    links: list[tuple[int, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        in_code_fence = False
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in _LINK.finditer(line):
+                links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: str) -> list[str]:
+    """Dead-link error messages for one markdown file."""
+    errors: list[str] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in iter_links(path):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        if target.startswith("/"):
+            errors.append(
+                f"{path}:{lineno}: absolute link {target!r} will not render "
+                "on GitHub — use a relative path"
+            )
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}:{lineno}: dead link {target!r} -> {resolved}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        args = [os.path.join(repo, "README.md")] + sorted(
+            glob.glob(os.path.join(repo, "docs", "*.md"))
+        )
+    errors: list[str] = []
+    checked = 0
+    for path in args:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+        checked += 1
+    for error in errors:
+        print(error)
+    print(f"checked {checked} file(s): {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
