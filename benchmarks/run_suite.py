@@ -52,7 +52,7 @@ from repro.perf import (
     use_recorder,
     validate_bench,
 )
-from repro.runtime import make_communicator
+from repro.runtime import make_communicator, world_rank
 from repro.scenarios import Scenario, replay
 from repro.semirings import PLUS_TIMES
 from repro.sparse import DHBMatrix
@@ -308,6 +308,12 @@ def run_suite(
             extras=extras,
         )
         validate_bench(document)
+        # Under a multi-process launch every process replays the protocols
+        # (one SPMD program), but only world rank 0 writes the BENCH
+        # documents — the measured comm volume is identical on every rank
+        # by construction, and concurrent writers would race on the files.
+        if world_rank() != 0:
+            continue
         path = os.path.join(out_dir, f"BENCH_{fig}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

@@ -74,26 +74,40 @@ class Backend(abc.ABC):
         """Delete the given non-zeros (MASK semantics)."""
 
     @abc.abstractmethod
+    def local_nnz(self) -> int:
+        """Structural non-zeros of the locally owned state only.
+
+        Collective-free, so it is safe in contexts that may run on a single
+        process of a larger world (``__repr__``, logging, error paths) —
+        the global :meth:`nnz` would block in the control plane there while
+        the peers are elsewhere.
+        """
+
     def nnz(self) -> int:
-        """Current number of structural non-zeros."""
+        """Current *global* number of structural non-zeros.
+
+        A world-wide query: folds the owned counts through the control
+        plane, so every process must call it at the same point of the
+        program.
+        """
+        return int(self.comm.host_fold(self.local_nnz(), lambda x, y: x + y))
 
     @abc.abstractmethod
     def to_coo_global(self) -> COOMatrix:
-        """Assembled global matrix (verification only)."""
+        """Assembled global matrix (verification only; world-wide query)."""
 
-    # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
-        """Metadata used by the benchmark reports."""
+        """Metadata used by the benchmark reports (collective-free)."""
         return {
             "name": self.name,
             "supports_deletions": self.supports_deletions,
             "supports_semirings": self.supports_semirings,
             "shape": self.shape,
-            "nnz": self.nnz(),
+            "nnz": self.local_nnz(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz()})"
+        return f"{type(self).__name__}(shape={self.shape}, local_nnz={self.local_nnz()})"
 
 
 def _registry() -> dict[str, type[Backend]]:

@@ -57,7 +57,7 @@ class CombBLASBackend(Backend):
         # column-major DCSC layout; the rebuild cost structure is identical.
         self.blocks: dict[int, DCSRMatrix] = {
             rank: DCSRMatrix.empty(self.dist.block_shape_of_rank(rank), semiring)
-            for rank in range(grid.n_ranks)
+            for rank in comm.owned_ranks(grid.all_ranks())
         }
 
     # ------------------------------------------------------------------
@@ -97,7 +97,7 @@ class CombBLASBackend(Backend):
     # ------------------------------------------------------------------
     def construct(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
         routed = self._route(tuples_per_rank)
-        for rank in range(self.grid.n_ranks):
+        for rank in list(self.blocks):
             coo = self._local_coo(rank, routed)
             self.blocks[rank] = self.comm.run_local(
                 rank, self._rebuild, rank, coo, category=StatCategory.LOCAL_CONSTRUCT
@@ -105,7 +105,7 @@ class CombBLASBackend(Backend):
 
     def insert_batch(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
         routed = self._route(tuples_per_rank)
-        for rank in range(self.grid.n_ranks):
+        for rank in list(self.blocks):
             update = self._local_coo(rank, routed)
             old = self.blocks[rank]
 
@@ -121,7 +121,7 @@ class CombBLASBackend(Backend):
         from repro.sparse.elementwise import merge_pattern
 
         routed = self._route(tuples_per_rank)
-        for rank in range(self.grid.n_ranks):
+        for rank in list(self.blocks):
             update = self._local_coo(rank, routed)
             old = self.blocks[rank]
 
@@ -137,7 +137,7 @@ class CombBLASBackend(Backend):
         from repro.sparse.elementwise import mask_pattern
 
         routed = self._route(tuples_per_rank)
-        for rank in range(self.grid.n_ranks):
+        for rank in list(self.blocks):
             update = self._local_coo(rank, routed)
             old = self.blocks[rank]
 
@@ -150,7 +150,7 @@ class CombBLASBackend(Backend):
             )
 
     # ------------------------------------------------------------------
-    def nnz(self) -> int:
+    def local_nnz(self) -> int:
         return sum(block.nnz for block in self.blocks.values())
 
     def to_coo_global(self) -> COOMatrix:

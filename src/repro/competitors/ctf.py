@@ -49,7 +49,8 @@ class CTFBackend(Backend):
         # Per-rank shard of the cyclic layout, stored as raw triplets in
         # *global* coordinates (CTF keeps index-value pairs per processor).
         self.shards: dict[int, COOMatrix] = {
-            rank: COOMatrix.empty(shape, semiring) for rank in range(grid.n_ranks)
+            rank: COOMatrix.empty(shape, semiring)
+            for rank in comm.owned_ranks(grid.all_ranks())
         }
 
     # ------------------------------------------------------------------
@@ -68,7 +69,7 @@ class CTFBackend(Backend):
         # Every rank contributes its *entire* shard plus its share of the
         # new tuples; everything is exchanged and re-sorted.
         sendbufs: dict[int, dict[int, TupleArrays]] = {}
-        for rank in range(p):
+        for rank in list(self.shards):
             shard = self.shards[rank]
             new = tuples_per_rank.get(
                 rank,
@@ -108,8 +109,10 @@ class CTFBackend(Backend):
                 dest: (r, c, np.stack([v, flag_payload[dest].astype(v.dtype)]))
                 for dest, (r, c, v) in outgoing.items()
             }
-        recv = self.comm.alltoallv(sendbufs, category=StatCategory.REDIST_COMM)
-        for rank in range(p):
+        recv = self.comm.alltoallv(
+            sendbufs, group=self.grid.all_ranks(), category=StatCategory.REDIST_COMM
+        )
+        for rank in list(self.shards):
             pieces = [payload for _src, payload in sorted(recv.get(rank, {}).items())]
 
             def _rebuild(pieces=pieces):
@@ -153,7 +156,7 @@ class CTFBackend(Backend):
     def construct(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
         self.shards = {
             rank: COOMatrix.empty(self.shape, self.semiring)
-            for rank in range(self.grid.n_ranks)
+            for rank in self.comm.owned_ranks(self.grid.all_ranks())
         }
         self._global_remap(tuples_per_rank, combine="add")
 
@@ -167,13 +170,14 @@ class CTFBackend(Backend):
         self._global_remap(tuples_per_rank, combine="mask")
 
     # ------------------------------------------------------------------
-    def nnz(self) -> int:
+    def local_nnz(self) -> int:
         return sum(shard.nnz for shard in self.shards.values())
 
     def to_coo_global(self) -> COOMatrix:
+        merged = self.comm.host_merge(self.shards)
         out = COOMatrix.empty(self.shape, self.semiring)
-        for shard in self.shards.values():
-            out = out.concatenate(shard)
+        for rank in sorted(merged):
+            out = out.concatenate(merged[rank])
         return out.sum_duplicates()
 
     def to_csr_global(self) -> CSRMatrix:

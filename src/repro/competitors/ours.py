@@ -100,6 +100,9 @@ class OurBackend(Backend):
         self.matrix.mask_update(update)
 
     # ------------------------------------------------------------------
+    def local_nnz(self) -> int:
+        return sum(block.nnz for block in self.matrix.blocks.values())
+
     def nnz(self) -> int:
         return self.matrix.nnz()
 

@@ -62,7 +62,7 @@ class PETScBackend(Backend):
         self.row_offsets = self._row_offsets(shape[0], self.n_ranks)
         self.local_csr: dict[int, CSRMatrix] = {
             rank: CSRMatrix.empty(self._local_shape(rank), semiring)
-            for rank in range(self.n_ranks)
+            for rank in comm.owned_ranks(list(range(self.n_ranks)))
         }
 
     # ------------------------------------------------------------------
@@ -92,18 +92,20 @@ class PETScBackend(Backend):
         """MatSetValues + MatAssembly: stash remote values, then rebuild rows."""
         # Map the caller's per-rank batches (defined over the full grid) to
         # the PETSc ranks that generated them.
-        stash_inputs: dict[int, list[TupleArrays]] = {r: [] for r in range(self.n_ranks)}
+        petsc_ranks = self.comm.owned_ranks(list(range(self.n_ranks)))
+        stash_inputs: dict[int, list[TupleArrays]] = {r: [] for r in petsc_ranks}
         for src_rank, data in tuples_per_rank.items():
             petsc_rank = int(src_rank) % self.n_ranks
-            stash_inputs[petsc_rank].append(data)
+            if petsc_rank in stash_inputs:
+                stash_inputs[petsc_rank].append(data)
 
         # Per-rank MatSetValues loop: values for local rows are stored, the
         # rest goes into the communication stash (per destination rank).
         sendbufs: dict[int, dict[int, TupleArrays]] = {}
         local_pending: dict[int, list[tuple[int, int, float]]] = {
-            r: [] for r in range(self.n_ranks)
+            r: [] for r in petsc_ranks
         }
-        for rank in range(self.n_ranks):
+        for rank in petsc_ranks:
             pieces = stash_inputs[rank]
 
             def _mat_set_values(pieces=pieces, rank=rank):
@@ -139,7 +141,7 @@ class PETScBackend(Backend):
             group=list(range(self.n_ranks)),
             category=StatCategory.REDIST_COMM,
         )
-        for rank in range(self.n_ranks):
+        for rank in petsc_ranks:
             incoming = [payload for _src, payload in sorted(recv.get(rank, {}).items())]
             pending = local_pending[rank]
             old = self.local_csr[rank]
@@ -181,7 +183,7 @@ class PETScBackend(Backend):
     def construct(self, tuples_per_rank: Mapping[int, TupleArrays]) -> None:
         self.local_csr = {
             rank: CSRMatrix.empty(self._local_shape(rank), self.semiring)
-            for rank in range(self.n_ranks)
+            for rank in self.comm.owned_ranks(list(range(self.n_ranks)))
         }
         self._set_values(tuples_per_rank, mode="add")
 
@@ -197,13 +199,14 @@ class PETScBackend(Backend):
         )
 
     # ------------------------------------------------------------------
-    def nnz(self) -> int:
+    def local_nnz(self) -> int:
         return sum(csr.nnz for csr in self.local_csr.values())
 
     def to_coo_global(self) -> COOMatrix:
+        merged = self.comm.host_merge(self.local_csr)
         pieces_r, pieces_c, pieces_v = [], [], []
-        for rank, csr in self.local_csr.items():
-            coo = csr.to_coo()
+        for rank in sorted(merged):
+            coo = merged[rank].to_coo()
             pieces_r.append(coo.rows + int(self.row_offsets[rank]))
             pieces_c.append(coo.cols)
             pieces_v.append(coo.values)

@@ -94,13 +94,17 @@ def static_spgemm_ctf(
     # blocks travel back afterwards.
     for operand in (a, b):
         messages = []
-        for rank in range(grid.n_ranks):
+        for rank in comm.owned_ranks(grid.all_ranks()):
             dst = grid.transpose_rank(rank)
             messages.append((rank, dst, operand.blocks[rank]))
-        comm.exchange(messages, category=StatCategory.ALLTOALL)
+        inbox = comm.exchange(messages, category=StatCategory.ALLTOALL)
+        # Return leg: every rank ships the block it just received straight
+        # back to its origin (same volume as the outbound leg, posted by
+        # the rank that actually holds the copy).
         messages = [
-            (grid.transpose_rank(rank), rank, operand.blocks[rank])
-            for rank in range(grid.n_ranks)
+            (rank, grid.transpose_rank(rank), inbox[rank][0][1])
+            for rank in comm.owned_ranks(grid.all_ranks())
+            if inbox.get(rank)
         ]
         comm.exchange(messages, category=StatCategory.ALLTOALL)
     product, _ = summa_spgemm(
@@ -133,17 +137,37 @@ def static_spgemm_petsc_1d(
     """
     results: dict[int, COOMatrix] = {}
     group = list(range(n_ranks))
-    for rank in group:
-        a_local = a_rows_per_rank[rank]
+
+    # Symbolic phase: every rank's referenced-row list, computed locally and
+    # made globally visible in ONE control-plane merge (the stand-in for a
+    # real implementation's row-request exchange) instead of one collective
+    # per rank.
+    needed_local: dict[int, np.ndarray] = {}
+    for rank in comm.owned_ranks(group):
+        a_local = a_rows_per_rank.get(rank)
+        if a_local is None:
+            continue
 
         def _needed_rows(a_local=a_local):
             return np.unique(a_local.indices)
 
-        needed = comm.run_local(rank, _needed_rows, category=StatCategory.LOCAL_COMPUTE)
+        needed_local[rank] = comm.run_local(
+            rank, _needed_rows, category=StatCategory.LOCAL_COMPUTE
+        )
+    needed_by_rank = comm.host_merge(needed_local)
+
+    for rank in group:
+        needed = needed_by_rank.get(rank)
+        if needed is None:
+            continue
         # Gather the needed rows of B from their owners (modelled as one
-        # gather of the corresponding row slices onto this rank).
+        # gather of the corresponding row slices onto this rank).  Each
+        # process extracts only the slices of the owners it hosts — the
+        # gather reads nothing else from it.
         payloads = {}
         for owner in group:
+            if not comm.owns(owner):
+                continue
             lo = int(row_offsets[owner])
             hi = int(row_offsets[owner + 1])
             owned = needed[(needed >= lo) & (needed < hi)]
@@ -152,19 +176,21 @@ def static_spgemm_petsc_1d(
                 continue
             payloads[owner] = b_global.extract_rows(owned)
         comm.gather(rank, payloads, group=group, category=StatCategory.BCAST)
+        a_local = a_rows_per_rank.get(rank)
 
         def _multiply(a_local=a_local):
             product, _ = spgemm_local(a_local, b_global, semiring)
             return product
 
-        results[rank] = comm.run_local(
-            rank, _multiply, category=StatCategory.LOCAL_MULT
-        )
-        if accumulate_into is not None:
-            prev = accumulate_into.get(rank)
-            accumulate_into[rank] = (
-                results[rank]
-                if prev is None
-                else prev.concatenate(results[rank]).sum_duplicates()
+        if a_local is not None and comm.owns(rank):
+            results[rank] = comm.run_local(
+                rank, _multiply, category=StatCategory.LOCAL_MULT
             )
+            if accumulate_into is not None:
+                prev = accumulate_into.get(rank)
+                accumulate_into[rank] = (
+                    results[rank]
+                    if prev is None
+                    else prev.concatenate(results[rank]).sum_duplicates()
+                )
     return results

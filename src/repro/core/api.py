@@ -103,7 +103,7 @@ class DynamicProduct:
             )
             self.f = {
                 rank: BloomFilterMatrix(self.c.dist.block_shape_of_rank(rank))
-                for rank in range(grid.n_ranks)
+                for rank in comm.owned_ranks(grid.all_ranks())
             }
 
     # ------------------------------------------------------------------

@@ -5,7 +5,7 @@ The partial products ``X^i_{k,j}`` produced on different ranks have
 is not applicable.  Section VI-A describes the solution: "an approach based
 on a custom reduce-scatter implementation for sparse matrices".
 
-:func:`sparse_reduce_to_root` implements that scheme on the simulated
+:func:`sparse_reduce_to_root` implements that scheme on the orchestration
 runtime:
 
 1. every contributing rank splits its local sparse partial result into
@@ -20,6 +20,13 @@ runtime:
 
 :func:`bloom_reduce_to_root` is the same pattern for Bloom-filter matrices
 with bitwise-OR combination.
+
+Both functions follow the partial-mapping contract of the communicator
+protocol: ``contributions`` holds entries only for the group ranks this
+process owns (possibly none), which is why the output block ``shape`` is an
+explicit required argument — it cannot be inferred from a mapping that may
+legitimately be empty on some processes.  The reduced result is returned on
+the process owning ``root`` and is ``None`` everywhere else.
 """
 
 from __future__ import annotations
@@ -46,6 +53,19 @@ def _row_range_offsets(n_rows: int, parts: int) -> np.ndarray:
     return offsets
 
 
+def _check_contribution_shapes(
+    contributions: Mapping[int, object], shape: tuple[int, int]
+) -> None:
+    mismatched = {
+        c.shape for c in contributions.values() if c is not None and c.shape != shape
+    }
+    if mismatched:
+        raise ValueError(
+            f"contributions disagree with the declared block shape {shape}: "
+            f"{sorted(mismatched)}"
+        )
+
+
 def sparse_reduce_to_root(
     comm: Communicator,
     group: Sequence[int],
@@ -53,30 +73,34 @@ def sparse_reduce_to_root(
     contributions: Mapping[int, COOMatrix],
     semiring: Semiring,
     *,
+    shape: tuple[int, int],
     scatter_category: str = StatCategory.REDUCE_SCATTER,
     gather_category: str = StatCategory.SCATTER,
     combine_category: str = StatCategory.REDUCE_SCATTER,
-) -> COOMatrix:
+) -> COOMatrix | None:
     """⊕-reduce sparse partial results of a group onto ``root``.
 
     ``contributions[rank]`` is the local partial result of ``rank`` (a COO
-    matrix in the *output block's local coordinates*; all contributions must
-    share the same shape).  Returns the combined COO matrix, conceptually
-    residing on ``root``.
+    matrix in the *output block's local coordinates*); the mapping is
+    partial — it covers at most the group ranks owned by this process, and
+    missing owned ranks contribute nothing.  ``shape`` is the output
+    block's shape and must be passed explicitly (it is a global fact the
+    caller knows; inferring it from a possibly-empty mapping silently
+    produced ``(0, 0)`` results, a live bug with partial mappings).
+
+    Returns the combined COO matrix on the process owning ``root`` and
+    ``None`` on every other process.
     """
     group = list(group)
     if root not in group:
         raise ValueError(f"reduction root {root} is not part of the group")
-    shapes = {c.shape for c in contributions.values()}
-    if len(shapes) > 1:
-        raise ValueError(f"contributions disagree on the block shape: {shapes}")
-    shape = shapes.pop() if shapes else (0, 0)
+    _check_contribution_shapes(contributions, shape)
     g = len(group)
     offsets = _row_range_offsets(shape[0], g)
 
     # Step 1+2: split by destination row range, exchange within the group.
     sendbufs: dict[int, dict[int, COOMatrix]] = {}
-    for rank in group:
+    for rank in comm.owned_ranks(group):
         coo = contributions.get(rank)
         if coo is None:
             coo = COOMatrix.empty(shape, semiring)
@@ -105,7 +129,7 @@ def sparse_reduce_to_root(
 
     # Step 3: locally ⊕-combine the received row-range pieces.
     combined: dict[int, COOMatrix] = {}
-    for rank in group:
+    for rank in comm.owned_ranks(group):
         pieces = [p for _src, p in sorted(received.get(rank, {}).items())]
 
         def _combine(pieces=pieces):
@@ -120,6 +144,9 @@ def sparse_reduce_to_root(
 
     # Step 4: gather the combined row ranges onto the root.
     gathered = comm.gather(root, combined, group=group, category=gather_category)
+
+    if not comm.owns(root):
+        return None
 
     def _assemble():
         pieces = [p for _r, p in sorted(gathered.items()) if p is not None and p.nnz]
@@ -141,23 +168,26 @@ def bloom_reduce_to_root(
     root: int,
     contributions: Mapping[int, BloomFilterMatrix],
     *,
+    shape: tuple[int, int],
     scatter_category: str = StatCategory.REDUCE_SCATTER,
     gather_category: str = StatCategory.SCATTER,
     combine_category: str = StatCategory.REDUCE_SCATTER,
-) -> BloomFilterMatrix:
-    """Bitwise-OR reduce Bloom-filter partials of a group onto ``root``."""
+) -> BloomFilterMatrix | None:
+    """Bitwise-OR reduce Bloom-filter partials of a group onto ``root``.
+
+    Same partial-mapping contract and explicit ``shape`` as
+    :func:`sparse_reduce_to_root`; returns ``None`` on processes that do
+    not own ``root``.
+    """
     group = list(group)
     if root not in group:
         raise ValueError(f"reduction root {root} is not part of the group")
-    shapes = {c.shape for c in contributions.values()}
-    if len(shapes) > 1:
-        raise ValueError(f"contributions disagree on the block shape: {shapes}")
-    shape = shapes.pop() if shapes else (0, 0)
+    _check_contribution_shapes(contributions, shape)
     g = len(group)
     offsets = _row_range_offsets(shape[0], g)
 
     sendbufs: dict[int, dict[int, BloomFilterMatrix]] = {}
-    for rank in group:
+    for rank in comm.owned_ranks(group):
         bloom = contributions.get(rank)
         if bloom is None:
             bloom = BloomFilterMatrix(shape)
@@ -180,7 +210,7 @@ def bloom_reduce_to_root(
     received = comm.alltoallv(sendbufs, group=group, category=scatter_category)
 
     combined: dict[int, BloomFilterMatrix] = {}
-    for rank in group:
+    for rank in comm.owned_ranks(group):
         pieces = [p for _src, p in sorted(received.get(rank, {}).items())]
 
         def _combine(pieces=pieces):
@@ -192,6 +222,9 @@ def bloom_reduce_to_root(
         combined[rank] = comm.run_local(rank, _combine, category=combine_category)
 
     gathered = comm.gather(root, combined, group=group, category=gather_category)
+
+    if not comm.owns(root):
+        return None
 
     def _assemble():
         out = BloomFilterMatrix(shape)

@@ -21,9 +21,19 @@ Per round ``k`` (of ``√p`` rounds), on every rank ``(i, j)``::
 After the loop every rank ``(i, j)`` holds ``X_{i,j}`` and ``Y_{i,j}`` and
 applies ``C'_{i,j} = C_{i,j} ⊕ X_{i,j} ⊕ Y_{i,j}`` locally.
 
-:func:`compute_cstar` returns the per-rank local blocks of ``C*`` (and,
-optionally, the Bloom filter ``F*`` required by Algorithm 2 — this is the
-``COMPUTE_PATTERN`` subroutine of the paper);
+The whole computation follows the partial-mapping contract: every process
+touches only the blocks of the logical ranks it owns, and the two
+control-flow decisions — skipping a round / a per-root broadcast when the
+update block is empty, and gating the sparse reduce-scatter on whether any
+partial product is non-empty — are agreed through the uncharged
+``host_merge`` / ``host_fold`` control plane so that every process (and
+every world size) takes identical branches.  Empty hypersparse blocks are
+*never* broadcast: a per-root nnz census skips them individually, which is
+where the hypersparse update matrices actually save broadcast volume.
+
+:func:`compute_cstar` returns the per-rank local blocks of ``C*`` for the
+owned ranks (and, optionally, the Bloom filter ``F*`` required by
+Algorithm 2 — this is the ``COMPUTE_PATTERN`` subroutine of the paper);
 :func:`dynamic_spgemm_algebraic` additionally folds ``C*`` into a dynamic
 result matrix ``C``.
 """
@@ -66,6 +76,11 @@ def _check_operands(
     return n, k_dim, m
 
 
+def _nnz_census(comm: Communicator, blocks: dict[int, object]) -> dict[int, int]:
+    """Global ``rank -> nnz`` of a partial block mapping (control plane)."""
+    return comm.host_merge({rank: int(blk.nnz) for rank, blk in blocks.items()})
+
+
 def compute_cstar(
     comm: Communicator,
     grid: ProcessGrid,
@@ -85,43 +100,54 @@ def compute_cstar(
     Algorithm 2): bit ``k mod 64`` of ``f*_{i,j}`` is set whenever the term
     with global inner index ``k`` contributed to ``c*_{i,j}``.
 
-    Returns ``(cstar_blocks, fstar_blocks)`` where ``cstar_blocks[rank]`` is
-    a COO matrix in the local coordinates of rank's output block.
+    Returns ``(cstar_blocks, fstar_blocks)``, both *partial* mappings over
+    the ranks this process owns; ``cstar_blocks[rank]`` is a COO matrix in
+    the local coordinates of rank's output block.
     """
     semiring = semiring if semiring is not None else a.semiring
     n, _k_dim, m = _check_operands(grid, a, b_prime, a_star, b_star)
     q = grid.q
     out_dist = BlockDistribution(n, m, grid)
+    owned = comm.owned_ranks(grid.all_ranks())
 
     # ------------------------------------------------------------------
     # Transpose send/receive round: A*_{i,j} -> rank (j,i), B*_{i,j} -> (j,i)
     # so that the block needed as broadcast root in round k already sits on
-    # the right process row / column.
+    # the right process row / column.  The nnz census makes every block's
+    # size globally known, so the empty-broadcast skips below are identical
+    # on every process.
     # ------------------------------------------------------------------
     astar_t = _transpose_exchange(comm, grid, a_star)
+    astar_nnz = _nnz_census(comm, astar_t)
     bstar_t = _transpose_exchange(comm, grid, b_star) if b_star is not None else None
+    bstar_nnz = _nnz_census(comm, bstar_t) if bstar_t is not None else None
 
-    partials: dict[int, list[COOMatrix]] = {r: [] for r in range(grid.n_ranks)}
+    partials: dict[int, list[COOMatrix]] = {r: [] for r in owned}
     bloom_parts: dict[int, BloomFilterMatrix] | None = None
     if compute_bloom:
         bloom_parts = {
-            r: BloomFilterMatrix(out_dist.block_shape_of_rank(r))
-            for r in range(grid.n_ranks)
+            r: BloomFilterMatrix(out_dist.block_shape_of_rank(r)) for r in owned
         }
+
+    from repro.core.collectives import bloom_reduce_to_root, sparse_reduce_to_root
 
     for k in range(q):
         # ---------------- X-term: X^i_{k,j} = A*_{k,i} · B'_{i,j} --------
-        astar_blocks_nnz = sum(
-            astar_t[grid.rank_of(i, k)].nnz for i in range(q)
-        )
-        if astar_blocks_nnz:
+        if any(astar_nnz[grid.rank_of(i, k)] for i in range(q)):
+            # Broadcast A*_{k,i} across process row i — but only for rows
+            # whose block is non-empty; a None marker records the skip so
+            # the multiplication loop contributes nothing for that row.
             a_recv: dict[int, object] = {}
             for i in range(q):
                 root = grid.rank_of(i, k)
                 row_ranks = grid.row_group(i)
+                if astar_nnz[root] == 0:
+                    for rank in row_ranks:
+                        a_recv[rank] = None
+                    continue
                 received = comm.bcast(
                     root,
-                    astar_t[root],
+                    astar_t.get(root),
                     group=row_ranks,
                     category=StatCategory.BCAST,
                 )
@@ -133,10 +159,12 @@ def compute_cstar(
                 root = grid.rank_of(k, j)
                 contributions: dict[int, COOMatrix] = {}
                 bloom_contribs: dict[int, BloomFilterMatrix] = {}
-                any_nnz = False
-                for i in range(q):
-                    rank = grid.rank_of(i, j)
+                local_any = False
+                for rank in comm.owned_ranks(col_ranks):
                     a_blk = a_recv[rank]
+                    if a_blk is None:
+                        continue
+                    i = grid.row_of(rank)
                     b_blk = b_prime.blocks[rank]
                     inner_offset = int(a_star.dist.col_offsets[i])
 
@@ -153,40 +181,38 @@ def compute_cstar(
                         rank, _mult, category=StatCategory.LOCAL_MULT
                     )
                     contributions[rank] = coo
-                    any_nnz = any_nnz or coo.nnz > 0
+                    local_any = local_any or coo.nnz > 0
                     if compute_bloom and bloom is not None:
                         bloom_contribs[rank] = bloom
-                if any_nnz:
-                    from repro.core.collectives import (
-                        bloom_reduce_to_root,
-                        sparse_reduce_to_root,
-                    )
-
+                if comm.host_fold(local_any, lambda x, y: x or y):
+                    shape = out_dist.block_shape_of_rank(root)
                     reduced = sparse_reduce_to_root(
-                        comm, col_ranks, root, contributions, semiring
+                        comm, col_ranks, root, contributions, semiring, shape=shape
                     )
-                    if reduced.nnz:
+                    if reduced is not None and reduced.nnz:
                         partials[root].append(reduced)
                     if compute_bloom and bloom_parts is not None:
                         reduced_bloom = bloom_reduce_to_root(
-                            comm, col_ranks, root, bloom_contribs
+                            comm, col_ranks, root, bloom_contribs, shape=shape
                         )
-                        bloom_parts[root].or_inplace(reduced_bloom)
+                        if reduced_bloom is not None:
+                            bloom_parts[root].or_inplace(reduced_bloom)
 
         # ---------------- Y-term: Y^j_{i,k} = A_{i,j} · B*_{j,k} ---------
-        if bstar_t is None:
+        if bstar_t is None or bstar_nnz is None:
             continue
-        bstar_blocks_nnz = sum(
-            bstar_t[grid.rank_of(k, j)].nnz for j in range(q)
-        )
-        if not bstar_blocks_nnz:
+        if not any(bstar_nnz[grid.rank_of(k, j)] for j in range(q)):
             continue
         b_recv: dict[int, object] = {}
         for j in range(q):
             root = grid.rank_of(k, j)
             col_ranks = grid.col_group(j)
+            if bstar_nnz[root] == 0:
+                for rank in col_ranks:
+                    b_recv[rank] = None
+                continue
             received = comm.bcast(
-                root, bstar_t[root], group=col_ranks, category=StatCategory.BCAST
+                root, bstar_t.get(root), group=col_ranks, category=StatCategory.BCAST
             )
             for rank in col_ranks:
                 b_recv[rank] = received[rank]
@@ -196,11 +222,13 @@ def compute_cstar(
             root = grid.rank_of(i, k)
             contributions = {}
             bloom_contribs = {}
-            any_nnz = False
-            for j in range(q):
-                rank = grid.rank_of(i, j)
-                a_blk = a.blocks[rank]
+            local_any = False
+            for rank in comm.owned_ranks(row_ranks):
                 b_blk = b_recv[rank]
+                if b_blk is None:
+                    continue
+                j = grid.col_of(rank)
+                a_blk = a.blocks[rank]
                 inner_offset = int(a.dist.col_offsets[j])
 
                 def _mult(a_blk=a_blk, b_blk=b_blk, inner_offset=inner_offset):
@@ -216,31 +244,28 @@ def compute_cstar(
                     rank, _mult, category=StatCategory.LOCAL_MULT
                 )
                 contributions[rank] = coo
-                any_nnz = any_nnz or coo.nnz > 0
+                local_any = local_any or coo.nnz > 0
                 if compute_bloom and bloom is not None:
                     bloom_contribs[rank] = bloom
-            if any_nnz:
-                from repro.core.collectives import (
-                    bloom_reduce_to_root,
-                    sparse_reduce_to_root,
-                )
-
+            if comm.host_fold(local_any, lambda x, y: x or y):
+                shape = out_dist.block_shape_of_rank(root)
                 reduced = sparse_reduce_to_root(
-                    comm, row_ranks, root, contributions, semiring
+                    comm, row_ranks, root, contributions, semiring, shape=shape
                 )
-                if reduced.nnz:
+                if reduced is not None and reduced.nnz:
                     partials[root].append(reduced)
                 if compute_bloom and bloom_parts is not None:
                     reduced_bloom = bloom_reduce_to_root(
-                        comm, row_ranks, root, bloom_contribs
+                        comm, row_ranks, root, bloom_contribs, shape=shape
                     )
-                    bloom_parts[root].or_inplace(reduced_bloom)
+                    if reduced_bloom is not None:
+                        bloom_parts[root].or_inplace(reduced_bloom)
 
     # ------------------------------------------------------------------
-    # Per-rank accumulation of the reduced contributions.
+    # Per-rank accumulation of the reduced contributions (owned ranks).
     # ------------------------------------------------------------------
     cstar_blocks: dict[int, COOMatrix] = {}
-    for rank in range(grid.n_ranks):
+    for rank in owned:
         block_shape = out_dist.block_shape_of_rank(rank)
         pieces = partials[rank]
 
@@ -273,9 +298,9 @@ def dynamic_spgemm_algebraic(
     """Apply an algebraic update to the maintained product ``C``.
 
     Computes ``C* = A*·B' ⊕ A·B*`` with Algorithm 1 and folds it into ``C``
-    (a dynamic distributed matrix) purely locally.  Returns the number of
-    structural non-zeros of ``C*`` (i.e. how many result entries were
-    touched).
+    (a dynamic distributed matrix) purely locally.  Returns the *global*
+    number of structural non-zeros of ``C*`` (i.e. how many result entries
+    were touched), identical on every process.
 
     ``require_ring=True`` asserts that the semiring is a ring, i.e. that
     *every* conceivable update (including deletions) is expressible as an
@@ -308,7 +333,7 @@ def dynamic_spgemm_algebraic(
             cstar,
             category=StatCategory.LOCAL_ADDITION,
         )
-    return touched
+    return int(comm.host_fold(touched, lambda x, y: x + y))
 
 
 def _transpose_exchange(
@@ -316,20 +341,22 @@ def _transpose_exchange(
 ) -> dict[int, object]:
     """Send every block to its transposed grid position.
 
-    ``mat`` is either a distributed matrix or a plain ``rank -> block``
-    mapping.  Afterwards the returned mapping holds, for rank ``(r, c)``,
-    the block originally stored on rank ``(c, r)`` — i.e. block ``(c, r)``
-    of the matrix — which is exactly the block that rank must broadcast in
-    round ``r`` (for row broadcasts) or ``c`` (for column broadcasts).
+    ``mat`` is either a distributed matrix or a plain partial
+    ``rank -> block`` mapping over this process's owned ranks.  Afterwards
+    the returned (again partial) mapping holds, for each owned rank
+    ``(r, c)``, the block originally stored on rank ``(c, r)`` — i.e. block
+    ``(c, r)`` of the matrix — which is exactly the block that rank must
+    broadcast in round ``r`` (for row broadcasts) or ``c`` (for column
+    broadcasts).
     """
     blocks = mat.blocks if hasattr(mat, "blocks") else mat
     messages = []
-    for rank in range(grid.n_ranks):
+    for rank in comm.owned_ranks(grid.all_ranks()):
         dst = grid.transpose_rank(rank)
         messages.append((rank, dst, blocks[rank]))
     inbox = comm.exchange(messages, category=StatCategory.SEND_RECV)
     received: dict[int, object] = {}
-    for rank in range(grid.n_ranks):
+    for rank in comm.owned_ranks(grid.all_ranks()):
         items = inbox.get(rank, [])
         if len(items) != 1:
             raise RuntimeError(

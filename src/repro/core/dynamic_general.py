@@ -137,9 +137,12 @@ def dynamic_spgemm_general(
     semiring = semiring if semiring is not None else c.semiring
     q = grid.q
     out_dist = c.dist
+    owned = comm.owned_ranks(grid.all_ranks())
 
     # ------------------------------------------------------------------
-    # 1. C* pattern and F* (COMPUTE_PATTERN).
+    # 1. C* pattern and F* (COMPUTE_PATTERN).  Both mappings are partial
+    #    (owned ranks only); the nnz census makes the pattern sizes — which
+    #    gate broadcasts and the early exit — globally known.
     # ------------------------------------------------------------------
     cstar_blocks, fstar_blocks = compute_cstar(
         comm,
@@ -153,7 +156,10 @@ def dynamic_spgemm_general(
     )
     assert fstar_blocks is not None
 
-    total_pattern = sum(blk.nnz for blk in cstar_blocks.values())
+    cstar_nnz = comm.host_merge(
+        {rank: int(blk.nnz) for rank, blk in cstar_blocks.items()}
+    )
+    total_pattern = sum(cstar_nnz.values())
     if total_pattern == 0:
         return 0
 
@@ -162,7 +168,7 @@ def dynamic_spgemm_general(
     # 3. R = row-wise OR of E, allreduced over each process row.
     # ------------------------------------------------------------------
     row_bits_per_rank: dict[int, np.ndarray] = {}
-    for rank in range(grid.n_ranks):
+    for rank in owned:
         block_rows = out_dist.block_shape_of_rank(rank)[0]
         cstar = cstar_blocks[rank]
         f_blk = f[rank]
@@ -183,21 +189,21 @@ def dynamic_spgemm_general(
 
     for i in range(q):
         row_ranks = grid.row_group(i)
-        payloads = {r: row_bits_per_rank[r] for r in row_ranks}
+        payloads = {r: row_bits_per_rank[r] for r in comm.owned_ranks(row_ranks)}
         reduced = comm.allreduce(
             payloads,
             lambda x, y: np.bitwise_or(x, y),
             group=row_ranks,
             category=StatCategory.ALLREDUCE,
         )
-        for r in row_ranks:
+        for r in comm.owned_ranks(row_ranks):
             row_bits_per_rank[r] = reduced[r]
 
     # ------------------------------------------------------------------
     # 4. A^R: filter A' by R  (local).
     # ------------------------------------------------------------------
     ar_blocks: dict[int, DCSRMatrix] = {}
-    for rank in range(grid.n_ranks):
+    for rank in owned:
         _br, bc = grid.coords_of(rank)
         col_offset = int(a_prime.dist.col_offsets[bc])
         block = a_prime.blocks[rank]
@@ -214,10 +220,9 @@ def dynamic_spgemm_general(
     # 5. SUMMA-like masked multiplication loop.
     # ------------------------------------------------------------------
     ar_t = _transpose_exchange(comm, grid, ar_blocks)
-    z_blocks: dict[int, list[COOMatrix]] = {r: [] for r in range(grid.n_ranks)}
+    z_blocks: dict[int, list[COOMatrix]] = {r: [] for r in owned}
     h_blocks: dict[int, BloomFilterMatrix] = {
-        r: BloomFilterMatrix(out_dist.block_shape_of_rank(r))
-        for r in range(grid.n_ranks)
+        r: BloomFilterMatrix(out_dist.block_shape_of_rank(r)) for r in owned
     }
 
     for k in range(q):
@@ -227,7 +232,7 @@ def dynamic_spgemm_general(
             root = grid.rank_of(i, k)
             row_ranks = grid.row_group(i)
             received = comm.bcast(
-                root, ar_t[root], group=row_ranks, category=StatCategory.BCAST
+                root, ar_t.get(root), group=row_ranks, category=StatCategory.BCAST
             )
             for rank in row_ranks:
                 ar_recv[rank] = received[rank]
@@ -235,18 +240,20 @@ def dynamic_spgemm_general(
         for j in range(q):
             col_ranks = grid.col_group(j)
             root = grid.rank_of(k, j)
-            cstar_root = cstar_blocks[root]
-            if cstar_root.nnz == 0:
+            if cstar_nnz[root] == 0:
                 continue
             # Broadcast the C*_{k,j} pattern down column j (root (k, j)).
             received = comm.bcast(
-                root, cstar_root, group=col_ranks, category=StatCategory.BCAST
+                root,
+                cstar_blocks.get(root),
+                group=col_ranks,
+                category=StatCategory.BCAST,
             )
             contributions: dict[int, COOMatrix] = {}
             bloom_contribs: dict[int, BloomFilterMatrix] = {}
-            any_nnz = False
-            for i in range(q):
-                rank = grid.rank_of(i, j)
+            local_any = False
+            for rank in comm.owned_ranks(col_ranks):
+                i = grid.row_of(rank)
                 ar_blk = ar_recv[rank]
                 b_blk = b_prime.blocks[rank]
                 cstar_pattern = received[rank]
@@ -275,26 +282,28 @@ def dynamic_spgemm_general(
                     rank, _mult, category=StatCategory.LOCAL_MULT
                 )
                 contributions[rank] = coo
-                any_nnz = any_nnz or coo.nnz > 0
+                local_any = local_any or coo.nnz > 0
                 if bloom is not None:
                     bloom_contribs[rank] = bloom
-            if not any_nnz:
+            if not comm.host_fold(local_any, lambda x, y: x or y):
                 continue
+            shape = out_dist.block_shape_of_rank(root)
             reduced = sparse_reduce_to_root(
-                comm, col_ranks, root, contributions, semiring
+                comm, col_ranks, root, contributions, semiring, shape=shape
             )
-            if reduced.nnz:
+            if reduced is not None and reduced.nnz:
                 z_blocks[root].append(reduced)
             reduced_bloom = bloom_reduce_to_root(
-                comm, col_ranks, root, bloom_contribs
+                comm, col_ranks, root, bloom_contribs, shape=shape
             )
-            h_blocks[root].or_inplace(reduced_bloom)
+            if reduced_bloom is not None:
+                h_blocks[root].or_inplace(reduced_bloom)
 
     # ------------------------------------------------------------------
     # 6. Merge Z into C and H into F, masked at the pattern of C* (local).
     # ------------------------------------------------------------------
     recomputed = 0
-    for rank in range(grid.n_ranks):
+    for rank in owned:
         cstar = cstar_blocks[rank]
         if cstar.nnz == 0:
             continue
@@ -324,4 +333,4 @@ def dynamic_spgemm_general(
                     f_blk.delete(key[0], key[1])
 
         comm.run_local(rank, _merge, category=StatCategory.LOCAL_ADDITION)
-    return recomputed
+    return int(comm.host_fold(recomputed, lambda x, y: x + y))

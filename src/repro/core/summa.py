@@ -78,28 +78,32 @@ def summa_spgemm(
         raise ValueError("operands must live on the given process grid")
     q = grid.q
     out_dist = BlockDistribution(n, m, grid)
+    owned = comm.owned_ranks(grid.all_ranks())
 
-    # Per-rank accumulators: partial COO contributions and (optionally) the
-    # bloom bits, merged once after the √p rounds.
-    partials: dict[int, list[COOMatrix]] = {r: [] for r in range(grid.n_ranks)}
+    # Per-rank accumulators for the ranks this process owns: partial COO
+    # contributions and (optionally) the bloom bits, merged after √p rounds.
+    partials: dict[int, list[COOMatrix]] = {r: [] for r in owned}
     blooms: dict[int, BloomFilterMatrix] | None = None
     if compute_bloom:
         blooms = {
-            r: BloomFilterMatrix(out_dist.block_shape_of_rank(r))
-            for r in range(grid.n_ranks)
+            r: BloomFilterMatrix(out_dist.block_shape_of_rank(r)) for r in owned
         }
 
     with perf_phase("summa"):
         for k in range(q):
             with perf_phase("bcast"):
-                # Broadcast A_{i,k} across each process row i.
+                # Broadcast A_{i,k} across each process row i.  Only the
+                # process owning the root holds the payload; the backend
+                # moves it to everyone hosting a rank of the group.
                 a_recv: dict[int, object] = {}
                 for i in range(q):
                     root = grid.rank_of(i, k)
                     row_ranks = grid.row_group(i)
-                    payload = a.blocks[root]
                     received = comm.bcast(
-                        root, payload, group=row_ranks, category=bcast_category
+                        root,
+                        a.blocks.get(root),
+                        group=row_ranks,
+                        category=bcast_category,
                     )
                     for rank in row_ranks:
                         a_recv[rank] = received[rank]
@@ -108,16 +112,18 @@ def summa_spgemm(
                 for j in range(q):
                     root = grid.rank_of(k, j)
                     col_ranks = grid.col_group(j)
-                    payload = b.blocks[root]
                     received = comm.bcast(
-                        root, payload, group=col_ranks, category=bcast_category
+                        root,
+                        b.blocks.get(root),
+                        group=col_ranks,
+                        category=bcast_category,
                     )
                     for rank in col_ranks:
                         b_recv[rank] = received[rank]
 
             inner_offset = int(a.dist.col_offsets[k])
             with perf_phase("local_mult"):
-                for rank in range(grid.n_ranks):
+                for rank in owned:
                     a_blk = _local_block_as_operand(a_recv[rank])
                     b_blk = _local_block_as_operand(b_recv[rank])
 
@@ -139,7 +145,7 @@ def summa_spgemm(
         # Local accumulation of the per-round partial products.
         out_blocks: dict[int, object] = {}
         with perf_phase("accumulate"):
-            for rank in range(grid.n_ranks):
+            for rank in owned:
                 block_shape = out_dist.block_shape_of_rank(rank)
                 pieces = partials[rank]
 

@@ -33,13 +33,13 @@ def transpose_dist(mat: DistMatrixBase, *, layout: str = "csr") -> StaticDistMat
     out_dist = BlockDistribution(m, n, grid)
 
     messages = []
-    for rank in range(grid.n_ranks):
+    for rank in comm.owned_ranks(grid.all_ranks()):
         dst = grid.transpose_rank(rank)
         messages.append((rank, dst, mat.blocks[rank]))
     inbox = comm.exchange(messages, category=StatCategory.SEND_RECV)
 
     out_blocks: dict[int, object] = {}
-    for rank in range(grid.n_ranks):
+    for rank in comm.owned_ranks(grid.all_ranks()):
         items = inbox.get(rank, [])
         if len(items) != 1:
             raise RuntimeError(

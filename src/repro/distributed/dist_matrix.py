@@ -10,10 +10,15 @@ Two flavours, mirroring Section IV of the paper:
   hypersparse) and by the competitor backends that rebuild static storage
   on every batch.
 
-Both classes live on the orchestration runtime: the orchestrator owns a dict
-``rank -> local block``; all per-rank kernels are executed through
-``Communicator.run_local`` so that their cost lands on the right rank,
-whichever backend (simulator or MPI) executes the program.
+Both classes live on the orchestration runtime and follow its
+partial-mapping contract: ``blocks`` holds the local block of every rank
+*this process owns* — all of them on the simulator, a round-robin share
+under a multi-process MPI world — so per-process memory scales with
+``owned/p``.  All per-rank kernels are executed through
+``Communicator.run_local`` so that their cost lands on the right rank, and
+the global queries (``nnz``, ``to_coo_global``, ``get``) assemble their
+answers through the uncharged ``host_*`` control plane, returning the same
+value on every process.
 """
 
 from __future__ import annotations
@@ -66,38 +71,52 @@ class DistMatrixBase:
     def shape(self) -> tuple[int, int]:
         return self.dist.shape
 
+    def owned_ranks(self) -> list[int]:
+        """Grid ranks whose block lives on this process."""
+        return self.comm.owned_ranks(self.grid.all_ranks())
+
     def block(self, rank: int):
-        """The local block stored by ``rank``."""
+        """The local block stored by ``rank`` (KeyError when not owned here)."""
         return self.blocks[rank]
 
     def nnz(self) -> int:
-        """Total structural non-zeros over all blocks."""
-        return sum(block.nnz for block in self.blocks.values())
+        """Total structural non-zeros over all blocks (global, every process)."""
+        local = sum(block.nnz for block in self.blocks.values())
+        return int(self.comm.host_fold(local, lambda x, y: x + y))
 
     def block_nnz(self) -> dict[int, int]:
-        """Per-rank structural non-zeros (load-balance diagnostics)."""
-        return {rank: block.nnz for rank, block in self.blocks.items()}
+        """Per-rank structural non-zeros (global; load-balance diagnostics)."""
+        return self.comm.host_merge(
+            {rank: block.nnz for rank, block in self.blocks.items()}
+        )
 
     def nbytes(self) -> int:
-        return sum(block.nbytes for block in self.blocks.values())
+        """Total block bytes over all processes."""
+        local = sum(block.nbytes for block in self.blocks.values())
+        return int(self.comm.host_fold(local, lambda x, y: x + y))
 
     def to_coo_global(self) -> COOMatrix:
-        """Assemble the full matrix in global coordinates (for testing)."""
-        pieces: list[COOMatrix] = []
+        """Assemble the full matrix in global coordinates (for testing).
+
+        Every process receives the complete matrix (the owned pieces are
+        merged through the control plane), so assertions against the result
+        hold identically on all processes.
+        """
+        local_pieces: dict[int, COOMatrix] = {}
         for rank, block in self.blocks.items():
             coo = block.to_coo()
             if coo.nnz == 0:
                 continue
             grows, gcols = self.dist.to_global(rank, coo.rows, coo.cols)
-            pieces.append(
-                COOMatrix(
-                    shape=self.shape,
-                    rows=grows,
-                    cols=gcols,
-                    values=coo.values,
-                    semiring=self.semiring,
-                )
+            local_pieces[rank] = COOMatrix(
+                shape=self.shape,
+                rows=grows,
+                cols=gcols,
+                values=coo.values,
+                semiring=self.semiring,
             )
+        merged = self.comm.host_merge(local_pieces)
+        pieces = [merged[rank] for rank in sorted(merged)]
         if not pieces:
             return COOMatrix.empty(self.shape, self.semiring)
         out = pieces[0]
@@ -109,17 +128,22 @@ class DistMatrixBase:
         return self.to_coo_global().to_dense()
 
     def get(self, i: int, j: int):
-        """Global entry lookup (routes to the owning block)."""
+        """Global entry lookup (owning process answers, everyone receives)."""
         owner = int(self.dist.owner_of(np.array([i]), np.array([j]))[0])
-        li, lj = self.dist.to_local(owner, np.array([i]), np.array([j]))
-        block = self.blocks[owner]
-        if isinstance(block, (CSRMatrix, DHBMatrix)):
-            return block.get(int(li[0]), int(lj[0]))
-        coo = block.to_coo()
-        hits = (coo.rows == li[0]) & (coo.cols == lj[0])
-        if not np.any(hits):
-            return self.semiring.zero
-        return float(self.semiring.add_reduce(coo.values[hits]))
+        found: dict[int, object] = {}
+        if self.comm.owns(owner):
+            li, lj = self.dist.to_local(owner, np.array([i]), np.array([j]))
+            block = self.blocks[owner]
+            if isinstance(block, (CSRMatrix, DHBMatrix)):
+                found[owner] = block.get(int(li[0]), int(lj[0]))
+            else:
+                coo = block.to_coo()
+                hits = (coo.rows == li[0]) & (coo.cols == lj[0])
+                if not np.any(hits):
+                    found[owner] = self.semiring.zero
+                else:
+                    found[owner] = float(self.semiring.add_reduce(coo.values[hits]))
+        return self.comm.host_merge(found)[owner]
 
     # ------------------------------------------------------------------
     def _local_tuple_blocks(
@@ -127,7 +151,7 @@ class DistMatrixBase:
     ) -> dict[int, TupleArrays]:
         """Convert routed global-coordinate tuples to block-local ones."""
         out: dict[int, TupleArrays] = {}
-        for rank in range(self.grid.n_ranks):
+        for rank in self.owned_ranks():
             rows, cols, vals = routed.get(
                 rank,
                 (
@@ -156,7 +180,7 @@ class DynamicDistMatrix(DistMatrixBase):
         dist = BlockDistribution(shape[0], shape[1], grid)
         blocks = {
             rank: DHBMatrix(dist.block_shape_of_rank(rank), semiring)
-            for rank in range(grid.n_ranks)
+            for rank in comm.owned_ranks(grid.all_ranks())
         }
         return cls(comm, grid, dist, semiring, blocks)
 
@@ -195,11 +219,11 @@ class DynamicDistMatrix(DistMatrixBase):
     ) -> int:
         """Redistribute raw update tuples and insert them into the blocks.
 
-        Returns the number of newly created structural non-zeros.  The
-        phases are charged to the Fig. 7 categories: redistribution sort and
-        communication inside :func:`redistribute_tuples`, adjacency-array
-        growth to *memory management* and the per-entry inserts to *local
-        construct*.
+        Returns the *global* number of newly created structural non-zeros
+        (identical on every process).  The phases are charged to the Fig. 7
+        categories: redistribution sort and communication inside
+        :func:`redistribute_tuples`, adjacency-array growth to *memory
+        management* and the per-entry inserts to *local construct*.
         """
         combine_fn = self._combine_fn(combine)
         routed = self._route(tuples_per_rank, redistribution)
@@ -223,10 +247,13 @@ class DynamicDistMatrix(DistMatrixBase):
                 combine_fn,
                 category=StatCategory.LOCAL_CONSTRUCT,
             )
-        return created
+        return int(self.comm.host_fold(created, lambda x, y: x + y))
 
     def add_update(self, update: "StaticDistMatrix") -> int:
-        """``A ← A ⊕ A*`` block-by-block; purely local (no communication)."""
+        """``A ← A ⊕ A*`` block-by-block; purely local (no communication).
+
+        Returns the global count of created non-zeros on every process.
+        """
         self._check_update(update)
         created = 0
         for rank, block in self.blocks.items():
@@ -236,7 +263,7 @@ class DynamicDistMatrix(DistMatrixBase):
                 update.blocks[rank],
                 category=StatCategory.LOCAL_ADDITION,
             )
-        return created
+        return int(self.comm.host_fold(created, lambda x, y: x + y))
 
     def merge_update(self, update: "StaticDistMatrix") -> int:
         """MERGE: overwrite entries present in the update matrix (local)."""
@@ -249,7 +276,7 @@ class DynamicDistMatrix(DistMatrixBase):
                 update.blocks[rank],
                 category=StatCategory.LOCAL_ADDITION,
             )
-        return changed
+        return int(self.comm.host_fold(changed, lambda x, y: x + y))
 
     def mask_update(self, update: "StaticDistMatrix") -> int:
         """MASK: delete entries that are non-zero in the update matrix."""
@@ -262,7 +289,7 @@ class DynamicDistMatrix(DistMatrixBase):
                 update.blocks[rank],
                 category=StatCategory.LOCAL_ADDITION,
             )
-        return deleted
+        return int(self.comm.host_fold(deleted, lambda x, y: x + y))
 
     # ------------------------------------------------------------------
     def to_static(self, layout: str = "csr") -> "StaticDistMatrix":
@@ -349,7 +376,7 @@ class StaticDistMatrix(DistMatrixBase):
         maker = CSRMatrix.empty if layout == "csr" else DCSRMatrix.empty
         blocks = {
             rank: maker(dist.block_shape_of_rank(rank), semiring)
-            for rank in range(grid.n_ranks)
+            for rank in comm.owned_ranks(grid.all_ranks())
         }
         return cls(comm, grid, dist, semiring, blocks, layout=layout)
 

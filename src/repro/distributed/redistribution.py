@@ -142,10 +142,13 @@ def redistribute_tuples(
     """
     dtype = np.dtype(value_dtype)
     q = grid.q
+    owned = comm.owned_ranks(grid.all_ranks())
     with perf_phase("redistribute"):
+        # Per-rank state is partial: this process materialises (and sorts,
+        # and sends) only the tuples generated by the ranks it owns.
         local = {
             rank: _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
-            for rank in range(grid.n_ranks)
+            for rank in owned
         }
         perf_count(
             "redistribute.tuples", sum(t[0].size for t in local.values())
@@ -155,7 +158,7 @@ def redistribute_tuples(
         # Communication happens within each grid column.
         grouped: dict[int, tuple[TupleArrays, np.ndarray]] = {}
         with perf_phase("sort"):
-            for rank in range(grid.n_ranks):
+            for rank in owned:
                 rows, cols, vals = local[rank]
 
                 def _group(rows=rows, cols=cols, vals=vals):
@@ -170,7 +173,7 @@ def redistribute_tuples(
             for col in range(q):
                 col_ranks = grid.col_group(col)
                 sendbufs: dict[int, dict[int, TupleArrays]] = {}
-                for rank in col_ranks:
+                for rank in comm.owned_ranks(col_ranks):
                     data, offsets = grouped[rank]
                     outgoing: dict[int, TupleArrays] = {}
                     for dest_row in range(q):
@@ -179,14 +182,17 @@ def redistribute_tuples(
                             outgoing[grid.rank_of(dest_row, col)] = chunk
                     sendbufs[rank] = outgoing
                 recv = comm.alltoallv(sendbufs, group=col_ranks, category=comm_category)
-                for rank in col_ranks:
-                    chunks = [payload for _src, payload in sorted(recv[rank].items())]
+                for rank in comm.owned_ranks(col_ranks):
+                    chunks = [
+                        payload
+                        for _src, payload in sorted(recv.get(rank, {}).items())
+                    ]
                     local[rank] = _concat_inbox(chunks, dtype)
 
         # ------------- phase 2: route to the correct process-grid column -
         # Tuples are now on the right grid row; communicate within each row.
         with perf_phase("sort"):
-            for rank in range(grid.n_ranks):
+            for rank in owned:
                 rows, cols, vals = local[rank]
 
                 def _group(rows=rows, cols=cols, vals=vals):
@@ -197,14 +203,12 @@ def redistribute_tuples(
 
                 grouped[rank] = comm.run_local(rank, _group, category=sort_category)
 
-        result: dict[int, TupleArrays] = {
-            r: _empty_tuples(dtype) for r in range(grid.n_ranks)
-        }
+        result: dict[int, TupleArrays] = {r: _empty_tuples(dtype) for r in owned}
         with perf_phase("comm"):
             for row in range(q):
                 row_ranks = grid.row_group(row)
                 sendbufs = {}
-                for rank in row_ranks:
+                for rank in comm.owned_ranks(row_ranks):
                     data, offsets = grouped[rank]
                     outgoing = {}
                     for dest_col in range(q):
@@ -213,8 +217,11 @@ def redistribute_tuples(
                             outgoing[grid.rank_of(row, dest_col)] = chunk
                     sendbufs[rank] = outgoing
                 recv = comm.alltoallv(sendbufs, group=row_ranks, category=comm_category)
-                for rank in row_ranks:
-                    chunks = [payload for _src, payload in sorted(recv[rank].items())]
+                for rank in comm.owned_ranks(row_ranks):
+                    chunks = [
+                        payload
+                        for _src, payload in sorted(recv.get(rank, {}).items())
+                    ]
                     result[rank] = _concat_inbox(chunks, dtype)
 
     return result
@@ -239,10 +246,11 @@ def redistribute_tuples_single_phase(
     """
     dtype = np.dtype(value_dtype)
     p = grid.n_ranks
+    owned = comm.owned_ranks(grid.all_ranks())
     with perf_phase("redistribute_single_phase"):
         sendbufs: dict[int, dict[int, TupleArrays]] = {}
         with perf_phase("sort"):
-            for rank in range(p):
+            for rank in owned:
                 rows, cols, vals = _as_tuple_arrays(tuples_per_rank.get(rank), dtype)
 
                 def _group(rows=rows, cols=cols, vals=vals):
@@ -258,9 +266,9 @@ def redistribute_tuples_single_phase(
                 sendbufs[rank] = outgoing
 
         with perf_phase("comm"):
-            recv = comm.alltoallv(sendbufs, category=comm_category)
+            recv = comm.alltoallv(sendbufs, group=grid.all_ranks(), category=comm_category)
         result: dict[int, TupleArrays] = {}
-        for rank in range(p):
+        for rank in owned:
             chunks = [payload for _src, payload in sorted(recv.get(rank, {}).items())]
             result[rank] = _concat_inbox(chunks, dtype)
     return result

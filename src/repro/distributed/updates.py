@@ -206,7 +206,7 @@ def build_update_matrix(
     # Reuse the *target* distribution rather than the freshly created one so
     # that the update matrix is block-aligned with the matrix it updates.
     out.dist = dist
-    for rank in range(grid.n_ranks):
+    for rank in comm.owned_ranks(grid.all_ranks()):
         rows, cols, vals = routed.get(
             rank,
             (

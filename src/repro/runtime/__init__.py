@@ -34,7 +34,14 @@ from repro.runtime.backend import (
 )
 from repro.runtime.config import MachineModel, NODE_CONFIGS, ranks_for_nodes
 from repro.runtime.grid import ProcessGrid
-from repro.runtime.mpi_backend import EmulatedComm, MPIBackend, mpi_is_available
+from repro.runtime.loopback import LoopbackComm, LoopbackWorld, run_spmd
+from repro.runtime.mpi_backend import (
+    EmulatedComm,
+    MPIBackend,
+    mpi_is_available,
+    world_rank,
+    world_size,
+)
 from repro.runtime.simmpi import SimMPI, payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
 
@@ -55,6 +62,11 @@ __all__ = [
     "SimMPI",
     "payload_nbytes",
     "EmulatedComm",
+    "LoopbackComm",
+    "LoopbackWorld",
     "MPIBackend",
     "mpi_is_available",
+    "run_spmd",
+    "world_rank",
+    "world_size",
 ]

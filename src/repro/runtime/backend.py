@@ -99,6 +99,25 @@ class Communicator(Protocol):
     ``run_local`` to attribute local kernels to a rank and the collectives
     to move per-rank payload mappings; how ranks map onto real processes
     (all-in-one simulation, mpi4py, …) is the backend's business.
+
+    **Ownership and partial mappings.**  Logical ranks are partitioned over
+    the participating processes (one process owns everything on the
+    simulator; round-robin on a multi-process backend).  All per-rank state
+    mappings (``rank -> block``, ``rank -> payload``) are *partial*: a
+    process materialises entries only for the ranks it owns, and every
+    collective accepts such partial contribution mappings, merging them
+    across processes.  Orchestration code must therefore iterate
+    ``owned_ranks()`` instead of ``range(n_ranks)`` whenever it touches
+    per-rank data, and must keep any *control-flow decision* (skipping a
+    broadcast, gating a reduction) globally deterministic — either derived
+    from replicated data or agreed through the ``host_*`` control plane.
+
+    **Control plane.**  ``host_merge`` / ``host_fold`` exchange bookkeeping
+    values (block sizes, emptiness flags, assembled test results) between
+    processes *without* touching ``stats``.  They model the metadata
+    headers a real implementation pays for inside its collectives; keeping
+    them uncharged makes byte/message accounting identical across world
+    sizes, which the differential harness asserts.
     """
 
     n_ranks: int
@@ -110,6 +129,37 @@ class Communicator(Protocol):
     @property
     def p(self) -> int:
         """Number of logical ranks (alias of ``n_ranks``)."""
+        ...
+
+    # -- rank ownership / control plane -------------------------------
+    def owner_of(self, rank: int) -> int:
+        """Index of the process hosting logical ``rank`` (0 on the simulator)."""
+        ...
+
+    def owns(self, rank: int) -> bool:
+        """``True`` when this process hosts logical ``rank``."""
+        ...
+
+    def owned_ranks(self, group: Sequence[int] | None = None) -> list[int]:
+        """The ranks of ``group`` (default: all) hosted by this process."""
+        ...
+
+    def host_merge(self, mapping: Mapping[int, Any]) -> dict[int, Any]:
+        """Union per-rank partial mappings across processes (uncharged).
+
+        Every process passes the entries for its owned ranks and receives
+        the full ``rank -> value`` mapping.  Control-plane only: no bytes
+        or messages are recorded.
+        """
+        ...
+
+    def host_fold(self, value: Any, combine: Callable[[Any, Any], Any]) -> Any:
+        """Fold one value per process into a global value (uncharged).
+
+        The fold order is ascending process index, so ``combine`` should be
+        associative and commutative.  Returns the same result on every
+        process.
+        """
         ...
 
     def elapsed(self) -> float:

@@ -13,6 +13,7 @@ pseudocode); ``rank = row * √p + col`` (row-major).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 __all__ = ["ProcessGrid"]
@@ -23,6 +24,30 @@ class ProcessGrid:
     """A square ``q × q`` grid of ``p = q²`` simulated MPI ranks."""
 
     n_ranks: int
+
+    @classmethod
+    def fit(cls, n_ranks: int) -> "ProcessGrid":
+        """The largest square grid fitting into ``n_ranks`` ranks.
+
+        ``ProcessGrid(p)`` is strict: a non-square ``p`` raises.  ``fit``
+        instead degrades gracefully — ``fit(6)`` builds the 2×2 grid, the
+        two surplus ranks stay idle (they own no block and participate in
+        no grid collective), and a warning records the waste.  This is what
+        keeps ``mpiexec -n 6`` runs working instead of aborting deep inside
+        grid construction.
+        """
+        if n_ranks < 1:
+            raise ValueError("process grid needs at least one rank")
+        q = math.isqrt(n_ranks)
+        if q * q != n_ranks:
+            warnings.warn(
+                f"{n_ranks} ranks do not form a square grid; using the "
+                f"largest {q}x{q} subgrid and idling {n_ranks - q * q} "
+                "surplus ranks",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return cls(q * q)
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:

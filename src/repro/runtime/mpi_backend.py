@@ -1,21 +1,18 @@
-"""mpi4py-backed communicator with a built-in single-rank emulator.
+"""mpi4py-backed communicator for single- and multi-process worlds.
 
 :class:`MPIBackend` runs the same orchestration-style
 :class:`~repro.runtime.backend.Communicator` surface as
 :class:`~repro.runtime.simmpi.SimMPI`, but on top of a *real* MPI
-communicator.  The supported configuration today is a **single-process
-world** (``mpiexec -n 1`` or the emulator below): the calling process owns
-every logical rank and executes the whole orchestration program with real
-wall-clock timing.
-
-The module also carries the groundwork for multi-process worlds — logical
-ranks distributed round-robin over processes (rank ``r`` on process
-``r % world_size``), ``run_local`` restricted to owned ranks, collectives
-merging per-process partial payload mappings through the corresponding
-mpi4py collectives — but the orchestration call sites in ``core/`` and
-``distributed/`` still assume all-rank data visibility, so multi-process
-construction is refused with :class:`NotImplementedError` until they are
-made locality-aware.
+communicator, in SPMD fashion: every process executes the same
+orchestration program, logical ranks are distributed round-robin over the
+world (rank ``r`` lives on process ``r % world_size``), ``run_local``
+executes kernels only for owned ranks, and the collectives accept partial
+per-process payload mappings and merge them through the corresponding
+mpi4py collectives.  ``mpiexec -n 1``, ``mpiexec -n p`` and oversubscribed
+worlds (more processes than logical ranks — the surplus processes idle
+with a warning) are all supported; per-process memory and local compute
+scale with the number of *owned* ranks, which is the point of running
+multi-process in the first place.
 
 When mpi4py is not installed (or ``force_emulator=True``) the underlying
 communicator is :class:`EmulatedComm` — a size-1 stand-in for
@@ -24,6 +21,9 @@ fallback.  With a world of one process every logical rank is owned locally,
 so the backend behaves like a cost-model-free ``SimMPI``: identical payload
 routing and identical per-category byte / message accounting, with
 ``elapsed()`` reporting real wall-clock time instead of modelled time.
+Multi-process behaviour can be exercised without mpi4py through
+:class:`repro.runtime.loopback.LoopbackWorld`, which runs each world
+process on a thread behind the same communicator interface.
 """
 
 from __future__ import annotations
@@ -39,7 +39,14 @@ from repro.runtime.config import MachineModel
 from repro.runtime.simmpi import payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
 
-__all__ = ["EmulatedComm", "MPIBackend", "load_mpi", "mpi_is_available"]
+__all__ = [
+    "EmulatedComm",
+    "MPIBackend",
+    "load_mpi",
+    "mpi_is_available",
+    "world_rank",
+    "world_size",
+]
 
 
 class EmulatedComm:
@@ -108,6 +115,31 @@ class EmulatedComm:
         return "EmulatedComm(size=1)"
 
 
+def world_rank() -> int:
+    """This process's rank in ``COMM_WORLD`` (0 when mpi4py is absent).
+
+    The one place that answers "am I one process of an ``mpiexec`` launch?"
+    — used by test harnesses and the benchmark driver to elect a single
+    writer for shared output files.
+    """
+    try:
+        from mpi4py import MPI
+
+        return int(MPI.COMM_WORLD.Get_rank())
+    except ImportError:
+        return 0
+
+
+def world_size() -> int:
+    """Size of ``COMM_WORLD`` (1 when mpi4py is absent)."""
+    try:
+        from mpi4py import MPI
+
+        return int(MPI.COMM_WORLD.Get_size())
+    except ImportError:
+        return 1
+
+
 def mpi_is_available() -> bool:
     """``True`` when the real ``mpi4py`` package can be imported."""
     try:
@@ -174,19 +206,15 @@ class MPIBackend:
         self.world_size = int(comm.Get_size())
         self.world_rank = int(comm.Get_rank())
         if self.world_size > self.n_ranks:
-            raise ValueError(
-                f"MPI world of {self.world_size} processes cannot host only "
-                f"{self.n_ranks} logical ranks"
-            )
-        if self.world_size > 1:
-            # The orchestration call sites still assume every logical rank's
-            # data is visible to the calling process; the cross-process merge
-            # logic below is groundwork, not a supported mode.  Fail fast
-            # rather than silently computing partial results.
-            raise NotImplementedError(
-                "multi-process MPI execution is not supported yet: run with "
-                "a single MPI process (or the built-in emulator), or use "
-                "the 'sim' backend for multi-rank simulation"
+            # Oversubscribed world: processes with no owned logical rank
+            # idle through the SPMD program (they still participate in the
+            # world-level collectives so nothing deadlocks).
+            warnings.warn(
+                f"MPI world of {self.world_size} processes hosts only "
+                f"{self.n_ranks} logical ranks; "
+                f"{self.world_size - self.n_ranks} processes will idle",
+                RuntimeWarning,
+                stacklevel=2,
             )
         self._t0 = time.perf_counter()
 
@@ -200,11 +228,39 @@ class MPIBackend:
 
     def owner_of(self, rank: int) -> int:
         """World rank of the process hosting logical ``rank``."""
+        check_rank(self.n_ranks, rank)
         return rank % self.world_size
 
     def owns(self, rank: int) -> bool:
         """``True`` when this process hosts logical ``rank``."""
         return self.owner_of(rank) == self.world_rank
+
+    def owned_ranks(self, group: Sequence[int] | None = None) -> list[int]:
+        """The ranks of ``group`` (default: all) hosted by this process."""
+        return [r for r in normalize_group(self.n_ranks, group) if self.owns(r)]
+
+    # ------------------------------------------------------------------
+    # control plane (uncharged: metadata exchange, not payload traffic)
+    # ------------------------------------------------------------------
+    def host_merge(self, mapping: Mapping[int, Any]) -> dict[int, Any]:
+        """Union partial per-rank mappings across the world (uncharged)."""
+        merged: dict[int, Any] = {}
+        if self.world_size == 1:
+            merged.update(mapping)
+            return merged
+        for part in self._comm.allgather(dict(mapping)):
+            merged.update(part)
+        return merged
+
+    def host_fold(self, value: Any, combine: Callable[[Any, Any], Any]) -> Any:
+        """Fold one value per process, ascending world rank (uncharged)."""
+        if self.world_size == 1:
+            return value
+        parts = self._comm.allgather(value)
+        folded = parts[0]
+        for part in parts[1:]:
+            folded = combine(folded, part)
+        return folded
 
     # ------------------------------------------------------------------
     # clock management

@@ -103,6 +103,31 @@ class SimMPI:
         """Number of simulated ranks."""
         return self.n_ranks
 
+    # ------------------------------------------------------------------
+    # rank ownership / control plane (trivial: one process owns all ranks)
+    # ------------------------------------------------------------------
+    def owner_of(self, rank: int) -> int:
+        """Hosting process of ``rank`` — always process 0 on the simulator."""
+        check_rank(self.n_ranks, rank)
+        return 0
+
+    def owns(self, rank: int) -> bool:
+        """``True`` for every valid rank: the simulator hosts all of them."""
+        check_rank(self.n_ranks, rank)
+        return True
+
+    def owned_ranks(self, group: Sequence[int] | None = None) -> list[int]:
+        """All ranks of ``group`` (default: all ranks) — everything is local."""
+        return normalize_group(self.n_ranks, group)
+
+    def host_merge(self, mapping: Mapping[int, Any]) -> dict[int, Any]:
+        """Union of partial per-rank mappings — the identity on one process."""
+        return dict(mapping)
+
+    def host_fold(self, value: Any, combine: Callable[[Any, Any], Any]) -> Any:
+        """Fold per-process values — the identity on one process."""
+        return value
+
     @property
     def clock(self) -> np.ndarray:
         """Per-rank modelled clocks (seconds); a view, do not mutate."""

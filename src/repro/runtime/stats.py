@@ -189,6 +189,24 @@ class CommStats:
             out.categories[name] = tot.minus(base)
         return out
 
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Accumulate ``other``'s per-category totals into ``self``.
+
+        Used to combine the per-process partial statistics of a
+        multi-process run into one global view (each process records only
+        the traffic of the logical ranks it owns); returns ``self`` so
+        merges chain and the result can feed ``Communicator.host_fold``.
+        """
+        for name, tot in other.categories.items():
+            self.category(name).add(
+                operations=tot.operations,
+                messages=tot.messages,
+                nbytes=tot.bytes,
+                modeled_seconds=tot.modeled_seconds,
+                measured_seconds=tot.measured_seconds,
+            )
+        return self
+
     def reset(self) -> None:
         """Drop all accumulated counters."""
         self.categories.clear()

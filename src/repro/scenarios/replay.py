@@ -409,6 +409,17 @@ def _registry_name_of(comm: Communicator) -> str:
     return _COMM_CLASS_NAMES.get(cls, cls.lower())
 
 
+def _global_stats_diff(comm: Communicator, since):
+    """Statistics accumulated since ``since``, merged over all processes.
+
+    On a multi-process backend each process records only the traffic of its
+    owned ranks; folding the per-process diffs through the control plane
+    yields the same global per-category volume the simulator reports, which
+    is what the differential harness compares.
+    """
+    return comm.host_fold(comm.stats.diff(since), lambda a, b: a.merge(b))
+
+
 def replay(
     scenario: Scenario,
     *,
@@ -460,7 +471,14 @@ def replay(
             else _registry_name_of(comm)
         )
         n_ranks = comm.p
-    grid = ProcessGrid(n_ranks)
+    # Non-square rank counts degrade to the largest q×q subgrid (surplus
+    # ranks idle), so e.g. `mpiexec -n 6` replays on a 2×2 grid instead of
+    # aborting inside grid construction.  Everything downstream — tuple
+    # scattering, per-step batches, the reported rank count — uses the
+    # effective grid ranks, so trimmed replays stay comparable to runs that
+    # asked for the square count directly.
+    grid = ProcessGrid.fit(n_ranks)
+    n_ranks = grid.n_ranks
     factory = executor_factory or NativeExecutor
     executor = factory(comm, grid, scenario, layout=layout)
 
@@ -479,7 +497,7 @@ def replay(
         before = comm.stats.snapshot()
         with comm.timer() as timer, perf_phase("replay_construct"):
             executor.construct()
-        diff = comm.stats.diff(before)
+        diff = _global_stats_diff(comm, before)
         n_initial = (
             int(scenario.initial_tuples[0].size)
             if scenario.initial_tuples is not None
@@ -537,7 +555,7 @@ def replay(
             )
             truncated_at = index
             break
-        diff = comm.stats.diff(before)
+        diff = _global_stats_diff(comm, before)
         step_stats.append(
             StepStats(
                 index=index,
@@ -570,8 +588,8 @@ def replay(
         final_a=final_a,
         final_c=final_c,
         applied_counts=applied_counts,
-        comm_stats=comm.stats.diff(start).as_dict(),
-        update_stats=comm.stats.diff(post_construct).as_dict(),
+        comm_stats=_global_stats_diff(comm, start).as_dict(),
+        update_stats=_global_stats_diff(comm, post_construct).as_dict(),
         truncated_at=truncated_at,
         elapsed_modeled=comm.elapsed() - elapsed_start,
     )

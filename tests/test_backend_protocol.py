@@ -148,6 +148,38 @@ class TestConformance:
         comm.reset()
         assert not comm.stats.categories
 
+    def test_ownership_surface(self, factory):
+        """Single-process backends own every rank; the accessors are the
+        contract the locality-aware call sites in core/ and distributed/
+        are written against."""
+        comm = factory(4)
+        assert comm.owned_ranks() == [0, 1, 2, 3]
+        assert comm.owned_ranks([3, 1]) == [3, 1]
+        assert all(comm.owns(r) for r in range(4))
+        assert all(comm.owner_of(r) == 0 for r in range(4))
+        with pytest.raises(IndexError):
+            comm.owns(9)
+        with pytest.raises(ValueError):
+            comm.owned_ranks([])
+
+    def test_host_control_plane_is_uncharged(self, factory):
+        comm = factory(4)
+        merged = comm.host_merge({r: r * r for r in comm.owned_ranks()})
+        assert merged == {0: 0, 1: 1, 2: 4, 3: 9}
+        assert comm.host_fold(5, lambda x, y: x + y) == 5
+        # control-plane traffic must not appear in the paper-level stats
+        assert not comm.stats.categories
+
+    def test_collectives_accept_partial_contribution_mappings(self, factory):
+        """Missing ranks in a payload mapping mean 'no contribution' —
+        the semantics multi-process partial mappings rely on."""
+        comm = factory(4)
+        gathered = comm.gather(0, {1: "only"})
+        assert gathered == {0: None, 1: "only", 2: None, 3: None}
+        recv = comm.alltoallv({2: {0: "x"}})
+        assert recv[0] == {2: "x"}
+        assert all(recv[r] == {} for r in (1, 2, 3))
+
     def test_barrier_accepts_groups(self, factory):
         comm = factory(4)
         comm.barrier()
@@ -189,24 +221,31 @@ class TestMPIBackendSpecifics:
         assert comm.world_size == 1
         assert all(comm.owns(r) for r in range(6))
 
-    def test_world_larger_than_ranks_is_rejected(self):
+    def test_world_larger_than_ranks_idles_surplus_processes(self):
+        """``mpiexec -n 6`` with 4 logical ranks degrades gracefully: the
+        surplus processes own nothing and a warning records the waste."""
+
         class FakeComm(EmulatedComm):
             def Get_size(self):
                 return 4
 
-        with pytest.raises(ValueError):
-            MPIBackend(2, comm=FakeComm())
+        with pytest.warns(RuntimeWarning, match="will idle"):
+            comm = MPIBackend(2, comm=FakeComm())
+        assert comm.world_size == 4
+        assert comm.owned_ranks() == [0]  # this process is world rank 0
+        assert comm.owner_of(1) == 1
 
-    def test_multi_process_world_is_refused_for_now(self):
-        """Orchestration call sites assume all-rank visibility; a >1-process
-        world must fail fast instead of silently computing partial results."""
+    def test_multi_process_world_is_accepted(self):
+        """Multi-process worlds construct; ownership is round-robin."""
 
         class TwoProcComm(EmulatedComm):
             def Get_size(self):
                 return 2
 
-        with pytest.raises(NotImplementedError, match="multi-process"):
-            MPIBackend(4, comm=TwoProcComm())
+        comm = MPIBackend(4, comm=TwoProcComm())
+        assert comm.world_size == 2
+        assert comm.owned_ranks() == [0, 2]
+        assert not comm.owns(1) and comm.owns(2)
 
     def test_emulated_comm_is_single_rank(self):
         comm = EmulatedComm()

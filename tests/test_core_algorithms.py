@@ -39,7 +39,9 @@ class TestSparseReduce:
         rng = np.random.default_rng(0)
         denses = {r: random_dense(*shape, 0.3, seed=r) for r in group}
         contributions = {r: COOMatrix.from_dense(d) for r, d in denses.items()}
-        out = sparse_reduce_to_root(comm, group, 9, contributions, PLUS_TIMES)
+        out = sparse_reduce_to_root(
+            comm, group, 9, contributions, PLUS_TIMES, shape=shape
+        )
         assert np.allclose(out.to_dense(), sum(denses.values()))
         # communication happened (reduce-scatter + gather)
         assert comm.stats.total_bytes() > 0
@@ -48,13 +50,16 @@ class TestSparseReduce:
         comm = SimMPI(4)
         shape = (6, 6)
         contributions = {0: COOMatrix.empty(shape)}
-        out = sparse_reduce_to_root(comm, [0, 1, 2, 3], 0, contributions, PLUS_TIMES)
+        out = sparse_reduce_to_root(
+            comm, [0, 1, 2, 3], 0, contributions, PLUS_TIMES, shape=shape
+        )
         assert out.nnz == 0
+        assert out.shape == shape
 
     def test_reduce_root_not_in_group_raises(self):
         comm = SimMPI(4)
         with pytest.raises(ValueError):
-            sparse_reduce_to_root(comm, [0, 1], 3, {}, PLUS_TIMES)
+            sparse_reduce_to_root(comm, [0, 1], 3, {}, PLUS_TIMES, shape=(2, 2))
 
     def test_min_plus_reduction(self):
         comm = SimMPI(4)
@@ -67,6 +72,7 @@ class TestSparseReduce:
             0,
             {0: COOMatrix.from_dense(a, MIN_PLUS), 1: COOMatrix.from_dense(b, MIN_PLUS)},
             MIN_PLUS,
+            shape=shape,
         )
         assert np.allclose(out.to_dense(), np.minimum(a, b), equal_nan=True)
 
@@ -75,7 +81,7 @@ class TestSparseReduce:
         shape = (6, 6)
         a = BloomFilterMatrix.from_entries(shape, [(0, 0, 1), (2, 3, 4)])
         b = BloomFilterMatrix.from_entries(shape, [(0, 0, 2), (5, 5, 8)])
-        out = bloom_reduce_to_root(comm, [0, 1, 2], 2, {0: a, 1: b})
+        out = bloom_reduce_to_root(comm, [0, 1, 2], 2, {0: a, 1: b}, shape=shape)
         assert out.get(0, 0) == 3
         assert out.get(2, 3) == 4
         assert out.get(5, 5) == 8

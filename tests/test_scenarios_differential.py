@@ -29,7 +29,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.runtime import resolve_backend_name
+from repro.runtime import MPIBackend, resolve_backend_name, world_rank, world_size
+from repro.runtime.loopback import run_spmd
 from repro.scenarios import (
     REPLAY_LAYOUTS,
     SCENARIO_GENERATORS,
@@ -46,11 +47,25 @@ _PREFERRED = resolve_backend_name(None)
 BACKENDS = (_PREFERRED, "mpi" if _PREFERRED == "sim" else "sim")
 REFERENCE = BACKENDS[0]
 
-def _dump_stats(result: ScenarioResult) -> None:
+#: loopback world sizes for the emulated multi-process differential leg
+WORLD_SIZES = (1, 2, 4)
+
+
+def _stats_dir() -> Path | None:
     stats_dir = os.environ.get("REPRO_SCENARIO_STATS_DIR", "")
     if not stats_dir:
-        return
+        return None
     out = Path(stats_dir)
+    rank = world_rank()
+    # Under mpiexec every process replays and would race on the same file;
+    # per-rank subdirectories keep the artifacts diffable across ranks.
+    return out / f"world_rank{rank}" if rank else out
+
+
+def _dump_stats(result: ScenarioResult) -> None:
+    out = _stats_dir()
+    if out is None:
+        return
     out.mkdir(parents=True, exist_ok=True)
     name = f"{result.scenario}-{result.layout}-{result.backend}.json"
     (out / name).write_text(json.dumps(result.as_dict(), indent=2, default=float))
@@ -143,6 +158,48 @@ class TestCrossLayout:
             assert reference.applied_counts == other.applied_counts
 
 
+@pytest.mark.parametrize("world", WORLD_SIZES)
+@pytest.mark.parametrize(
+    "generator_name", ("grow_from_empty", "mixed_update_multiply")
+)
+def test_multiprocess_worlds_match_sim(results, generator_name, world):
+    """Partial-mapping/ownership differential: the same scenario replayed
+    on emulated multi-process worlds (loopback threads behind the mpi4py
+    surface, payloads pickled) must match the simulator bit for bit —
+    final tuples, applied counts and per-category comm volume."""
+    ref = results[(generator_name, "sim", "csr")]
+    scenario = SCENARIO_GENERATORS[generator_name](seed=SEED)
+
+    def program(comm_obj, world_rank):
+        comm = MPIBackend(N_RANKS, comm=comm_obj)
+        return replay(scenario, comm=comm, layout="csr")
+
+    for result in run_spmd(world, program):
+        _assert_tuples_identical(
+            ref.final_a, result.final_a, what=f"{generator_name}@world={world}: A"
+        )
+        assert (ref.final_c is None) == (result.final_c is None)
+        if ref.final_c is not None:
+            _assert_tuples_identical(
+                ref.final_c, result.final_c, what=f"{generator_name}@world={world}: C"
+            )
+        assert result.applied_counts == ref.applied_counts
+        assert result.comm_signature() == ref.comm_signature()
+
+
+@pytest.mark.skipif(
+    world_size() < 2,
+    reason="real multi-process leg runs under mpiexec -n p with mpi4py",
+)
+def test_real_mpi_world_attaches():
+    """Under ``mpiexec -n p`` the default 'mpi' backend attaches to the
+    real COMM_WORLD; the rest of this module then runs the differential
+    matrix against genuine multi-process execution."""
+    comm = MPIBackend(N_RANKS)
+    assert comm.world_size > 1
+    assert len(comm.owned_ranks()) < N_RANKS
+
+
 def test_library_covers_at_least_five_generators():
     assert len(SCENARIO_GENERATORS) >= 5
 
@@ -158,7 +215,7 @@ def test_stats_dump_round_trip(tmp_path, monkeypatch):
     """The CI artifact dump produces valid JSON with the comm signature."""
     monkeypatch.setenv("REPRO_SCENARIO_STATS_DIR", str(tmp_path))
     result = _replay("grow_from_empty", "sim", "csr")
-    path = tmp_path / "grow_from_empty-csr-sim.json"
+    path = _stats_dir() / "grow_from_empty-csr-sim.json"
     payload = json.loads(path.read_text())
     assert payload["scenario"] == "grow_from_empty"
     assert payload["comm_signature"]
