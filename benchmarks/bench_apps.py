@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Application-workload benchmark: emit ``BENCH_apps.json`` via run_suite.
+
+Replays the three application scenarios — incremental triangle counting
+over an evolving social graph, multi-source shortest paths under weighted
+churn, and the multilevel contraction pipeline — across the requested
+communicator backends with the perf instrumentation active, and writes one
+schema-validated ``BENCH_apps.json`` document (one ``runs[]`` entry per
+scenario × backend, tagged with the scenario name; per-phase medians
+include the ``app_*`` phases the applications record).
+
+This is a thin front-end over ``benchmarks/run_suite.py`` restricted to
+the ``apps`` figure; all of run_suite's options apply::
+
+    python benchmarks/bench_apps.py --smoke
+    python benchmarks/bench_apps.py --backends sim --repeats 5 --out bench_out
+"""
+
+from __future__ import annotations
+
+import sys
+
+from run_suite import main as run_suite_main
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; forwards to run_suite with the ``apps`` figure."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return run_suite_main(argv + ["--figs", "apps"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,7 +60,7 @@ from repro.sparse import DHBMatrix
 DEFAULT_BACKENDS = ("sim", "mpi")
 DEFAULT_LAYOUTS = ("csr", "dhb")
 DEFAULT_REPEATS = 3
-KNOWN_FIGS = ("fig04", "fig08", "fig10")
+KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps")
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +120,27 @@ FIG_BUILDERS: dict[str, Callable[[BenchProfile, int], tuple[Scenario, str]]] = {
     "fig08": fig08_scenario,
     "fig10": fig10_scenario,
 }
+
+
+def apps_scenarios(seed: int) -> list[Scenario]:
+    """The application-workload scenarios of the ``apps`` figure.
+
+    One scenario per application: incremental triangle counting over an
+    evolving social graph, multi-source shortest paths under weighted
+    churn, and the multilevel contraction pipeline — the generator-default
+    sizes the differential suite also replays.
+    """
+    from repro.scenarios import (
+        multilevel_contraction,
+        road_churn_sssp,
+        social_triangle_stream,
+    )
+
+    return [
+        social_triangle_stream(seed=seed + 61),
+        road_churn_sssp(seed=seed + 67),
+        multilevel_contraction(seed=seed + 71),
+    ]
 
 #: figures whose protocol uses the paper-regime SpGEMM machine model
 SPGEMM_FIGS = frozenset({"fig10"})
@@ -277,12 +298,52 @@ def run_suite(
     os.makedirs(out_dir, exist_ok=True)
     written: list[str] = []
     for fig in figs:
+        started = time.perf_counter()
+        if fig == "apps":
+            # One run entry per (application scenario, backend); the apps
+            # maintain their own dynamic state, so the layout knob does not
+            # apply and every entry is tagged with its scenario instead.
+            if set(layouts) != {"csr"}:
+                print(
+                    "note: the apps figure ignores --layouts (the "
+                    "applications manage their own dynamic storage); "
+                    "runs are tagged layout 'csr'"
+                )
+            scenarios = apps_scenarios(seed)
+            title = "Dynamic graph analytics applications"
+            runs = []
+            for scenario in scenarios:
+                for backend in backends:
+                    entry = run_config(
+                        scenario,
+                        backend=backend,
+                        layout="csr",
+                        n_ranks=profile.n_ranks,
+                        machine=profile.machine,
+                        repeats=repeats,
+                    )
+                    entry["scenario"] = scenario.name
+                    runs.append(entry)
+            extras: dict[str, Any] = {
+                "scenarios": [scenario.name for scenario in scenarios]
+            }
+            document = bench_document(
+                figure=fig,
+                title=title,
+                seed=seed,
+                profile=profile.name,
+                n_ranks=profile.n_ranks,
+                runs=runs,
+                extras=extras,
+            )
+            if _write_document(document, fig, out_dir, started, len(runs)):
+                written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
+            continue
         builder = FIG_BUILDERS.get(fig)
         if builder is None:
             raise ValueError(f"unknown figure {fig!r} (known: {', '.join(KNOWN_FIGS)})")
         scenario, title = builder(profile, seed)
         machine = profile.spgemm_machine if fig in SPGEMM_FIGS else profile.machine
-        started = time.perf_counter()
         runs = [
             run_config(
                 scenario,
@@ -295,7 +356,7 @@ def run_suite(
             for backend in backends
             for layout in layouts
         ]
-        extras: dict[str, Any] = {"scenario": scenario.name}
+        extras = {"scenario": scenario.name}
         if fig == "fig04":
             extras["dhb_insertion"] = measure_dhb_insertion(profile, seed)
         document = bench_document(
@@ -307,23 +368,30 @@ def run_suite(
             runs=runs,
             extras=extras,
         )
-        validate_bench(document)
-        # Under a multi-process launch every process replays the protocols
-        # (one SPMD program), but only world rank 0 writes the BENCH
-        # documents — the measured comm volume is identical on every rank
-        # by construction, and concurrent writers would race on the files.
-        if world_rank() != 0:
-            continue
-        path = os.path.join(out_dir, f"BENCH_{fig}.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        written.append(path)
-        print(
-            f"wrote {path}  ({len(runs)} runs, "
-            f"{time.perf_counter() - started:.1f}s)"
-        )
+        if _write_document(document, fig, out_dir, started, len(runs)):
+            written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
     return written
+
+
+def _write_document(
+    document: dict[str, Any], fig: str, out_dir: str, started: float, n_runs: int
+) -> bool:
+    """Validate and write one BENCH document; returns True when written.
+
+    Under a multi-process launch every process replays the protocols (one
+    SPMD program), but only world rank 0 writes the BENCH documents — the
+    measured comm volume is identical on every rank by construction, and
+    concurrent writers would race on the files.
+    """
+    validate_bench(document)
+    if world_rank() != 0:
+        return False
+    path = os.path.join(out_dir, f"BENCH_{fig}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}  ({n_runs} runs, {time.perf_counter() - started:.1f}s)")
+    return True
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,40 @@
+"""Deterministic global reductions for application-level queries.
+
+Application queries (triangle counts, contracted edge weights, …) reduce
+per-rank floating-point partials to one global number.  The obvious way —
+summing each process's owned partials locally and folding the per-process
+values through ``Communicator.host_fold`` — is *not* byte-stable across
+world sizes: the fold groups the same per-rank partials differently under
+``mpiexec -n 1`` and ``-n 4``, and float addition is not associative, so
+the "same" query can return different bits on different launch geometries.
+The world-size differential legs of ``tests/test_scenarios_differential.py``
+require app query results to be byte-identical, so every app-level float
+reduction goes through :func:`rank_ordered_sum` instead: the per-rank
+partials are merged through the control plane and summed in canonical
+(ascending) rank order, which is independent of how ranks map onto
+processes.  ``tests/test_apps_property.py`` pins this with a regression
+test whose partials expose the grouping difference.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.runtime.backend import Communicator
+
+__all__ = ["rank_ordered_sum"]
+
+
+def rank_ordered_sum(comm: Communicator, per_rank: Mapping[int, float]) -> float:
+    """Sum per-rank float partials in canonical rank order (all processes).
+
+    ``per_rank`` holds one partial per *owned* logical rank; the mapping is
+    merged across processes through the uncharged ``host_merge`` control
+    plane and accumulated in ascending rank order, so the result is
+    byte-identical on every process and for every world size.
+    """
+    merged = comm.host_merge({int(rank): float(v) for rank, v in per_rank.items()})
+    total = 0.0
+    for rank in sorted(merged):
+        total += merged[rank]
+    return total

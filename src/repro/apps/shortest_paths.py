@@ -19,13 +19,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.perf import perf_count, perf_phase
 from repro.runtime import Communicator, ProcessGrid
 from repro.semirings import MIN_PLUS
 from repro.sparse import CSRMatrix, COOMatrix, spgemm_local
 from repro.distributed import DynamicDistMatrix, UpdateBatch
 from repro.core import DynamicProduct
 
-__all__ = ["DynamicMultiSourceShortestPaths", "sssp_reference"]
+__all__ = [
+    "DynamicMultiSourceShortestPaths",
+    "sssp_reference",
+    "sssp_minplus_reference",
+    "distances_to_tuples",
+]
 
 
 def sssp_reference(
@@ -53,6 +59,66 @@ def sssp_reference(
         for v, d in lengths.items():
             out[si, v] = d
     return out
+
+
+def sssp_minplus_reference(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    sources: np.ndarray,
+    *,
+    max_hops: int | None = None,
+) -> np.ndarray:
+    """Dense min-plus Bellman-Ford reference, bit-compatible with the app.
+
+    Performs exactly the relaxation the distributed app performs —
+    ``D ← min(D, D·A)`` with per-entry candidates ``D[s, k] + A[k, v]`` —
+    on a dense adjacency matrix, so the resulting distances are
+    byte-identical to :meth:`DynamicMultiSourceShortestPaths.full_distances`
+    (the same IEEE additions, and ``min`` is exact).  Scenario generators
+    use this to bake expected distances into
+    :class:`~repro.scenarios.model.ShortestPathCheck` steps without
+    replaying the scenario.
+    """
+    n = int(n)
+    adjacency = np.full((n, n), np.inf)
+    # last write wins, matching the MERGE semantics of repeated updates
+    adjacency[np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)] = (
+        np.asarray(weights, dtype=np.float64)
+    )
+    sources = np.asarray(sources, dtype=np.int64)
+    dist = np.full((sources.size, n), np.inf)
+    dist[np.arange(sources.size), sources] = 0.0
+    hops = max_hops if max_hops is not None else n
+    for _ in range(hops):
+        with np.errstate(invalid="ignore"):
+            candidates = (dist[:, :, None] + adjacency[None, :, :]).min(axis=1)
+        new_dist = np.minimum(dist, candidates)
+        if np.array_equal(
+            np.nan_to_num(new_dist, posinf=1e300), np.nan_to_num(dist, posinf=1e300)
+        ):
+            break
+        dist = new_dist
+    return dist
+
+
+def distances_to_tuples(
+    distances: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical sparse form of a dense distance matrix.
+
+    Returns ``(source_index, vertex, distance)`` arrays for the finite
+    entries, in row-major (source, vertex) order — the representation the
+    scenario engine records and the differential harness compares
+    byte-for-byte.
+    """
+    src, vertex = np.nonzero(np.isfinite(distances))
+    return (
+        src.astype(np.int64),
+        vertex.astype(np.int64),
+        distances[src, vertex].astype(np.float64),
+    )
 
 
 class DynamicMultiSourceShortestPaths:
@@ -105,6 +171,7 @@ class DynamicMultiSourceShortestPaths:
     # ------------------------------------------------------------------
     @property
     def adjacency(self) -> DynamicDistMatrix:
+        """The maintained weighted adjacency matrix (right operand of ``S·A``)."""
         return self.product.b
 
     def one_hop_distances(self) -> COOMatrix:
@@ -114,33 +181,45 @@ class DynamicMultiSourceShortestPaths:
     # ------------------------------------------------------------------
     def update_edges(
         self, rows: np.ndarray, cols: np.ndarray, weights: np.ndarray, *, seed: int = 0
-    ) -> None:
-        """Insert edges or overwrite edge weights (general update)."""
-        batch = UpdateBatch.from_global(
-            (self.n, self.n),
-            rows,
-            cols,
-            weights,
-            self.grid.n_ranks,
-            kind="update",
-            semiring=MIN_PLUS,
-            seed=seed,
-        )
-        self.product.apply_updates(b_batch=batch)
+    ) -> int:
+        """Insert edges or overwrite edge weights (general update).
 
-    def delete_edges(self, rows: np.ndarray, cols: np.ndarray, *, seed: int = 0) -> None:
-        """Delete edges (general update; triggers masked recomputation)."""
-        batch = UpdateBatch.from_global(
-            (self.n, self.n),
-            rows,
-            cols,
-            np.zeros(len(rows)),
-            self.grid.n_ranks,
-            kind="delete",
-            semiring=MIN_PLUS,
-            seed=seed,
-        )
-        self.product.apply_updates(b_batch=batch)
+        Duplicate coordinates within one batch resolve last-write-wins.
+        Returns the number of maintained-product entries recomputed.
+        """
+        with perf_phase("app_sssp_update"):
+            perf_count("app_sssp_edges_updated", len(rows))
+            batch = UpdateBatch.from_global(
+                (self.n, self.n),
+                rows,
+                cols,
+                weights,
+                self.grid.n_ranks,
+                kind="update",
+                semiring=MIN_PLUS,
+                seed=seed,
+            )
+            return int(self.product.apply_updates(b_batch=batch).touched_outputs)
+
+    def delete_edges(self, rows: np.ndarray, cols: np.ndarray, *, seed: int = 0) -> int:
+        """Delete edges (general update; triggers masked recomputation).
+
+        Deleting a coordinate that is not present is a structural no-op.
+        Returns the number of maintained-product entries recomputed.
+        """
+        with perf_phase("app_sssp_delete"):
+            perf_count("app_sssp_edges_deleted", len(rows))
+            batch = UpdateBatch.from_global(
+                (self.n, self.n),
+                rows,
+                cols,
+                np.zeros(len(rows)),
+                self.grid.n_ranks,
+                kind="delete",
+                semiring=MIN_PLUS,
+                seed=seed,
+            )
+            return int(self.product.apply_updates(b_batch=batch).touched_outputs)
 
     # ------------------------------------------------------------------
     def full_distances(self, *, max_hops: int | None = None) -> np.ndarray:
@@ -148,7 +227,9 @@ class DynamicMultiSourceShortestPaths:
 
         Iterates ``D ← min(D, D·A)`` until convergence (or ``max_hops``),
         i.e. an algebraic Bellman-Ford sweep over the current adjacency
-        matrix.  Used by the examples; runs sequentially on gathered data.
+        matrix.  Runs sequentially on the gathered adjacency (assembled
+        through the uncharged control plane), so every process computes the
+        identical dense matrix.
         """
         adjacency = CSRMatrix.from_coo(
             self.adjacency.to_coo_global(), dedup=False
@@ -169,6 +250,19 @@ class DynamicMultiSourceShortestPaths:
             dist = new_dist
             frontier = CSRMatrix.from_dense(dist, MIN_PLUS)
         return dist
+
+    def distance_tuples(
+        self, *, max_hops: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical finite-distance tuples ``(source_index, vertex, distance)``.
+
+        The sparse, byte-comparable form of :meth:`full_distances` — what
+        :class:`~repro.scenarios.model.ShortestPathCheck` steps record and
+        the differential harness compares across backends and world sizes.
+        """
+        with perf_phase("app_sssp_query"):
+            perf_count("app_sssp_queries")
+            return distances_to_tuples(self.full_distances(max_hops=max_hops))
 
     def verify_one_hop(self) -> bool:
         """Check the maintained one-hop product against recomputation."""

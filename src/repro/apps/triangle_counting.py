@@ -7,17 +7,26 @@ product.  Because ``A²`` is maintained incrementally by
 :class:`repro.core.DynamicProduct`, the triangle count can be refreshed
 after every batch of edge insertions without recomputing the full product —
 exactly the kind of workload the paper's introduction motivates.
+
+The count itself is computed *in place*: ``A²`` and ``A`` share one block
+distribution, so each rank intersects its two local blocks and contributes
+one partial sum, and the partials are combined in canonical rank order
+(:func:`repro.apps.reductions.rank_ordered_sum`) so the query is
+byte-identical across backends and world sizes — no global gather of either
+matrix is required.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.perf import perf_count, perf_phase
 from repro.runtime import Communicator, ProcessGrid
+from repro.runtime.stats import StatCategory
 from repro.semirings import PLUS_TIMES
-from repro.sparse import CSRMatrix
 from repro.distributed import DynamicDistMatrix, UpdateBatch
 from repro.core import DynamicProduct
+from repro.apps.reductions import rank_ordered_sum
 
 __all__ = ["DynamicTriangleCounter", "count_triangles_reference"]
 
@@ -37,6 +46,26 @@ def count_triangles_reference(n: int, rows: np.ndarray, cols: np.ndarray) -> int
     return int(round(closed.sum() / 6.0))
 
 
+def _block_closed_weight(dist, rank: int, a2_block, adj_block) -> float:
+    """Rank-local ``sum(A² ∘ A)`` restricted to off-diagonal entries.
+
+    ``A²`` and ``A`` live on the same distribution, so the Hadamard mask is
+    a purely local pattern intersection; the diagonal test must use global
+    coordinates (a block's local diagonal is not the global one).
+    """
+    a2_coo = a2_block.to_coo()
+    adj_coo = adj_block.to_coo()
+    if a2_coo.nnz == 0 or adj_coo.nnz == 0:
+        return 0.0
+    m = dist.shape[1]
+    grows, gcols = dist.to_global(rank, a2_coo.rows, a2_coo.cols)
+    adj_rows, adj_cols = dist.to_global(rank, adj_coo.rows, adj_coo.cols)
+    keys = grows * m + gcols
+    adj_keys = adj_rows * m + adj_cols
+    hit = np.isin(keys, adj_keys) & (grows != gcols)
+    return float(np.sum(a2_coo.values[hit]))
+
+
 class DynamicTriangleCounter:
     """Maintains the triangle count of an undirected graph under insertions."""
 
@@ -54,6 +83,7 @@ class DynamicTriangleCounter:
         self.grid = grid
         self.n = int(n)
         rows, cols = self._symmetrize(rows, cols)
+        rows, cols = self._unique_edges(rows, cols)
         values = np.ones(rows.size, dtype=np.float64)
         batch = UpdateBatch.from_global(
             (n, n), rows, cols, values, grid.n_ranks, seed=seed
@@ -79,58 +109,92 @@ class DynamicTriangleCounter:
         c = np.concatenate([cols, rows])
         return r, c
 
+    def _unique_edges(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drop duplicate directed pairs (first occurrence wins).
+
+        A batch that names the same undirected edge twice must still insert
+        each directed non-zero exactly once, or the additive (+, ·)
+        maintenance of ``A²`` double-counts the edge.
+        """
+        if rows.size == 0:
+            return rows, cols
+        keys = rows * self.n + cols
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        return rows[first], cols[first]
+
     @property
     def adjacency(self) -> DynamicDistMatrix:
+        """The maintained symmetric adjacency matrix (left operand of ``A²``)."""
         return self.product.a
 
     def _new_edges_only(
         self, rows: np.ndarray, cols: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Drop edges already present (re-inserting would double-count)."""
-        adj = self.adjacency
-        keep = [
-            not adj.contains_edge(int(i), int(j)) if hasattr(adj, "contains_edge") else adj.get(int(i), int(j)) == 0.0
-            for i, j in zip(rows, cols)
-        ]
-        keep = np.asarray(keep, dtype=bool)
+        present = self.adjacency.contains_tuples(rows, cols)
+        keep = ~present
         return rows[keep], cols[keep]
 
     def insert_edges(self, rows: np.ndarray, cols: np.ndarray, *, seed: int = 0) -> int:
         """Insert undirected edges and update the maintained ``A²``.
 
-        Returns the number of new directed non-zeros actually inserted
-        (already-present edges are skipped).
+        Self-loops, duplicate edges within the batch and edges already
+        present in the graph are all screened out; returns the number of new
+        directed non-zeros actually inserted.
         """
-        rows, cols = self._symmetrize(rows, cols)
-        if rows.size == 0:
-            return 0
-        rows, cols = self._new_edges_only(rows, cols)
-        if rows.size == 0:
-            return 0
-        values = np.ones(rows.size, dtype=np.float64)
-        # The same batch updates both operands (they are the same matrix):
-        # (A+Δ)² = A² + Δ·A' + A·Δ, which is exactly Algorithm 1 with
-        # A* = B* = Δ.
-        a_batch = UpdateBatch.from_global(
-            (self.n, self.n), rows, cols, values, self.grid.n_ranks, seed=seed
-        )
-        b_batch = UpdateBatch.from_global(
-            (self.n, self.n), rows, cols, values, self.grid.n_ranks, seed=seed
-        )
-        self.product.apply_updates(a_batch=a_batch, b_batch=b_batch)
-        return int(rows.size)
+        with perf_phase("app_triangle_insert"):
+            rows, cols = self._symmetrize(rows, cols)
+            rows, cols = self._unique_edges(rows, cols)
+            if rows.size:
+                rows, cols = self._new_edges_only(rows, cols)
+            if rows.size == 0:
+                return 0
+            perf_count("app_triangle_edges_inserted", rows.size)
+            values = np.ones(rows.size, dtype=np.float64)
+            # The same batch updates both operands (they are the same matrix):
+            # (A+Δ)² = A² + Δ·A' + A·Δ, which is exactly Algorithm 1 with
+            # A* = B* = Δ.
+            a_batch = UpdateBatch.from_global(
+                (self.n, self.n), rows, cols, values, self.grid.n_ranks, seed=seed
+            )
+            b_batch = UpdateBatch.from_global(
+                (self.n, self.n), rows, cols, values, self.grid.n_ranks, seed=seed
+            )
+            self.product.apply_updates(a_batch=a_batch, b_batch=b_batch)
+            return int(rows.size)
 
     # ------------------------------------------------------------------
+    def closed_wedge_weight(self) -> float:
+        """``sum(A² ∘ A)`` over off-diagonal entries (6× the triangle count).
+
+        Each rank intersects its local ``A²`` and ``A`` blocks (they share
+        one distribution) and the per-rank partials are summed in canonical
+        rank order, so the value is byte-identical on every backend and
+        world size.
+        """
+        c = self.product.c
+        adj = self.adjacency
+        partials: dict[int, float] = {}
+        for rank in c.owned_ranks():
+            partials[rank] = self.comm.run_local(
+                rank,
+                _block_closed_weight,
+                c.dist,
+                rank,
+                c.blocks[rank],
+                adj.blocks[rank],
+                category=StatCategory.LOCAL_COMPUTE,
+            )
+        return rank_ordered_sum(self.comm, partials)
+
     def triangle_count(self) -> int:
         """Current number of triangles: ``sum(A² ∘ A) / 6``."""
-        a2 = self.product.result_coo()
-        adj = self.adjacency.to_coo_global()
-        adj_keys = set(zip(adj.rows.tolist(), adj.cols.tolist()))
-        total = 0.0
-        for i, j, v in zip(a2.rows.tolist(), a2.cols.tolist(), a2.values.tolist()):
-            if i != j and (i, j) in adj_keys:
-                total += v
-        return int(round(total / 6.0))
+        with perf_phase("app_triangle_count"):
+            perf_count("app_triangle_queries")
+            return int(round(self.closed_wedge_weight() / 6.0))
 
     def verify(self) -> bool:
         """Check the maintained product against a fresh recomputation."""

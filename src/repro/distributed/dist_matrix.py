@@ -127,6 +127,44 @@ class DistMatrixBase:
     def to_dense(self) -> np.ndarray:
         return self.to_coo_global().to_dense()
 
+    def contains_tuples(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorised global membership test for ``(rows[k], cols[k])`` pairs.
+
+        Each owning rank probes its block once for all the coordinates it
+        hosts (charged as local compute); the hit indices are merged through
+        the control plane, so every process receives the same boolean mask.
+        One collective round instead of one :meth:`get` per coordinate —
+        the applications use this to screen whole edge batches.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        out = np.zeros(rows.size, dtype=bool)
+        if rows.size == 0:
+            return out
+        owners = self.dist.owner_of(rows, cols)
+        hits: dict[int, np.ndarray] = {}
+        for rank in self.owned_ranks():
+            sel = np.nonzero(owners == rank)[0]
+            if sel.size == 0:
+                continue
+            lrows, lcols = self.dist.to_local(rank, rows[sel], cols[sel])
+            block = self.blocks[rank]
+
+            def _probe(block=block, lrows=lrows, lcols=lcols):
+                if hasattr(block, "contains"):
+                    found = [block.contains(int(i), int(j)) for i, j in zip(lrows, lcols)]
+                else:
+                    coo = block.to_coo()
+                    keys = coo.rows * block.shape[1] + coo.cols
+                    found = np.isin(lrows * block.shape[1] + lcols, keys)
+                return np.asarray(found, dtype=bool)
+
+            present = self.comm.run_local(rank, _probe)
+            hits[rank] = sel[present]
+        for sel in self.comm.host_merge(hits).values():
+            out[sel] = True
+        return out
+
     def get(self, i: int, j: int):
         """Global entry lookup (owning process answers, everyone receives)."""
         owner = int(self.dist.owner_of(np.array([i]), np.array([j]))[0])

@@ -87,7 +87,15 @@ class ComparisonReport:
 
 
 def _run_key(run: Mapping[str, Any]) -> str:
-    return f"{run['backend']}/{run['layout']}"
+    """Identity of one run within a document's ``runs[]`` series.
+
+    Scenario-tagged runs (the ``apps`` figure emits one ``backend × csr``
+    entry per application scenario) include the tag, so same-layout runs
+    of different scenarios never collapse onto one key.
+    """
+    key = f"{run['backend']}/{run['layout']}"
+    scenario = run.get("scenario")
+    return f"{key}/{scenario}" if scenario else key
 
 
 def compare_documents(

@@ -11,16 +11,22 @@ Module map
 ``model``       :class:`Scenario` (the declarative, fully seeded trace),
                 the step types :class:`InsertBatch`, :class:`DeleteBatch`,
                 :class:`ValueUpdateBatch`, :class:`SpGEMMStep`,
-                :class:`SnapshotCheck`, and the structured results
-                :class:`ScenarioResult` / :class:`StepStats`.
+                :class:`SnapshotCheck`, the application pieces
+                :class:`AppSpec` / :class:`TriangleCountCheck` /
+                :class:`ShortestPathCheck` / :class:`ContractStep`, and the
+                structured results :class:`ScenarioResult` /
+                :class:`StepStats` / :class:`AppQueryResult`.
 ``generators``  The trace library: ``grow_from_empty``,
                 ``steady_state_churn``, ``sliding_window``,
-                ``bursty_skewed_stream``, ``mixed_update_multiply``;
+                ``bursty_skewed_stream``, ``mixed_update_multiply``, plus
+                the application traces ``social_triangle_stream``,
+                ``road_churn_sssp``, ``multilevel_contraction``;
                 registry ``SCENARIO_GENERATORS`` and
                 :func:`library_scenarios`.
 ``replay``      :func:`replay` — run any scenario on any communicator
                 backend, rank count and local layout (``REPLAY_LAYOUTS``),
-                through :class:`NativeExecutor` (the paper's machinery) or
+                through :class:`NativeExecutor` (the paper's machinery,
+                app-aware on :class:`AppSpec` scenarios) or
                 :class:`CompetitorExecutor` (benchmark backends).
 ==============  ==========================================================
 
@@ -32,14 +38,20 @@ asserts for every library scenario, every layout and both backends.
 """
 
 from repro.scenarios.model import (
+    AppQueryResult,
+    AppQueryStep,
+    AppSpec,
+    ContractStep,
     DeleteBatch,
     InsertBatch,
     Scenario,
     ScenarioResult,
     ScenarioStep,
+    ShortestPathCheck,
     SnapshotCheck,
     SpGEMMStep,
     StepStats,
+    TriangleCountCheck,
     ValueUpdateBatch,
     canonical_tuples,
     trimmed_mean_seconds,
@@ -50,7 +62,10 @@ from repro.scenarios.generators import (
     grow_from_empty,
     library_scenarios,
     mixed_update_multiply,
+    multilevel_contraction,
+    road_churn_sssp,
     sliding_window,
+    social_triangle_stream,
     steady_state_churn,
 )
 from repro.scenarios.replay import (
@@ -69,6 +84,12 @@ __all__ = [
     "ValueUpdateBatch",
     "SpGEMMStep",
     "SnapshotCheck",
+    "AppSpec",
+    "AppQueryStep",
+    "TriangleCountCheck",
+    "ShortestPathCheck",
+    "ContractStep",
+    "AppQueryResult",
     "ScenarioResult",
     "StepStats",
     "canonical_tuples",
@@ -80,6 +101,9 @@ __all__ = [
     "sliding_window",
     "bursty_skewed_stream",
     "mixed_update_multiply",
+    "social_triangle_stream",
+    "road_churn_sssp",
+    "multilevel_contraction",
     "REPLAY_LAYOUTS",
     "replay",
     "NativeExecutor",

@@ -21,6 +21,18 @@ large dynamic datasets in the related work:
   through update+multiply rounds (Fig. 9 regime) with full product
   verification at the checkpoints.
 
+The *application* traces exercise the workloads of :mod:`repro.apps`
+through the app-aware executor (queries baked with generation-time
+expected results):
+
+* :func:`social_triangle_stream` — an evolving R-MAT social graph with
+  periodic incremental triangle-count queries;
+* :func:`road_churn_sssp` — weighted road-style churn (weight increases,
+  deletions, new edges) with multi-source shortest-path checks over
+  ``(min, +)``;
+* :func:`multilevel_contraction` — a growing/shrinking clustered graph
+  contracted at two coarsening levels between update batches.
+
 ``SCENARIO_GENERATORS`` maps generator names to callables and
 :func:`library_scenarios` instantiates one default-sized scenario per
 generator — the set the cross-backend differential suite replays.
@@ -32,13 +44,22 @@ from typing import Callable
 
 import numpy as np
 
-from repro.graphs import erdos_renyi_edges, rmat_edges
+from repro.apps import (
+    count_triangles_reference,
+    distances_to_tuples,
+    sssp_minplus_reference,
+)
+from repro.graphs import erdos_renyi_edges, ring_of_cliques_edges, rmat_edges
 from repro.scenarios.model import (
+    AppSpec,
+    ContractStep,
     DeleteBatch,
     InsertBatch,
     Scenario,
+    ShortestPathCheck,
     SnapshotCheck,
     SpGEMMStep,
+    TriangleCountCheck,
     TupleArrays,
     ValueUpdateBatch,
     seed_int,
@@ -53,6 +74,9 @@ __all__ = [
     "sliding_window",
     "bursty_skewed_stream",
     "mixed_update_multiply",
+    "social_triangle_stream",
+    "road_churn_sssp",
+    "multilevel_contraction",
 ]
 
 #: R-MAT quadrant probabilities of the most skewed (social) category.
@@ -366,6 +390,271 @@ def mixed_update_multiply(
 
 
 # ----------------------------------------------------------------------
+# 6. evolving social graph with periodic triangle queries
+# ----------------------------------------------------------------------
+def social_triangle_stream(
+    *,
+    n: int = 40,
+    n_batches: int = 4,
+    batch: int = 22,
+    query_every: int = 2,
+    seed: int = 0,
+) -> Scenario:
+    """Social-graph edge stream with incremental triangle-count queries.
+
+    Unique undirected edges (canonical ``i < j`` form, drawn from a skewed
+    R-MAT pool) arrive in batches; the app-aware executor maintains ``A²``
+    through a :class:`~repro.apps.DynamicTriangleCounter` and every
+    :class:`TriangleCountCheck` carries the exact triangle count computed
+    at generation time, so a replay is self-verifying.
+    """
+    pool_seed, value_seed = _child_seeds(seed, 2, salt=0x6F06)
+    src, dst = _unique_edge_pool(n, 6 * n_batches * batch, pool_seed, skewed=True)
+    lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    keys = lo * n + hi
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    lo, hi = lo[first], hi[first]
+    batch = min(batch, lo.size // n_batches)
+    rng = np.random.default_rng(value_seed)
+    steps: list = []
+    for b in range(n_batches):
+        sel = slice(b * batch, (b + 1) * batch)
+        steps.append(
+            InsertBatch(
+                lo[sel], hi[sel], _values(rng, batch), label=f"social-in[{b}]"
+            )
+        )
+        if (b + 1) % query_every == 0 or b == n_batches - 1:
+            upto = (b + 1) * batch
+            steps.append(
+                TriangleCountCheck(
+                    expect=count_triangles_reference(n, lo[:upto], hi[:upto]),
+                    label=f"triangles@{b}",
+                )
+            )
+            # the counter stores both directions of every undirected edge
+            steps.append(SnapshotCheck(expect_nnz=2 * upto, label=f"nnz@{b}"))
+    return Scenario(
+        name="social_triangle_stream",
+        shape=(n, n),
+        steps=steps,
+        app=AppSpec(name="triangle"),
+        seed=seed,
+        metadata={"generator": "social_triangle_stream", "batch": batch},
+    )
+
+
+# ----------------------------------------------------------------------
+# 7. weighted road-style churn with shortest-path checks
+# ----------------------------------------------------------------------
+def road_churn_sssp(
+    *,
+    n: int = 28,
+    rounds: int = 2,
+    batch: int = 14,
+    n_sources: int = 3,
+    seed: int = 0,
+) -> Scenario:
+    """Weighted churn over ``(min, +)`` with multi-source SSSP checks.
+
+    Each round overwrites weights of present edges (a mix of increases and
+    decreases — the non-algebraic case that forces Algorithm 2), inserts
+    fresh edges and deletes others; a :class:`ShortestPathCheck` after
+    every round carries the expected distance tuples, computed at
+    generation time with the bit-compatible dense min-plus reference
+    (:func:`repro.apps.sssp_minplus_reference`).
+    """
+    pool_seed, pick_seed, value_seed = _child_seeds(seed, 3, salt=0x6F07)
+    initial_size = 5 * batch
+    pool_rows, pool_cols = _unique_edge_pool(
+        n, initial_size + rounds * batch, pool_seed
+    )
+    # small vertex counts can exhaust the unique-pair pool: shrink the
+    # initial graph first so every round still gets fresh edges to insert
+    initial_size = min(initial_size, max(0, pool_rows.size - rounds * batch))
+    rng_pick = np.random.default_rng(pick_seed)
+    rng_val = np.random.default_rng(value_seed)
+    sources = np.sort(rng_pick.choice(n, size=n_sources, replace=False))
+
+    weights = rng_val.uniform(1.0, 5.0, initial_size)
+    edges: dict[tuple[int, int], float] = {
+        (int(i), int(j)): float(w)
+        for i, j, w in zip(pool_rows[:initial_size], pool_cols[:initial_size], weights)
+    }
+    initial: TupleArrays = (
+        pool_rows[:initial_size],
+        pool_cols[:initial_size],
+        weights.copy(),
+    )
+    free = list(zip(pool_rows[initial_size:].tolist(), pool_cols[initial_size:].tolist()))
+
+    def _arrays(pairs: list[tuple[int, int]]) -> tuple[np.ndarray, np.ndarray]:
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return arr[:, 0], arr[:, 1]
+
+    def _expected_check(label: str) -> ShortestPathCheck:
+        if edges:
+            er, ec = _arrays(sorted(edges))
+            ew = np.asarray([edges[(int(i), int(j))] for i, j in zip(er, ec)])
+        else:
+            er = ec = np.empty(0, dtype=np.int64)
+            ew = np.empty(0, dtype=np.float64)
+        expected = distances_to_tuples(
+            sssp_minplus_reference(n, er, ec, ew, sources)
+        )
+        return ShortestPathCheck(expect_tuples=expected, label=label)
+
+    steps: list = []
+    for r in range(rounds):
+        # overwrite weights of `batch` present edges (half raised, half cut)
+        present = sorted(edges)
+        idx = rng_pick.choice(len(present), size=min(batch, len(present)), replace=False)
+        chosen = [present[i] for i in idx]
+        factors = np.where(rng_pick.random(len(chosen)) < 0.5, 3.0, 0.4)
+        ur, uc = _arrays(chosen)
+        uw = np.asarray([edges[p] for p in chosen]) * factors
+        for p, w in zip(chosen, uw):
+            edges[p] = float(w)
+        steps.append(ValueUpdateBatch(ur, uc, uw, label=f"road-reweigh[{r}]"))
+        # insert `batch` fresh edges
+        fresh, free = free[:batch], free[batch:]
+        ir, ic = _arrays(fresh)
+        iw = rng_val.uniform(1.0, 5.0, ir.size)
+        for p, w in zip(fresh, iw):
+            edges[p] = float(w)
+        steps.append(InsertBatch(ir, ic, iw, label=f"road-in[{r}]"))
+        # delete `batch // 2` present edges
+        present = sorted(edges)
+        idx = rng_pick.choice(
+            len(present), size=min(batch // 2, len(present)), replace=False
+        )
+        dropped = [present[i] for i in idx]
+        for p in dropped:
+            del edges[p]
+        dr, dc = _arrays(dropped)
+        steps.append(DeleteBatch(dr, dc, np.ones(dr.size), label=f"road-del[{r}]"))
+        steps.append(SnapshotCheck(expect_nnz=len(edges), label=f"nnz@{r}"))
+        steps.append(_expected_check(f"distances@{r}"))
+    return Scenario(
+        name="road_churn_sssp",
+        shape=(n, n),
+        steps=steps,
+        initial_tuples=initial,
+        app=AppSpec(name="sssp", sources=sources),
+        semiring_name="min_plus",
+        seed=seed,
+        metadata={
+            "generator": "road_churn_sssp",
+            "rounds": rounds,
+            "sources": sources.tolist(),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# 8. multilevel contraction pipeline
+# ----------------------------------------------------------------------
+def multilevel_contraction(
+    *,
+    n_cliques: int = 6,
+    clique: int = 4,
+    extra_batch: int = 20,
+    seed: int = 0,
+) -> Scenario:
+    """Contract a churning clustered graph at two coarsening levels.
+
+    A ring of cliques is inserted, contracted along its planted clustering
+    (level 1), perturbed with random inter-cluster edges, contracted again
+    at a coarser pairing of cliques (level 2), then thinned and contracted
+    once more — the multilevel-coarsening pipeline as a replayable trace.
+    Every :class:`ContractStep` carries the expected contracted COO
+    computed at generation time.
+    """
+    pool_seed, value_seed = _child_seeds(seed, 2, salt=0x6F08)
+    n = n_cliques * clique
+    clusters1 = np.arange(n, dtype=np.int64) // clique
+    clusters2 = clusters1 // 2
+    n_coarse = (n_cliques + 1) // 2
+
+    src, dst = ring_of_cliques_edges(n_cliques, clique)
+    edges: dict[tuple[int, int], float] = {}
+
+    def _expected(clusters: np.ndarray, k: int, drop_self_loops: bool) -> TupleArrays:
+        dense = np.zeros((k, k))
+        for (i, j), w in edges.items():
+            dense[clusters[i], clusters[j]] += w
+        if drop_self_loops:
+            np.fill_diagonal(dense, 0.0)
+        rows, cols = np.nonzero(dense)
+        return (
+            rows.astype(np.int64),
+            cols.astype(np.int64),
+            dense[rows, cols].astype(np.float64),
+        )
+
+    def _insert(rows: np.ndarray, cols: np.ndarray, label: str) -> InsertBatch:
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            edges[(i, j)] = edges.get((i, j), 0.0) + 1.0
+        return InsertBatch(rows, cols, np.ones(rows.size), label=label)
+
+    steps: list = [_insert(src, dst, "cliques")]
+    steps.append(
+        ContractStep(
+            clusters=clusters1,
+            n_clusters=n_cliques,
+            drop_self_loops=True,
+            expect_tuples=_expected(clusters1, n_cliques, True),
+            label="contract-l1",
+        )
+    )
+    # perturb with random edges not already present
+    pr, pc = _unique_edge_pool(n, 4 * extra_batch, pool_seed)
+    keep = np.asarray([(int(i), int(j)) not in edges for i, j in zip(pr, pc)])
+    pr, pc = pr[keep][:extra_batch], pc[keep][:extra_batch]
+    steps.append(_insert(pr, pc, "perturb"))
+    steps.append(
+        ContractStep(
+            clusters=clusters2,
+            n_clusters=n_coarse,
+            expect_tuples=_expected(clusters2, n_coarse, False),
+            label="contract-l2",
+        )
+    )
+    # thin the perturbation again and re-contract at level 1
+    rng = np.random.default_rng(value_seed)
+    half = max(1, pr.size // 2)
+    idx = rng.choice(pr.size, size=half, replace=False)
+    dr, dc = pr[idx], pc[idx]
+    for i, j in zip(dr.tolist(), dc.tolist()):
+        del edges[(i, j)]
+    steps.append(DeleteBatch(dr, dc, np.ones(dr.size), label="thin"))
+    steps.append(SnapshotCheck(expect_nnz=len(edges), label="nnz@final"))
+    steps.append(
+        ContractStep(
+            clusters=clusters1,
+            n_clusters=n_cliques,
+            drop_self_loops=True,
+            expect_tuples=_expected(clusters1, n_cliques, True),
+            label="contract-l3",
+        )
+    )
+    return Scenario(
+        name="multilevel_contraction",
+        shape=(n, n),
+        steps=steps,
+        seed=seed,
+        metadata={
+            "generator": "multilevel_contraction",
+            "n_cliques": n_cliques,
+            "clique": clique,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 SCENARIO_GENERATORS: dict[str, Callable[..., Scenario]] = {
@@ -374,6 +663,9 @@ SCENARIO_GENERATORS: dict[str, Callable[..., Scenario]] = {
     "sliding_window": sliding_window,
     "bursty_skewed_stream": bursty_skewed_stream,
     "mixed_update_multiply": mixed_update_multiply,
+    "social_triangle_stream": social_triangle_stream,
+    "road_churn_sssp": road_churn_sssp,
+    "multilevel_contraction": multilevel_contraction,
 }
 
 

@@ -18,10 +18,17 @@ Step types (mirroring the paper's Sections IV-A and VII):
   ``A`` *and* bring the maintained product ``C = A·B`` up to date
   (Algorithm 1 for ``mode="algebraic"``, Algorithm 2 for ``mode="general"``);
 * :class:`SnapshotCheck` — an untimed assertion point (expected ``nnz``
-  and/or a full recompute-and-compare of the maintained product).
+  and/or a full recompute-and-compare of the maintained product);
+* the *application* steps (Section I workloads): :class:`TriangleCountCheck`
+  and :class:`ShortestPathCheck` query the incremental application state an
+  :class:`AppSpec` scenario maintains across its update steps, and
+  :class:`ContractStep` contracts the current graph along a clustering —
+  each records a byte-comparable result the differential harness pins
+  across backends and world sizes.
 
 :class:`ScenarioResult` is the structured outcome of one replay: canonical
-final tuples, per-step statistics and the per-category communication volume.
+final tuples, per-step statistics, recorded application query results and
+the per-category communication volume.
 """
 
 from __future__ import annotations
@@ -41,6 +48,12 @@ __all__ = [
     "ValueUpdateBatch",
     "SpGEMMStep",
     "SnapshotCheck",
+    "AppSpec",
+    "AppQueryStep",
+    "TriangleCountCheck",
+    "ShortestPathCheck",
+    "ContractStep",
+    "AppQueryResult",
     "Scenario",
     "StepStats",
     "ScenarioResult",
@@ -227,6 +240,112 @@ class SnapshotCheck:
 
 
 # ----------------------------------------------------------------------
+# application steps
+# ----------------------------------------------------------------------
+@dataclass
+class AppSpec:
+    """Application state a scenario maintains across its update steps.
+
+    ``name`` selects the application the replay executor instantiates at
+    construction time and routes every update step through:
+
+    * ``"triangle"`` — :class:`repro.apps.DynamicTriangleCounter`; insert
+      steps become undirected edge insertions maintaining ``A²``.
+    * ``"sssp"`` — :class:`repro.apps.DynamicMultiSourceShortestPaths`
+      (requires ``sources`` and a ``min_plus`` scenario semiring); insert
+      and value-update steps become general weight updates, delete steps
+      become edge deletions.
+    """
+
+    name: str
+    #: source vertices of the ``"sssp"`` application
+    sources: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in ("triangle", "sssp"):
+            raise ValueError(
+                f"unknown application {self.name!r} (use 'triangle' or 'sssp')"
+            )
+        if self.name == "sssp":
+            if self.sources is None:
+                raise ValueError("the sssp application requires source vertices")
+            self.sources = np.ascontiguousarray(
+                np.asarray(self.sources, dtype=np.int64)
+            )
+
+
+@dataclass
+class AppQueryStep:
+    """Base class of the application query steps (no update tuples).
+
+    Query steps are timed like update steps (they do real distributed
+    work), return an operation count via ``StepStats.applied`` and record a
+    byte-comparable payload in ``ScenarioResult.app_results``.
+    """
+
+    label: str = ""
+
+    kind = "app_query"
+
+    @property
+    def n_tuples(self) -> int:
+        return 0
+
+
+@dataclass
+class TriangleCountCheck(AppQueryStep):
+    """Query the maintained triangle count (``triangle`` scenarios).
+
+    When ``expect`` is set, replay raises
+    :class:`~repro.scenarios.replay.ScenarioCheckError` on a mismatch
+    (suppressed by ``check_snapshots=False``, like :class:`SnapshotCheck`).
+    """
+
+    expect: int | None = None
+
+    kind = "triangle_count"
+
+
+@dataclass
+class ShortestPathCheck(AppQueryStep):
+    """Query the full multi-source distances (``sssp`` scenarios).
+
+    Records the canonical finite-distance tuples
+    ``(source_index, vertex, distance)``; ``expect_tuples`` (same form)
+    pins them at replay time.  ``max_hops`` bounds the Bellman-Ford sweep.
+    """
+
+    expect_tuples: TupleArrays | None = None
+    max_hops: int | None = None
+
+    kind = "shortest_path"
+
+
+@dataclass
+class ContractStep(AppQueryStep):
+    """Contract the current graph along ``clusters`` (``Sᵀ·A·S``).
+
+    Available in any scenario (with or without an :class:`AppSpec`):
+    the contraction runs on the maintained matrix ``A`` — two distributed
+    SUMMA products — and records the contracted graph's canonical COO
+    tuples.  ``expect_tuples`` pins structure exactly and values up to
+    float round-off.
+    """
+
+    clusters: np.ndarray = None  # type: ignore[assignment]
+    n_clusters: int | None = None
+    drop_self_loops: bool = False
+    expect_tuples: TupleArrays | None = None
+
+    kind = "contract"
+
+    def __post_init__(self) -> None:
+        if self.clusters is None:
+            raise ValueError("ContractStep requires a clusters array")
+        self.clusters = np.ascontiguousarray(np.asarray(self.clusters, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
 # the scenario
 # ----------------------------------------------------------------------
 @dataclass
@@ -241,11 +360,15 @@ class Scenario:
 
     name: str
     shape: tuple[int, int]
-    steps: list[ScenarioStep | SnapshotCheck] = field(default_factory=list)
+    steps: list[ScenarioStep | SnapshotCheck | AppQueryStep] = field(
+        default_factory=list
+    )
     #: pre-loaded matrix content, constructed before the trace runs
     initial_tuples: TupleArrays | None = None
     #: fixed right-hand operand for SpGEMM steps
     b_tuples: TupleArrays | None = None
+    #: application maintained across the update steps (None: plain matrix)
+    app: AppSpec | None = None
     semiring_name: str = "plus_times"
     seed: int = 0
     #: scatter seed for the initial construction
@@ -283,6 +406,34 @@ class Scenario:
         for step in self.steps:
             if isinstance(step, ScenarioStep):
                 self._check_bounds(step.rows, step.cols, what=f"step {step.label!r}")
+            elif isinstance(step, ContractStep) and step.clusters.size != n:
+                raise ValueError(
+                    f"step {step.label!r}: clustering has {step.clusters.size} "
+                    f"entries but the scenario matrix has {n} rows"
+                )
+        if self.app is not None:
+            if self.has_spgemm:
+                raise ValueError(
+                    "application scenarios maintain their own product; "
+                    "SpGEMMStep steps are not allowed alongside an AppSpec"
+                )
+            if self.app.name == "sssp" and self.semiring_name != "min_plus":
+                raise ValueError(
+                    "the sssp application requires semiring_name='min_plus'"
+                )
+            if self.app.name == "triangle":
+                bad = sorted(
+                    {
+                        s.kind
+                        for s in self.steps
+                        if isinstance(s, ScenarioStep) and s.kind != "insert"
+                    }
+                )
+                if bad:
+                    raise ValueError(
+                        "the triangle application maintains A² additively; "
+                        f"only insert steps are expressible (got {bad})"
+                    )
 
     # ------------------------------------------------------------------
     def _check_bounds(
@@ -380,6 +531,28 @@ class StepStats:
 
 
 @dataclass
+class AppQueryResult:
+    """Recorded payload of one application query step.
+
+    ``payload`` is an ``int`` for triangle counts and a
+    :data:`TupleArrays` triple for shortest-path distances and contracted
+    graphs — byte-comparable forms the differential harness asserts are
+    identical across backends, layouts and world sizes.
+    """
+
+    index: int
+    kind: str
+    label: str
+    payload: Any
+
+    def payload_json(self) -> Any:
+        """JSON-friendly form of the payload (for the CI artifacts)."""
+        if isinstance(payload := self.payload, tuple):
+            return [np.asarray(part).tolist() for part in payload]
+        return payload
+
+
+@dataclass
 class ScenarioResult:
     """Structured outcome of one scenario replay."""
 
@@ -402,6 +575,8 @@ class ScenarioResult:
     #: index of the first unsupported step, or None when all steps ran
     truncated_at: int | None = None
     elapsed_modeled: float = 0.0
+    #: recorded application query payloads, in step order
+    app_results: list[AppQueryResult] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def comm_signature(self) -> dict[str, tuple[int, int]]:
@@ -480,4 +655,13 @@ class ScenarioResult:
             "elapsed_modeled": self.elapsed_modeled,
             "truncated_at": self.truncated_at,
             "steps": [s.as_dict() for s in self.steps],
+            "app_results": [
+                {
+                    "index": r.index,
+                    "kind": r.kind,
+                    "label": r.label,
+                    "payload": r.payload_json(),
+                }
+                for r in self.app_results
+            ],
         }

@@ -50,12 +50,17 @@ from repro.distributed import (
 )
 from repro.core import DynamicProduct, dynamic_spgemm_algebraic
 from repro.scenarios.model import (
+    AppQueryResult,
+    AppQueryStep,
+    ContractStep,
     Scenario,
     ScenarioResult,
     ScenarioStep,
+    ShortestPathCheck,
     SnapshotCheck,
     SpGEMMStep,
     StepStats,
+    TriangleCountCheck,
     TupleArrays,
     canonical_tuples,
 )
@@ -95,10 +100,19 @@ def _as_layout(block, layout: str):
 # native executor (the paper's machinery)
 # ----------------------------------------------------------------------
 class NativeExecutor:
-    """Replays a scenario on the repository's own distributed matrices."""
+    """Replays a scenario on the repository's own distributed matrices.
+
+    When the scenario carries an :class:`~repro.scenarios.model.AppSpec`,
+    the executor instantiates the corresponding application at construction
+    time, routes every update step through it (so the app's incremental
+    state — the maintained ``A²`` or ``S·A`` product — tracks the trace),
+    and answers the application query steps from that state.
+    """
 
     name = "native"
     supports_layouts = True
+    #: the maintained application instance (None outside app scenarios)
+    app = None
 
     def __init__(
         self,
@@ -140,6 +154,10 @@ class NativeExecutor:
                 f"scenario {scenario.name!r} contains SpGEMM steps but no "
                 "b_tuples for the right-hand operand"
             )
+        if scenario.app is not None:
+            # the applications scatter their own construction batches
+            # (seeded with construct_seed), so there is nothing to stage
+            return
         if scenario.initial_tuples is not None:
             self._initial_per_rank = partition_tuples_round_robin(
                 *scenario.initial_tuples, grid.n_ranks, seed=scenario.construct_seed
@@ -149,9 +167,52 @@ class NativeExecutor:
                 *scenario.b_tuples, grid.n_ranks, seed=scenario.construct_seed
             )
 
+    def _construct_app(self) -> None:
+        """Instantiate the scenario's application and alias its matrices.
+
+        ``self.a`` aliases the app's adjacency matrix and ``self.c`` the
+        maintained product, so snapshot checks, ``final_a``/``final_c`` and
+        :class:`ContractStep` work unchanged on app scenarios.
+        """
+        from repro.apps import (
+            DynamicMultiSourceShortestPaths,
+            DynamicTriangleCounter,
+        )
+
+        scenario, comm, grid = self.scenario, self.comm, self.grid
+        spec = scenario.app
+        n = scenario.shape[0]
+        empty = np.empty(0, dtype=np.int64)
+        rows, cols, values = scenario.initial_tuples or (
+            empty,
+            empty,
+            np.empty(0, dtype=np.float64),
+        )
+        if spec.name == "triangle":
+            self.app = DynamicTriangleCounter(
+                comm, grid, n, rows, cols, seed=scenario.construct_seed
+            )
+        else:  # sssp (AppSpec validated the name)
+            self.app = DynamicMultiSourceShortestPaths(
+                comm,
+                grid,
+                n,
+                rows,
+                cols,
+                values,
+                spec.sources,
+                seed=scenario.construct_seed,
+            )
+        self.a = self.app.adjacency
+        self.c = self.app.product.c
+        self.product = self.app.product
+
     def construct(self) -> None:
         scenario, comm, grid = self.scenario, self.comm, self.grid
         shape = scenario.shape
+        if scenario.app is not None:
+            self._construct_app()
+            return
         if self._initial_per_rank is not None:
             self.a = DynamicDistMatrix.from_tuples(
                 comm, grid, shape, self._initial_per_rank, self.semiring, combine="add"
@@ -185,6 +246,8 @@ class NativeExecutor:
 
     # ------------------------------------------------------------------
     def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
+        if self.app is not None:
+            return self._apply_app(step)
         if isinstance(step, SpGEMMStep):
             return self._apply_spgemm(step, per_rank)
         assert self.a is not None
@@ -231,6 +294,100 @@ class NativeExecutor:
         )
         self.a.add_update(a_star)
         return touched
+
+    def _apply_app(self, step: ScenarioStep) -> int:
+        """Route one update step through the maintained application.
+
+        The applications redistribute their (symmetrised / semiring-coerced)
+        batches themselves, seeded with the step's ``partition_seed``, so
+        the pre-scattered ``per_rank`` mapping is not used here.
+        """
+        spec = self.scenario.app
+        if spec.name == "triangle":
+            if step.kind != "insert":
+                raise ValueError(
+                    "the triangle application maintains A² additively; "
+                    f"{step.kind!r} steps are not expressible (insert only)"
+                )
+            return self.app.insert_edges(
+                step.rows, step.cols, seed=step.partition_seed
+            )
+        if step.kind == "delete":
+            return self.app.delete_edges(
+                step.rows, step.cols, seed=step.partition_seed
+            )
+        # insert and value-update steps are both general MERGE updates
+        return self.app.update_edges(
+            step.rows, step.cols, step.values, seed=step.partition_seed
+        )
+
+    # ------------------------------------------------------------------
+    def query(self, step: AppQueryStep, *, check: bool = True) -> tuple[int, object]:
+        """Execute one application query step.
+
+        Returns ``(applied, payload)`` — an operation count for the step
+        statistics and the byte-comparable payload recorded in
+        ``ScenarioResult.app_results``.  ``check=False`` records without
+        evaluating the baked-in expectations (mirrors ``check_snapshots``).
+        """
+        if isinstance(step, ContractStep):
+            return self._query_contract(step, check)
+        if isinstance(step, TriangleCountCheck):
+            if self.app is None or self.scenario.app.name != "triangle":
+                raise ScenarioCheckError(
+                    f"step {step.label!r}: TriangleCountCheck requires a "
+                    "triangle application scenario"
+                )
+            count = self.app.triangle_count()
+            if check and step.expect is not None and count != step.expect:
+                raise ScenarioCheckError(
+                    f"step {step.label!r}: expected {step.expect} triangles, "
+                    f"got {count}"
+                )
+            return count, int(count)
+        if isinstance(step, ShortestPathCheck):
+            if self.app is None or self.scenario.app.name != "sssp":
+                raise ScenarioCheckError(
+                    f"step {step.label!r}: ShortestPathCheck requires an "
+                    "sssp application scenario"
+                )
+            payload = self.app.distance_tuples(max_hops=step.max_hops)
+            if check and step.expect_tuples is not None:
+                self._check_expected_tuples(step.label, payload, step.expect_tuples)
+            return int(payload[0].size), payload
+        raise ScenarioCheckError(f"unknown application query step {step!r}")
+
+    def _query_contract(self, step: ContractStep, check: bool) -> tuple[int, object]:
+        from repro.apps import contract_graph
+
+        assert self.a is not None
+        contracted = contract_graph(
+            self.comm,
+            self.grid,
+            self.a,
+            step.clusters,
+            n_clusters=step.n_clusters,
+            drop_self_loops=step.drop_self_loops,
+        )
+        payload = canonical_tuples(contracted)
+        if check and step.expect_tuples is not None:
+            self._check_expected_tuples(step.label, payload, step.expect_tuples)
+        return int(contracted.nnz), payload
+
+    @staticmethod
+    def _check_expected_tuples(
+        label: str, got: TupleArrays, expected: TupleArrays
+    ) -> None:
+        ok = (
+            np.array_equal(got[0], expected[0])
+            and np.array_equal(got[1], expected[1])
+            and np.allclose(got[2], expected[2], rtol=1e-9)
+        )
+        if not ok:
+            raise ScenarioCheckError(
+                f"step {label!r}: query result ({got[0].size} tuples) does "
+                f"not match the expected tuples ({expected[0].size})"
+            )
 
     # ------------------------------------------------------------------
     def snapshot(self, step: SnapshotCheck) -> None:
@@ -300,6 +457,8 @@ class CompetitorExecutor:
 
     name = "competitor"
     supports_layouts = False
+    #: competitor backends expose no incremental application state
+    app = None
 
     def __init__(
         self,
@@ -375,6 +534,15 @@ class CompetitorExecutor:
         # The uniform backend interface does not report created/changed
         # counts; the batch size is the comparable volume measure.
         return step.n_tuples
+
+    def query(self, step: AppQueryStep, *, check: bool = True) -> tuple[int, object]:
+        """Application queries are outside the uniform backend interface."""
+        from repro.competitors import UnsupportedOperation
+
+        raise UnsupportedOperation(
+            f"backend {self.backend_name!r} cannot answer application "
+            f"queries ({step.kind})"
+        )
 
     def snapshot(self, step: SnapshotCheck) -> None:
         if step.expect_nnz is not None:
@@ -521,6 +689,7 @@ def replay(
     post_construct = comm.stats.snapshot()
 
     # ---------------- the trace ----------------------------------------
+    app_results: list[AppQueryResult] = []
     for index, step in enumerate(scenario.steps):
         if isinstance(step, SnapshotCheck):
             if check_snapshots:
@@ -536,7 +705,51 @@ def replay(
                 )
             )
             continue
-        per_rank = step.per_rank(n_ranks)
+        if isinstance(step, AppQueryStep):
+            before = comm.stats.snapshot()
+            try:
+                with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
+                    applied, payload = executor.query(step, check=check_snapshots)
+            except UnsupportedOperation:
+                step_stats.append(
+                    StepStats(
+                        index=index,
+                        kind=step.kind,
+                        label=step.label,
+                        n_tuples=0,
+                        applied=0,
+                        seconds=0.0,
+                        supported=False,
+                    )
+                )
+                truncated_at = index
+                break
+            diff = _global_stats_diff(comm, before)
+            step_stats.append(
+                StepStats(
+                    index=index,
+                    kind=step.kind,
+                    label=step.label,
+                    n_tuples=0,
+                    applied=int(applied),
+                    seconds=timer.seconds,
+                    comm_messages=diff.total_messages(),
+                    comm_bytes=diff.total_bytes(),
+                )
+            )
+            app_results.append(
+                AppQueryResult(
+                    index=index, kind=step.kind, label=step.label, payload=payload
+                )
+            )
+            applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
+            continue
+        # the applications re-scatter their (transformed) batches themselves
+        per_rank = (
+            step.per_rank(n_ranks)
+            if getattr(executor, "app", None) is None
+            else {}
+        )
         before = comm.stats.snapshot()
         try:
             with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
@@ -592,4 +805,5 @@ def replay(
         update_stats=_global_stats_diff(comm, post_construct).as_dict(),
         truncated_at=truncated_at,
         elapsed_modeled=comm.elapsed() - elapsed_start,
+        app_results=app_results,
     )

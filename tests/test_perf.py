@@ -357,6 +357,76 @@ def test_run_suite_emits_valid_documents(tmp_path):
     assert not compare_documents(document, document).regressed
 
 
+def test_run_suite_apps_figure_emits_scenario_tagged_runs(tmp_path):
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "run_suite.py"
+    spec = importlib.util.spec_from_file_location("run_suite", path)
+    run_suite_mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(run_suite_mod)
+    written = run_suite_mod.run_suite(
+        profile_name="smoke",
+        figs=("apps",),
+        backends=("sim",),
+        repeats=1,
+        out_dir=str(tmp_path),
+    )
+    assert written == [str(tmp_path / "BENCH_apps.json")]
+    with open(written[0], "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    validate_bench(document)
+    assert document["figure"] == "apps"
+    scenarios = [run["scenario"] for run in document["runs"]]
+    assert scenarios == document["extras"]["scenarios"]
+    assert set(scenarios) == {
+        "social_triangle_stream",
+        "road_churn_sssp",
+        "multilevel_contraction",
+    }
+    # the app phases recorded by the instrumented applications are present
+    phases = {p for run in document["runs"] for p in run["phase_seconds_median"]}
+    assert any("app_triangle_count" in p for p in phases)
+    assert any("app_sssp_query" in p for p in phases)
+    assert any("app_contract" in p for p in phases)
+    assert not compare_documents(document, document).regressed
+
+
+def test_compare_distinguishes_scenario_tagged_runs():
+    """Same-layout runs of different scenarios must not collapse onto one
+    comparison key — a regression in the *first* scenario run is caught."""
+
+    def doc(first_elapsed):
+        runs = []
+        for name, elapsed in (("alpha", first_elapsed), ("beta", 1.0)):
+            run = bench_run_entry(
+                backend="sim",
+                layout="csr",
+                repeats=1,
+                elapsed_seconds_median=elapsed,
+                phase_seconds_median={},
+                phase_calls={},
+                counters={},
+                comm={"messages": 1, "bytes": 100},
+            )
+            run["scenario"] = name
+            runs.append(run)
+        return bench_document(
+            figure="apps",
+            title="t",
+            seed=0,
+            profile="smoke",
+            n_ranks=4,
+            runs=runs,
+            sha="x",
+        )
+
+    report = compare_documents(doc(1.0), doc(10.0))
+    assert report.regressed
+    assert not report.unmatched_runs
+    assert any("alpha" in r.run for r in report.regressions)
+
+
 # ----------------------------------------------------------------------
 # cross-backend determinism of the funnel
 # ----------------------------------------------------------------------

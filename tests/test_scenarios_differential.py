@@ -8,7 +8,9 @@ layout) pair the two backends must produce
 * bit-identical final tuples of the maintained matrix ``A`` (and of the
   maintained product ``C`` where the scenario multiplies),
 * identical applied-update counts per step,
-* identical per-category communication volume (messages and bytes).
+* identical per-category communication volume (messages and bytes),
+* byte-identical application query payloads (triangle counts, SSSP
+  distance tuples, contracted-graph COO) for the app-scenario legs.
 
 Layouts must additionally agree with each other on the final state
 (structurally identical, values up to float round-off from different
@@ -98,6 +100,19 @@ def _assert_tuples_identical(a, b, *, what: str) -> None:
     assert np.array_equal(a[2], b[2]), f"{what}: values differ"
 
 
+def _assert_app_results_identical(a, b, *, what: str) -> None:
+    """Application query payloads must match byte for byte."""
+    assert len(a) == len(b), f"{what}: app query counts differ"
+    for got, want in zip(a, b):
+        assert (got.index, got.kind, got.label) == (want.index, want.kind, want.label)
+        if isinstance(want.payload, tuple):
+            _assert_tuples_identical(
+                got.payload, want.payload, what=f"{what}: {got.label}"
+            )
+        else:
+            assert got.payload == want.payload, f"{what}: {got.label}"
+
+
 @pytest.mark.parametrize("layout", REPLAY_LAYOUTS)
 @pytest.mark.parametrize("generator_name", sorted(SCENARIO_GENERATORS))
 class TestCrossBackend:
@@ -132,6 +147,15 @@ class TestCrossBackend:
         per_step_mpi = [(s.comm_messages, s.comm_bytes) for s in mpi.steps]
         assert per_step_sim == per_step_mpi
 
+    def test_app_query_results_identical(self, results, generator_name, layout):
+        sim = results[(generator_name, "sim", layout)]
+        mpi = results[(generator_name, "mpi", layout)]
+        _assert_app_results_identical(
+            sim.app_results,
+            mpi.app_results,
+            what=f"{generator_name}/{layout}",
+        )
+
 
 @pytest.mark.parametrize("generator_name", sorted(SCENARIO_GENERATORS))
 class TestCrossLayout:
@@ -157,16 +181,35 @@ class TestCrossLayout:
             other = results[(generator_name, REFERENCE, layout)]
             assert reference.applied_counts == other.applied_counts
 
+    def test_app_results_agree_across_layouts(self, results, generator_name):
+        reference = results[(generator_name, REFERENCE, REPLAY_LAYOUTS[0])]
+        for layout in REPLAY_LAYOUTS[1:]:
+            other = results[(generator_name, REFERENCE, layout)]
+            _assert_app_results_identical(
+                reference.app_results,
+                other.app_results,
+                what=f"{generator_name}/{layout}",
+            )
+
 
 @pytest.mark.parametrize("world", WORLD_SIZES)
 @pytest.mark.parametrize(
-    "generator_name", ("grow_from_empty", "mixed_update_multiply")
+    "generator_name",
+    (
+        "grow_from_empty",
+        "mixed_update_multiply",
+        "social_triangle_stream",
+        "road_churn_sssp",
+        "multilevel_contraction",
+    ),
 )
 def test_multiprocess_worlds_match_sim(results, generator_name, world):
     """Partial-mapping/ownership differential: the same scenario replayed
     on emulated multi-process worlds (loopback threads behind the mpi4py
     surface, payloads pickled) must match the simulator bit for bit —
-    final tuples, applied counts and per-category comm volume."""
+    final tuples, applied counts, per-category comm volume and application
+    query payloads (triangle counts, SSSP distance tuples, contracted-graph
+    COO)."""
     ref = results[(generator_name, "sim", "csr")]
     scenario = SCENARIO_GENERATORS[generator_name](seed=SEED)
 
@@ -185,6 +228,11 @@ def test_multiprocess_worlds_match_sim(results, generator_name, world):
             )
         assert result.applied_counts == ref.applied_counts
         assert result.comm_signature() == ref.comm_signature()
+        _assert_app_results_identical(
+            ref.app_results,
+            result.app_results,
+            what=f"{generator_name}@world={world}",
+        )
 
 
 @pytest.mark.skipif(
@@ -202,6 +250,20 @@ def test_real_mpi_world_attaches():
 
 def test_library_covers_at_least_five_generators():
     assert len(SCENARIO_GENERATORS) >= 5
+
+
+def test_app_scenarios_record_query_results(results):
+    """Every application scenario actually exercises its query steps."""
+    expected = {
+        "social_triangle_stream": "triangle_count",
+        "road_churn_sssp": "shortest_path",
+        "multilevel_contraction": "contract",
+    }
+    for name, kind in expected.items():
+        result = results[(name, REFERENCE, "csr")]
+        kinds = {r.kind for r in result.app_results}
+        assert kind in kinds, name
+        assert result.truncated_at is None
 
 
 def test_snapshot_checks_ran(results):
