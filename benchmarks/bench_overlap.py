@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""Overlap benchmark: nonblocking pipelines vs their blocking schedules.
+
+Measures the two broadcast-pipelined protocols behind the overlap
+optimisation (``REPRO_OVERLAP``, see ``docs/performance.md``) with the
+pipeline enabled and disabled, and emits a schema-validated
+``BENCH_overlap.json``:
+
+``summa``
+    The static SUMMA SpGEMM at fixed problem size per rank — the Fig. 11
+    scaling protocol.  The double-buffered schedule posts round ``k+1``'s
+    row/column broadcasts before round ``k``'s local multiplies.
+
+``update_bcast``
+    A general-mode dynamic SpGEMM update stream — the Fig. 4 style
+    update-broadcast protocol.  Each batch recomputes ``C`` with the
+    affected-row (``A^R``) broadcasts pipelined across SUMMA rounds.
+
+Workloads run on the *overlap-regime* machine model: the paper-regime
+calibration (see ``repro.bench.config``) with the latency/bandwidth terms
+scaled a further ``OVERLAP_COMM_SCALE``x, so the broadcast volume the
+pipelines hide is a first-order share of the simulated elapsed time, as
+it is at the paper's scale.  Results are byte-identical between the two
+modes by construction; the differential suite asserts that separately.
+
+CI usage (the perf-smoke overlap gate)::
+
+    REPRO_OVERLAP=off python benchmarks/bench_overlap.py --out bench_out \
+        --filename BENCH_overlap_off.json
+    REPRO_OVERLAP=on  python benchmarks/bench_overlap.py --out bench_out \
+        --filename BENCH_overlap_on.json
+    python -m repro.perf.compare bench_out/BENCH_overlap_off.json \
+        bench_out/BENCH_overlap_on.json --expect-speedup 0.2
+
+``--mode both`` instead emits a single document with one run entry per
+(workload, world, mode) — the ``overlap`` figure of
+``benchmarks/run_suite.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Any
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.bench.config import paper_regime_machine
+from repro.core.api import DynamicProduct, UpdateBatch
+from repro.core.summa import summa_spgemm
+from repro.distributed import DynamicDistMatrix
+from repro.distributed.dist_matrix import StaticDistMatrix
+from repro.perf import PerfRecorder, bench_document, bench_run_entry, use_recorder
+from repro.runtime import (
+    OVERLAP_ENV_VAR,
+    MachineModel,
+    ProcessGrid,
+    make_communicator,
+    world_rank,
+)
+from repro.semirings import PLUS_TIMES
+
+#: Extra factor on the paper-regime latency/bandwidth terms; chosen so the
+#: pipelined broadcasts are a first-order share of the simulated elapsed
+#: time on the down-scaled surrogate workloads (see the module docstring).
+OVERLAP_COMM_SCALE = 4
+
+#: The (workload, world) cells of the default document.  The CI gate
+#: requires a >= 20% simulated speedup on every cell, so only cells with
+#: robust headroom are gated by default; ``--worlds``/``--workloads``
+#: widen the matrix for exploratory runs.
+DEFAULT_CELLS = (("summa", 4), ("summa", 16), ("update_bcast", 16))
+
+DEFAULT_REPEATS = 5
+DEFAULT_SEED = 0
+
+
+def overlap_regime_machine() -> MachineModel:
+    """Paper-regime machine with comm scaled ``OVERLAP_COMM_SCALE``x."""
+    base = paper_regime_machine()
+    return MachineModel(
+        alpha=base.alpha * OVERLAP_COMM_SCALE,
+        beta=base.beta * OVERLAP_COMM_SCALE,
+        intra_node_alpha=base.intra_node_alpha * OVERLAP_COMM_SCALE,
+        intra_node_beta=base.intra_node_beta * OVERLAP_COMM_SCALE,
+    )
+
+
+def _random_tuples(n: int, nnz: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, n, nnz),
+        rng.integers(0, n, nnz),
+        rng.random(nnz),
+    )
+
+
+def _run_summa(comm, n_ranks: int, seed: int) -> float:
+    """One repeat of the Fig. 11 protocol; returns the elapsed window."""
+    grid = ProcessGrid(n_ranks)
+    n, nnz = 2000, 2500 * n_ranks
+    a = StaticDistMatrix.from_tuples(
+        comm, grid, (n, n), {0: _random_tuples(n, nnz, seed + 1)},
+        PLUS_TIMES, layout="csr",
+    )
+    b = StaticDistMatrix.from_tuples(
+        comm, grid, (n, n), {0: _random_tuples(n, nnz, seed + 2)},
+        PLUS_TIMES, layout="csr",
+    )
+    start = comm.elapsed()
+    summa_spgemm(comm, grid, a, b)
+    return comm.elapsed() - start
+
+
+def _run_update_bcast(comm, n_ranks: int, seed: int) -> float:
+    """One repeat of the Fig. 4 style protocol; returns the elapsed window.
+
+    Dense ``A`` against a very sparse ``B`` keeps the reduce volume (the
+    non-pipelined share) small relative to the pipelined ``A^R``
+    broadcasts, matching the broadcast-bound regime of the paper's
+    update-heavy experiments.
+    """
+    grid = ProcessGrid(n_ranks)
+    n, nnz_a, nnz_b, nnz_upd, batches = 3000, 400000, 3000, 20000, 2
+    a = DynamicDistMatrix.from_tuples(
+        comm, grid, (n, n), {0: _random_tuples(n, nnz_a, seed + 1)}, PLUS_TIMES
+    )
+    b = DynamicDistMatrix.from_tuples(
+        comm, grid, (n, n), {0: _random_tuples(n, nnz_b, seed + 2)}, PLUS_TIMES
+    )
+    product = DynamicProduct(comm, grid, a, b, mode="general")
+    start = comm.elapsed()
+    for index in range(batches):
+        rows, cols, values = _random_tuples(n, nnz_upd, seed + 7 + index)
+        batch = UpdateBatch.from_global(
+            (n, n), rows, cols, values, n_ranks, kind="insert"
+        )
+        product.apply_updates(a_batch=batch)
+    return comm.elapsed() - start
+
+
+_PROTOCOLS = {
+    "summa": _run_summa,
+    "update_bcast": _run_update_bcast,
+}
+
+
+def measure_cell(
+    workload: str,
+    *,
+    mode: str,
+    world: int,
+    backend: str = "sim",
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    tag_mode: bool = False,
+) -> dict[str, Any]:
+    """One ``runs[]`` entry: a (workload, world) cell under one mode.
+
+    ``mode`` ("on"/"off") is forced through ``REPRO_OVERLAP`` for the
+    duration of the measurement and restored afterwards.  With
+    ``tag_mode`` the run's scenario tag carries a ``:on``/``:off`` suffix
+    (the combined-document layout); without it the tag is mode-free so
+    two single-mode documents can be matched run for run by
+    ``repro.perf.compare``.
+    """
+    protocol = _PROTOCOLS[workload]
+    previous = os.environ.get(OVERLAP_ENV_VAR)
+    os.environ[OVERLAP_ENV_VAR] = mode
+    try:
+        elapsed: list[float] = []
+        recorders: list[PerfRecorder] = []
+        machine = overlap_regime_machine()
+        # warm-up: the first replay pays numba/scipy caching and branch
+        # warm-up costs that would otherwise skew the measured kernels
+        comm = make_communicator(backend, n_ranks=world, machine=machine)
+        protocol(comm, world, seed)
+        for _ in range(repeats):
+            recorder = PerfRecorder()
+            comm = make_communicator(backend, n_ranks=world, machine=machine)
+            with use_recorder(recorder):
+                elapsed.append(protocol(comm, world, seed))
+            recorders.append(recorder)
+    finally:
+        if previous is None:
+            os.environ.pop(OVERLAP_ENV_VAR, None)
+        else:
+            os.environ[OVERLAP_ENV_VAR] = previous
+    last = recorders[-1]
+    paths = sorted({path for rec in recorders for path in rec.phases})
+    entry = bench_run_entry(
+        backend=backend,
+        layout="csr",
+        repeats=repeats,
+        elapsed_seconds_median=float(statistics.median(elapsed)),
+        phase_seconds_median={
+            path: float(
+                statistics.median([rec.phase_seconds(path) for rec in recorders])
+            )
+            for path in paths
+        },
+        phase_calls={
+            path: float(
+                statistics.median(
+                    [
+                        rec.phases[path].calls if path in rec.phases else 0
+                        for rec in recorders
+                    ]
+                )
+            )
+            for path in paths
+        },
+        counters=last.counters,
+        comm=last.total_comm(),
+        comm_categories=last.comm,
+    )
+    tag = f"{workload}@p{world}"
+    entry["scenario"] = f"{tag}:{mode}" if tag_mode else tag
+    return entry
+
+
+def build_document(
+    *,
+    modes: tuple[str, ...],
+    cells: tuple[tuple[str, int], ...] = DEFAULT_CELLS,
+    backend: str = "sim",
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """Assemble the ``BENCH_overlap`` document for the requested modes."""
+    tag_mode = len(modes) > 1
+    runs = [
+        measure_cell(
+            workload,
+            mode=mode,
+            world=world,
+            backend=backend,
+            repeats=repeats,
+            seed=seed,
+            tag_mode=tag_mode,
+        )
+        for workload, world in cells
+        for mode in modes
+    ]
+    extras: dict[str, Any] = {
+        "modes": list(modes),
+        "comm_scale": OVERLAP_COMM_SCALE,
+        "cells": [f"{workload}@p{world}" for workload, world in cells],
+    }
+    return bench_document(
+        figure="overlap",
+        title="Compute/communication overlap (nonblocking pipelines)",
+        seed=seed,
+        profile="overlap",
+        n_ranks=max(world for _, world in cells),
+        runs=runs,
+        extras=extras,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode",
+        choices=("on", "off", "both"),
+        default=None,
+        help="overlap mode(s) to measure (default: the current "
+        f"{OVERLAP_ENV_VAR} setting, or 'both' when unset)",
+    )
+    parser.add_argument(
+        "--backend", default="sim", help="communicator backend (default sim)"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="repeats per cell; medians are reported (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="bench_out", help="output directory (default %(default)s)"
+    )
+    parser.add_argument(
+        "--filename",
+        default="BENCH_overlap.json",
+        help="output file name (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="base seed")
+    args = parser.parse_args(argv)
+    mode = args.mode
+    if mode is None:
+        mode = os.environ.get(OVERLAP_ENV_VAR) or "both"
+    modes = ("off", "on") if mode == "both" else (mode,)
+    started = time.perf_counter()
+    document = build_document(
+        modes=modes, backend=args.backend, repeats=args.repeats, seed=args.seed
+    )
+    if world_rank() != 0:
+        return 0
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, args.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {path}  ({len(document['runs'])} runs, "
+        f"{time.perf_counter() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

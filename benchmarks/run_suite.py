@@ -4,7 +4,10 @@
 Replays the scenario protocols behind figures 4 (batched insertions),
 8 (R-MAT construction scaling) and 10 (general dynamic SpGEMM) across a
 ``backend × layout`` matrix with a :class:`repro.perf.PerfRecorder`
-installed, and writes one schema-validated JSON document per figure:
+installed — plus the ``apps`` application workloads and the ``overlap``
+figure (both ``REPRO_OVERLAP`` modes of the nonblocking pipelines, via
+``benchmarks/bench_overlap.py``) — and writes one schema-validated JSON
+document per figure:
 per-phase median seconds, kernel counters, communication volume, the git
 SHA and the seed.  The documents are the input of the regression gate
 ``python -m repro.perf.compare`` (see ``docs/performance.md``).
@@ -60,7 +63,7 @@ from repro.sparse import DHBMatrix
 DEFAULT_BACKENDS = ("sim", "mpi")
 DEFAULT_LAYOUTS = ("csr", "dhb")
 DEFAULT_REPEATS = 3
-KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps")
+KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps", "overlap")
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +302,23 @@ def run_suite(
     written: list[str] = []
     for fig in figs:
         started = time.perf_counter()
+        if fig == "overlap":
+            # Delegates to benchmarks/bench_overlap.py: one run entry per
+            # (workload, world, overlap-mode) cell, both modes in one
+            # document.  The profile/layout knobs do not apply — the
+            # workloads pin their own sizes and the overlap-regime
+            # machine; the per-mode single-document CI gate is driven by
+            # bench_overlap.py directly (see its docstring).
+            sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+            from bench_overlap import build_document as build_overlap_document
+
+            backend = backends[0] if backends else "sim"
+            document = build_overlap_document(
+                modes=("off", "on"), backend=backend, repeats=repeats, seed=seed
+            )
+            if _write_document(document, fig, out_dir, started, len(document["runs"])):
+                written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
+            continue
         if fig == "apps":
             # One run entry per (application scenario, backend); the apps
             # maintain their own dynamic state, so the layout knob does not

@@ -40,6 +40,7 @@ result matrix ``C``.
 
 from __future__ import annotations
 
+from repro.runtime.config import overlap_enabled
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
@@ -131,13 +132,94 @@ def compute_cstar(
 
     from repro.core.collectives import bloom_reduce_to_root, sparse_reduce_to_root
 
+    overlapped = overlap_enabled()
+
+    def _post_xterm(k: int):
+        """Post the round-``k`` X-term broadcasts (``A*_{k,i}`` over row i).
+
+        Returns ``None`` when the whole round is skipped (every root block
+        empty), otherwise ``(row_ranks, request_or_None)`` pairs — a
+        ``None`` request records a per-root empty-block skip, mirroring the
+        ``None`` markers of the synchronous schedule.
+        """
+        if not any(astar_nnz[grid.rank_of(i, k)] for i in range(q)):
+            return None
+        reqs = []
+        for i in range(q):
+            root = grid.rank_of(i, k)
+            row_ranks = grid.row_group(i)
+            if astar_nnz[root] == 0:
+                reqs.append((row_ranks, None))
+                continue
+            reqs.append(
+                (
+                    row_ranks,
+                    comm.ibcast(
+                        root,
+                        astar_t.get(root),
+                        group=row_ranks,
+                        category=StatCategory.BCAST,
+                    ),
+                )
+            )
+        return reqs
+
+    def _post_yterm(k: int):
+        """Post the round-``k`` Y-term broadcasts (``B*_{k,j}`` over col j)."""
+        if bstar_t is None or bstar_nnz is None:
+            return None
+        if not any(bstar_nnz[grid.rank_of(k, j)] for j in range(q)):
+            return None
+        reqs = []
+        for j in range(q):
+            root = grid.rank_of(k, j)
+            col_ranks = grid.col_group(j)
+            if bstar_nnz[root] == 0:
+                reqs.append((col_ranks, None))
+                continue
+            reqs.append(
+                (
+                    col_ranks,
+                    comm.ibcast(
+                        root,
+                        bstar_t.get(root),
+                        group=col_ranks,
+                        category=StatCategory.BCAST,
+                    ),
+                )
+            )
+        return reqs
+
+    def _wait_term(reqs):
+        """Complete a posted term in posting order; ``None`` marks skips."""
+        recv: dict[int, object] = {}
+        for group_ranks, req in reqs:
+            received = comm.wait(req) if req is not None else None
+            for rank in group_ranks:
+                recv[rank] = None if received is None else received[rank]
+        return recv
+
+    pending = (_post_xterm(0), _post_yterm(0)) if overlapped else (None, None)
     for k in range(q):
-        # ---------------- X-term: X^i_{k,j} = A*_{k,i} · B'_{i,j} --------
-        if any(astar_nnz[grid.rank_of(i, k)] for i in range(q)):
+        a_recv: dict[int, object] | None = None
+        b_recv: dict[int, object] | None = None
+        if overlapped:
+            # Complete the prefetched round-k broadcasts, then post round
+            # k+1 so the hypersparse update blocks travel while this
+            # round's multiplies and sparse reductions run.
+            x_reqs, y_reqs = pending
+            if x_reqs is not None:
+                a_recv = _wait_term(x_reqs)
+            if y_reqs is not None:
+                b_recv = _wait_term(y_reqs)
+            pending = (
+                (_post_xterm(k + 1), _post_yterm(k + 1)) if k + 1 < q else (None, None)
+            )
+        elif any(astar_nnz[grid.rank_of(i, k)] for i in range(q)):
             # Broadcast A*_{k,i} across process row i — but only for rows
             # whose block is non-empty; a None marker records the skip so
             # the multiplication loop contributes nothing for that row.
-            a_recv: dict[int, object] = {}
+            a_recv = {}
             for i in range(q):
                 root = grid.rank_of(i, k)
                 row_ranks = grid.row_group(i)
@@ -154,6 +236,8 @@ def compute_cstar(
                 for rank in row_ranks:
                     a_recv[rank] = received[rank]
 
+        # ---------------- X-term: X^i_{k,j} = A*_{k,i} · B'_{i,j} --------
+        if a_recv is not None:
             for j in range(q):
                 col_ranks = grid.col_group(j)
                 root = grid.rank_of(k, j)
@@ -199,23 +283,26 @@ def compute_cstar(
                             bloom_parts[root].or_inplace(reduced_bloom)
 
         # ---------------- Y-term: Y^j_{i,k} = A_{i,j} · B*_{j,k} ---------
-        if bstar_t is None or bstar_nnz is None:
-            continue
-        if not any(bstar_nnz[grid.rank_of(k, j)] for j in range(q)):
-            continue
-        b_recv: dict[int, object] = {}
-        for j in range(q):
-            root = grid.rank_of(k, j)
-            col_ranks = grid.col_group(j)
-            if bstar_nnz[root] == 0:
-                for rank in col_ranks:
-                    b_recv[rank] = None
+        if not overlapped:
+            if bstar_t is None or bstar_nnz is None:
                 continue
-            received = comm.bcast(
-                root, bstar_t.get(root), group=col_ranks, category=StatCategory.BCAST
-            )
-            for rank in col_ranks:
-                b_recv[rank] = received[rank]
+            if not any(bstar_nnz[grid.rank_of(k, j)] for j in range(q)):
+                continue
+            b_recv = {}
+            for j in range(q):
+                root = grid.rank_of(k, j)
+                col_ranks = grid.col_group(j)
+                if bstar_nnz[root] == 0:
+                    for rank in col_ranks:
+                        b_recv[rank] = None
+                    continue
+                received = comm.bcast(
+                    root, bstar_t.get(root), group=col_ranks, category=StatCategory.BCAST
+                )
+                for rank in col_ranks:
+                    b_recv[rank] = received[rank]
+        if b_recv is None:
+            continue
 
         for i in range(q):
             row_ranks = grid.row_group(i)

@@ -32,6 +32,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.runtime.config import overlap_enabled
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
@@ -225,30 +226,94 @@ def dynamic_spgemm_general(
         r: BloomFilterMatrix(out_dist.block_shape_of_rank(r)) for r in owned
     }
 
-    for k in range(q):
-        # Broadcast A^R_{k,i} across each process row i (root (i, k)).
-        ar_recv: dict[int, DCSRMatrix] = {}
+    overlapped = overlap_enabled()
+
+    def _post_round(k: int):
+        """Post round-``k`` broadcasts (A^R rows, then gated C* columns).
+
+        The gate ``cstar_nnz[root] == 0`` mirrors the synchronous schedule
+        exactly — the nnz census is globally known before the loop, so the
+        set of posted broadcasts is identical on every process.
+        """
+        reqs = []
         for i in range(q):
             root = grid.rank_of(i, k)
             row_ranks = grid.row_group(i)
-            received = comm.bcast(
-                root, ar_t.get(root), group=row_ranks, category=StatCategory.BCAST
+            reqs.append(
+                (
+                    "row",
+                    row_ranks,
+                    root,
+                    comm.ibcast(
+                        root,
+                        ar_t.get(root),
+                        group=row_ranks,
+                        category=StatCategory.BCAST,
+                    ),
+                )
             )
-            for rank in row_ranks:
-                ar_recv[rank] = received[rank]
+        for j in range(q):
+            root = grid.rank_of(k, j)
+            if cstar_nnz[root] == 0:
+                continue
+            col_ranks = grid.col_group(j)
+            reqs.append(
+                (
+                    "col",
+                    col_ranks,
+                    root,
+                    comm.ibcast(
+                        root,
+                        cstar_blocks.get(root),
+                        group=col_ranks,
+                        category=StatCategory.BCAST,
+                    ),
+                )
+            )
+        return reqs
+
+    pending = _post_round(0) if overlapped else None
+    for k in range(q):
+        ar_recv: dict[int, DCSRMatrix] = {}
+        cstar_recv: dict[int, dict] = {}
+        if overlapped:
+            # Complete the prefetched round-k broadcasts in posting order,
+            # then immediately post round k+1 so those transfers overlap
+            # with this round's masked multiplies and reductions.
+            for kind, group_ranks, root, req in pending:
+                received = comm.wait(req)
+                if kind == "row":
+                    for rank in group_ranks:
+                        ar_recv[rank] = received[rank]
+                else:
+                    cstar_recv[root] = received
+            pending = _post_round(k + 1) if k + 1 < q else None
+        else:
+            # Broadcast A^R_{k,i} across each process row i (root (i, k)).
+            for i in range(q):
+                root = grid.rank_of(i, k)
+                row_ranks = grid.row_group(i)
+                received = comm.bcast(
+                    root, ar_t.get(root), group=row_ranks, category=StatCategory.BCAST
+                )
+                for rank in row_ranks:
+                    ar_recv[rank] = received[rank]
 
         for j in range(q):
             col_ranks = grid.col_group(j)
             root = grid.rank_of(k, j)
             if cstar_nnz[root] == 0:
                 continue
-            # Broadcast the C*_{k,j} pattern down column j (root (k, j)).
-            received = comm.bcast(
-                root,
-                cstar_blocks.get(root),
-                group=col_ranks,
-                category=StatCategory.BCAST,
-            )
+            if overlapped:
+                received = cstar_recv[root]
+            else:
+                # Broadcast the C*_{k,j} pattern down column j (root (k, j)).
+                received = comm.bcast(
+                    root,
+                    cstar_blocks.get(root),
+                    group=col_ranks,
+                    category=StatCategory.BCAST,
+                )
             contributions: dict[int, COOMatrix] = {}
             bloom_contribs: dict[int, BloomFilterMatrix] = {}
             local_any = False

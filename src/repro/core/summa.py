@@ -8,6 +8,13 @@ aggregation is entirely local, which is SUMMA's advantage when both
 operands have similar sizes and its disadvantage when one operand is tiny
 (the whole large operand still gets broadcast).
 
+When :func:`repro.runtime.config.overlap_enabled` is true (the default),
+the broadcasts are double-buffered: the panels of round ``k + 1`` are
+posted with :meth:`Communicator.ibcast` before the round-``k`` local
+multiplies run, so panel transfers overlap with compute.  Requests are
+completed in posting order, which keeps the results byte-identical to the
+synchronous schedule (set ``REPRO_OVERLAP=off`` for the oracle).
+
 This implementation is used
 
 * as the reference static algorithm for correctness tests,
@@ -20,6 +27,7 @@ This implementation is used
 from __future__ import annotations
 
 from repro.perf.recorder import perf_phase
+from repro.runtime.config import overlap_enabled
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
@@ -89,37 +97,103 @@ def summa_spgemm(
             r: BloomFilterMatrix(out_dist.block_shape_of_rank(r)) for r in owned
         }
 
-    with perf_phase("summa"):
-        for k in range(q):
-            with perf_phase("bcast"):
-                # Broadcast A_{i,k} across each process row i.  Only the
-                # process owning the root holds the payload; the backend
-                # moves it to everyone hosting a rank of the group.
-                a_recv: dict[int, object] = {}
-                for i in range(q):
-                    root = grid.rank_of(i, k)
-                    row_ranks = grid.row_group(i)
-                    received = comm.bcast(
+    overlapped = overlap_enabled()
+
+    def _post_round(k: int):
+        """Post the round-``k`` panel broadcasts as nonblocking requests.
+
+        Returns ``(group_ranks, request)`` pairs in deterministic order
+        (row broadcasts ``i = 0..q-1``, then column broadcasts
+        ``j = 0..q-1``) — the same order the synchronous oracle issues its
+        blocking broadcasts, so waiting in posting order reproduces the
+        exact payload placement.
+        """
+        reqs = []
+        for i in range(q):
+            root = grid.rank_of(i, k)
+            row_ranks = grid.row_group(i)
+            reqs.append(
+                (
+                    row_ranks,
+                    comm.ibcast(
                         root,
                         a.blocks.get(root),
                         group=row_ranks,
                         category=bcast_category,
-                    )
-                    for rank in row_ranks:
-                        a_recv[rank] = received[rank]
-                # Broadcast B_{k,j} across each process column j.
-                b_recv: dict[int, object] = {}
-                for j in range(q):
-                    root = grid.rank_of(k, j)
-                    col_ranks = grid.col_group(j)
-                    received = comm.bcast(
+                    ),
+                )
+            )
+        for j in range(q):
+            root = grid.rank_of(k, j)
+            col_ranks = grid.col_group(j)
+            reqs.append(
+                (
+                    col_ranks,
+                    comm.ibcast(
                         root,
                         b.blocks.get(root),
                         group=col_ranks,
                         category=bcast_category,
-                    )
-                    for rank in col_ranks:
-                        b_recv[rank] = received[rank]
+                    ),
+                )
+            )
+        return reqs
+
+    def _wait_round(reqs):
+        """Complete a posted round in posting order; return (a_recv, b_recv)."""
+        a_recv: dict[int, object] = {}
+        b_recv: dict[int, object] = {}
+        for idx, (group_ranks, req) in enumerate(reqs):
+            received = comm.wait(req)
+            target = a_recv if idx < q else b_recv
+            for rank in group_ranks:
+                target[rank] = received[rank]
+        return a_recv, b_recv
+
+    with perf_phase("summa"):
+        pending = None
+        if overlapped:
+            with perf_phase("bcast"):
+                pending = _post_round(0)
+        for k in range(q):
+            with perf_phase("bcast"):
+                if overlapped:
+                    # Double buffering: complete the already-posted round-k
+                    # panels, then immediately post round k+1 so its
+                    # broadcasts progress while this round's local
+                    # multiplies run.
+                    a_recv, b_recv = _wait_round(pending)
+                    pending = _post_round(k + 1) if k + 1 < q else None
+                else:
+                    # Synchronous oracle schedule: broadcast A_{i,k} across
+                    # each process row i and B_{k,j} across each process
+                    # column j.  Only the process owning the root holds the
+                    # payload; the backend moves it to everyone hosting a
+                    # rank of the group.
+                    a_recv = {}
+                    for i in range(q):
+                        root = grid.rank_of(i, k)
+                        row_ranks = grid.row_group(i)
+                        received = comm.bcast(
+                            root,
+                            a.blocks.get(root),
+                            group=row_ranks,
+                            category=bcast_category,
+                        )
+                        for rank in row_ranks:
+                            a_recv[rank] = received[rank]
+                    b_recv = {}
+                    for j in range(q):
+                        root = grid.rank_of(k, j)
+                        col_ranks = grid.col_group(j)
+                        received = comm.bcast(
+                            root,
+                            b.blocks.get(root),
+                            group=col_ranks,
+                            category=bcast_category,
+                        )
+                        for rank in col_ranks:
+                            b_recv[rank] = received[rank]
 
             inner_offset = int(a.dist.col_offsets[k])
             with perf_phase("local_mult"):

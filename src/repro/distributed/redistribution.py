@@ -25,6 +25,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.perf.recorder import perf_count, perf_phase
+from repro.runtime.config import overlap_enabled
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.backend import Communicator
 from repro.runtime.stats import StatCategory
@@ -114,6 +115,50 @@ def _concat_inbox(chunks: list[TupleArrays], dtype) -> TupleArrays:
     )
 
 
+def _exchange_chunks(
+    comm: Communicator,
+    sendbufs: dict[int, dict[int, TupleArrays]],
+    *,
+    category: str,
+) -> dict[int, dict[int, TupleArrays]]:
+    """Deliver per-rank outgoing chunks with ``isend``/``irecv``.
+
+    The overlap-schedule replacement for the per-group ``alltoallv`` calls
+    of the synchronous redistribution: every cross-rank chunk travels as
+    one point-to-point message, all sends are posted before any receive is
+    waited on, and self-addressed chunks are delivered locally *without*
+    posting a request — exactly like ``alltoallv``, which never charges
+    self-messages — so the per-category communication volume stays
+    identical to the blocking schedule.  The send pattern is agreed
+    through the uncharged ``host_merge`` control plane, so every process
+    knows which sources each of its ranks must wait on; receives are
+    completed in sorted ``(rank, src)`` order, keeping assembly
+    deterministic.
+    """
+    pattern = comm.host_merge(
+        {rank: sorted(out.keys()) for rank, out in sendbufs.items()}
+    )
+    inbox: dict[int, dict[int, TupleArrays]] = {rank: {} for rank in sendbufs}
+    send_reqs = []
+    for rank in sorted(sendbufs):
+        for dst in sorted(sendbufs[rank]):
+            chunk = sendbufs[rank][dst]
+            if dst == rank:
+                inbox[rank][rank] = chunk
+            else:
+                send_reqs.append(comm.isend(rank, dst, chunk, category=category))
+    sources: dict[int, list[int]] = {rank: [] for rank in sendbufs}
+    for src in sorted(pattern):
+        for dst in pattern[src]:
+            if src != dst and dst in sources:
+                sources[dst].append(src)
+    for rank in sorted(sources):
+        for src in sorted(sources[rank]):
+            inbox[rank][src] = comm.wait(comm.irecv(src, rank, category=category))
+    comm.waitall(send_reqs)
+    return inbox
+
+
 def redistribute_tuples(
     comm: Communicator,
     grid: ProcessGrid,
@@ -143,6 +188,7 @@ def redistribute_tuples(
     dtype = np.dtype(value_dtype)
     q = grid.q
     owned = comm.owned_ranks(grid.all_ranks())
+    overlapped = overlap_enabled()
     with perf_phase("redistribute"):
         # Per-rank state is partial: this process materialises (and sorts,
         # and sends) only the tuples generated by the ranks it owns.
@@ -170,24 +216,49 @@ def redistribute_tuples(
                 grouped[rank] = comm.run_local(rank, _group, category=sort_category)
 
         with perf_phase("comm"):
-            for col in range(q):
-                col_ranks = grid.col_group(col)
+            if overlapped:
+                # Overlap schedule: one point-to-point exchange across all
+                # grid columns at once — chunks of different column groups
+                # travel concurrently instead of one group barrier at a
+                # time.
                 sendbufs: dict[int, dict[int, TupleArrays]] = {}
-                for rank in comm.owned_ranks(col_ranks):
+                for rank in owned:
                     data, offsets = grouped[rank]
+                    col = grid.col_of(rank)
                     outgoing: dict[int, TupleArrays] = {}
                     for dest_row in range(q):
                         chunk = _slice_bucket(data, offsets, dest_row)
                         if chunk[0].size:
                             outgoing[grid.rank_of(dest_row, col)] = chunk
                     sendbufs[rank] = outgoing
-                recv = comm.alltoallv(sendbufs, group=col_ranks, category=comm_category)
-                for rank in comm.owned_ranks(col_ranks):
+                recv = _exchange_chunks(comm, sendbufs, category=comm_category)
+                for rank in owned:
                     chunks = [
                         payload
                         for _src, payload in sorted(recv.get(rank, {}).items())
                     ]
                     local[rank] = _concat_inbox(chunks, dtype)
+            else:
+                for col in range(q):
+                    col_ranks = grid.col_group(col)
+                    sendbufs = {}
+                    for rank in comm.owned_ranks(col_ranks):
+                        data, offsets = grouped[rank]
+                        outgoing = {}
+                        for dest_row in range(q):
+                            chunk = _slice_bucket(data, offsets, dest_row)
+                            if chunk[0].size:
+                                outgoing[grid.rank_of(dest_row, col)] = chunk
+                        sendbufs[rank] = outgoing
+                    recv = comm.alltoallv(
+                        sendbufs, group=col_ranks, category=comm_category
+                    )
+                    for rank in comm.owned_ranks(col_ranks):
+                        chunks = [
+                            payload
+                            for _src, payload in sorted(recv.get(rank, {}).items())
+                        ]
+                        local[rank] = _concat_inbox(chunks, dtype)
 
         # ------------- phase 2: route to the correct process-grid column -
         # Tuples are now on the right grid row; communicate within each row.
@@ -205,24 +276,45 @@ def redistribute_tuples(
 
         result: dict[int, TupleArrays] = {r: _empty_tuples(dtype) for r in owned}
         with perf_phase("comm"):
-            for row in range(q):
-                row_ranks = grid.row_group(row)
+            if overlapped:
                 sendbufs = {}
-                for rank in comm.owned_ranks(row_ranks):
+                for rank in owned:
                     data, offsets = grouped[rank]
+                    row = grid.row_of(rank)
                     outgoing = {}
                     for dest_col in range(q):
                         chunk = _slice_bucket(data, offsets, dest_col)
                         if chunk[0].size:
                             outgoing[grid.rank_of(row, dest_col)] = chunk
                     sendbufs[rank] = outgoing
-                recv = comm.alltoallv(sendbufs, group=row_ranks, category=comm_category)
-                for rank in comm.owned_ranks(row_ranks):
+                recv = _exchange_chunks(comm, sendbufs, category=comm_category)
+                for rank in owned:
                     chunks = [
                         payload
                         for _src, payload in sorted(recv.get(rank, {}).items())
                     ]
                     result[rank] = _concat_inbox(chunks, dtype)
+            else:
+                for row in range(q):
+                    row_ranks = grid.row_group(row)
+                    sendbufs = {}
+                    for rank in comm.owned_ranks(row_ranks):
+                        data, offsets = grouped[rank]
+                        outgoing = {}
+                        for dest_col in range(q):
+                            chunk = _slice_bucket(data, offsets, dest_col)
+                            if chunk[0].size:
+                                outgoing[grid.rank_of(row, dest_col)] = chunk
+                        sendbufs[rank] = outgoing
+                    recv = comm.alltoallv(
+                        sendbufs, group=row_ranks, category=comm_category
+                    )
+                    for rank in comm.owned_ranks(row_ranks):
+                        chunks = [
+                            payload
+                            for _src, payload in sorted(recv.get(rank, {}).items())
+                        ]
+                        result[rank] = _concat_inbox(chunks, dtype)
 
     return result
 

@@ -18,6 +18,16 @@ tripping the gate on scheduler noise.  Compared metrics: per-run
 the communication volume (``comm.bytes`` / ``comm.messages``, which must
 not regress at all beyond the threshold since they are deterministic).
 The CLI exits 1 when any regression is found, 2 on malformed inputs.
+
+``--expect-speedup X`` flips the gate around: instead of tolerating a
+bounded slowdown, every matched run's ``elapsed_seconds_median`` must be
+at least ``X`` (a fraction, e.g. ``0.2``) *faster* than the baseline.
+Per-phase timings are not compared in this mode — an optimisation such as
+compute/communication overlap intentionally redistributes time between
+phases — but the communication volume checks still apply, so the speedup
+cannot come from silently doing less work.  This is the CI overlap gate:
+``BENCH_overlap`` documents produced with ``REPRO_OVERLAP=off`` (baseline)
+and ``on`` (current) are compared with ``--expect-speedup 0.2``.
 """
 
 from __future__ import annotations
@@ -104,8 +114,18 @@ def compare_documents(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    expect_speedup: float | None = None,
 ) -> ComparisonReport:
-    """Compare two validated BENCH documents; see the module docstring."""
+    """Compare two validated BENCH documents; see the module docstring.
+
+    With ``expect_speedup`` set (a fraction in ``(0, 1)``), each matched
+    run's ``elapsed_seconds_median`` must satisfy
+    ``current <= baseline * (1 - expect_speedup)`` or the run is reported
+    as a regression; phase timings are skipped and the communication
+    volume checks keep their usual threshold semantics.
+    """
+    if expect_speedup is not None and not 0.0 < expect_speedup < 1.0:
+        raise ValueError(f"expect_speedup must be in (0, 1), got {expect_speedup!r}")
     validate_bench(baseline)
     validate_bench(current)
     if baseline["figure"] != current["figure"]:
@@ -130,23 +150,40 @@ def compare_documents(
 
     for key in sorted(set(base_runs) & set(cur_runs)):
         base, cur = base_runs[key], cur_runs[key]
-        check(
-            key,
-            "elapsed_seconds_median",
-            float(base["elapsed_seconds_median"]),
-            float(cur["elapsed_seconds_median"]),
-            timing=True,
-        )
-        base_phases = base["phase_seconds_median"]
-        cur_phases = cur["phase_seconds_median"]
-        for phase in sorted(set(base_phases) & set(cur_phases)):
+        base_elapsed = float(base["elapsed_seconds_median"])
+        cur_elapsed = float(cur["elapsed_seconds_median"])
+        if expect_speedup is not None:
+            report.compared_metrics += 1
+            if cur_elapsed > base_elapsed * (1.0 - expect_speedup):
+                report.regressions.append(
+                    Regression(
+                        run=key,
+                        metric=(
+                            "elapsed_seconds_median"
+                            f" (expected >= {expect_speedup:.0%} speedup)"
+                        ),
+                        baseline=base_elapsed,
+                        current=cur_elapsed,
+                    )
+                )
+        else:
             check(
                 key,
-                f"phase:{phase}",
-                float(base_phases[phase]),
-                float(cur_phases[phase]),
+                "elapsed_seconds_median",
+                base_elapsed,
+                cur_elapsed,
                 timing=True,
             )
+            base_phases = base["phase_seconds_median"]
+            cur_phases = cur["phase_seconds_median"]
+            for phase in sorted(set(base_phases) & set(cur_phases)):
+                check(
+                    key,
+                    f"phase:{phase}",
+                    float(base_phases[phase]),
+                    float(cur_phases[phase]),
+                    timing=True,
+                )
         for volume in ("messages", "bytes"):
             check(
                 key,
@@ -188,6 +225,15 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute timing floor below which drift is ignored "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--expect-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="require every matched run to be at least this fraction "
+        "faster than the baseline (e.g. 0.2 for a 20%% speedup); "
+        "phase timings are not compared in this mode",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_bench(args.baseline)
@@ -197,8 +243,9 @@ def main(argv: list[str] | None = None) -> int:
             current,
             threshold=args.threshold,
             min_seconds=args.min_seconds,
+            expect_speedup=args.expect_speedup,
         )
-    except (OSError, json.JSONDecodeError, BenchSchemaError) as exc:
+    except (OSError, json.JSONDecodeError, BenchSchemaError, ValueError) as exc:
         print(f"error: {exc}")
         return 2
     print(

@@ -26,13 +26,20 @@ breakdown figures (Fig. 7 and Fig. 12) report.
 from repro.runtime.backend import (
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
+    CommRequest,
     Communicator,
     available_backends,
     make_communicator,
     register_backend,
     resolve_backend_name,
 )
-from repro.runtime.config import MachineModel, NODE_CONFIGS, ranks_for_nodes
+from repro.runtime.config import (
+    MachineModel,
+    NODE_CONFIGS,
+    OVERLAP_ENV_VAR,
+    overlap_enabled,
+    ranks_for_nodes,
+)
 from repro.runtime.grid import ProcessGrid
 from repro.runtime.loopback import LoopbackComm, LoopbackWorld, run_spmd
 from repro.runtime.mpi_backend import (
@@ -48,6 +55,7 @@ from repro.runtime.stats import CommStats, StatCategory
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "CommRequest",
     "Communicator",
     "available_backends",
     "make_communicator",
@@ -55,6 +63,8 @@ __all__ = [
     "resolve_backend_name",
     "MachineModel",
     "NODE_CONFIGS",
+    "OVERLAP_ENV_VAR",
+    "overlap_enabled",
     "ranks_for_nodes",
     "ProcessGrid",
     "CommStats",

@@ -44,6 +44,7 @@ from repro.runtime.stats import CommStats, StatCategory
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "CommRequest",
     "Communicator",
     "available_backends",
     "check_rank",
@@ -85,6 +86,55 @@ def normalize_group(n_ranks: int, group: Sequence[int] | None) -> list[int]:
     for r in ranks:
         check_rank(n_ranks, r)
     return ranks
+
+
+# ----------------------------------------------------------------------
+# nonblocking request handle (shared by every backend)
+# ----------------------------------------------------------------------
+class CommRequest:
+    """Handle for an in-flight nonblocking communication operation.
+
+    Returned by the nonblocking primitives (``isend`` / ``irecv`` /
+    ``ibcast`` / ``iallgather``).  A request is *completed* exactly once —
+    through :meth:`Communicator.wait`, :meth:`Communicator.waitall` or
+    :meth:`wait` directly — and completion is when the backend resolves the
+    operation's result and records its statistics.  ``waitall`` completes
+    requests in posting order, so results and accounting stay deterministic
+    across backends and world sizes (a correctness requirement of the
+    differential suite, not an optimisation detail).
+    """
+
+    __slots__ = ("op", "category", "_complete", "_done", "_result")
+
+    def __init__(
+        self, op: str, category: str, complete: Callable[[], Any]
+    ) -> None:
+        """Wrap backend completion callback ``complete`` for operation ``op``."""
+        self.op = op
+        self.category = category
+        self._complete: Callable[[], Any] | None = complete
+        self._done = False
+        self._result: Any = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has already been completed by a wait."""
+        return self._done
+
+    def wait(self) -> Any:
+        """Complete the operation (idempotent) and return its result.
+
+        The first call runs the backend's completion step (delivering the
+        payload, advancing modelled clocks, recording statistics); further
+        calls return the cached result.
+        """
+        if not self._done:
+            assert self._complete is not None
+            result = self._complete()
+            self._complete = None  # free captured payloads promptly
+            self._result = result
+            self._done = True
+        return self._result
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +379,87 @@ class Communicator(Protocol):
         category: str = StatCategory.ALLREDUCE,
     ) -> dict[int, Any]:
         """Reduce-then-broadcast allreduce; returns ``rank -> result``."""
+        ...
+
+    # -- nonblocking primitives ---------------------------------------
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> CommRequest:
+        """Post a nonblocking send of ``payload`` from ``src`` to ``dst``.
+
+        Returns a :class:`CommRequest`; waiting on it means the send buffer
+        is reusable (the matching delivery happens at the receiver's
+        ``irecv`` wait).  The receiver side records the message statistics,
+        so a matched pair counts once — with the same self-message
+        convention as :meth:`exchange` (``src == dst`` counts bytes but no
+        message).
+        """
+        ...
+
+    def irecv(
+        self,
+        src: int,
+        dst: int,
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> CommRequest:
+        """Post a nonblocking receive at ``dst`` for a message from ``src``.
+
+        Waiting on the returned request delivers (and returns) the payload
+        of the matching ``isend``; sends between the same ``(src, dst)``
+        pair match in FIFO posting order.  The matching ``isend`` must have
+        been posted before this request is waited on.
+        """
+        ...
+
+    def ibcast(
+        self,
+        root: int,
+        payload: Any,
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.BCAST,
+    ) -> CommRequest:
+        """Post a nonblocking broadcast of ``payload`` from ``root``.
+
+        Waiting on the returned request yields the same ``rank -> payload``
+        mapping as :meth:`bcast`, with identical message/byte accounting;
+        only the *charged time* may differ, because the transfer is
+        modelled as overlapping with whatever work runs between post and
+        wait.
+        """
+        ...
+
+    def iallgather(
+        self,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLGATHER,
+    ) -> CommRequest:
+        """Post a nonblocking allgather of one payload per group member.
+
+        Waiting yields the same result mapping as :meth:`allgather`, with
+        identical volume accounting.
+        """
+        ...
+
+    def wait(self, request: CommRequest) -> Any:
+        """Complete one nonblocking request and return its result."""
+        ...
+
+    def waitall(self, requests: Sequence[CommRequest]) -> list[Any]:
+        """Complete requests *in posting order*; returns their results.
+
+        The deterministic completion order is what keeps floating-point
+        accumulation and statistics byte-identical between the overlapped
+        and the synchronous schedules.
+        """
         ...
 
 

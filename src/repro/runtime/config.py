@@ -24,9 +24,41 @@ time:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
-__all__ = ["MachineModel", "NODE_CONFIGS", "ranks_for_nodes"]
+__all__ = [
+    "MachineModel",
+    "NODE_CONFIGS",
+    "OVERLAP_ENV_VAR",
+    "overlap_enabled",
+    "ranks_for_nodes",
+]
+
+#: Environment variable selecting the communication schedule: ``on``
+#: (default) uses the overlapped pipelines (double-buffered SUMMA,
+#: pipelined C* broadcasts, overlapped redistribution); ``off`` keeps the
+#: synchronous schedule, which serves as the differential oracle.
+OVERLAP_ENV_VAR = "REPRO_OVERLAP"
+
+
+def overlap_enabled() -> bool:
+    """Whether the compute/comm-overlap pipelines are enabled.
+
+    Resolved from the ``REPRO_OVERLAP`` environment variable: ``on`` /
+    ``1`` / ``true`` / unset enable overlap, ``off`` / ``0`` / ``false``
+    select the synchronous oracle schedule.  Any other value raises so a
+    typo cannot silently flip the schedule under a benchmark run.
+    """
+    raw = os.environ.get(OVERLAP_ENV_VAR, "on").strip().lower()
+    if raw in ("on", "1", "true", "yes", ""):
+        return True
+    if raw in ("off", "0", "false", "no"):
+        return False
+    raise ValueError(
+        f"{OVERLAP_ENV_VAR}={raw!r} is not a recognised setting; "
+        "use 'on' or 'off'"
+    )
 
 
 @dataclass(frozen=True)

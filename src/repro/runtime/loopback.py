@@ -38,12 +38,20 @@ def _roundtrip(obj: Any) -> Any:
 class LoopbackWorld:
     """A world of ``size`` thread-backed emulated MPI processes."""
 
+    #: seconds a point-to-point receive waits for its matching send before
+    #: declaring the world wedged (a deadlocked schedule, not slowness)
+    P2P_TIMEOUT = 60.0
+
     def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError("world needs at least one process")
         self.size = int(size)
         self._barrier = threading.Barrier(self.size)
         self._slots: list[Any] = [None] * self.size
+        #: (src_proc, dst_proc, tag) -> FIFO of pickled payloads — the
+        #: thread mailboxes behind the nonblocking point-to-point surface
+        self._mail: dict[tuple[int, int, int], list[bytes]] = {}
+        self._mail_cond = threading.Condition()
 
     # ------------------------------------------------------------------
     def comm(self, world_rank: int) -> "LoopbackComm":
@@ -64,9 +72,38 @@ class LoopbackWorld:
         self._barrier.wait()
         return snapshot
 
+    def post_message(self, src: int, dst: int, tag: int, payload: Any) -> None:
+        """Deposit a pickled point-to-point message into ``dst``'s mailbox.
+
+        Messages on one ``(src, dst, tag)`` channel are matched in FIFO
+        order, mirroring MPI's per-source/tag ordering guarantee.
+        """
+        wire = pickle.dumps(payload)
+        with self._mail_cond:
+            self._mail.setdefault((src, dst, tag), []).append(wire)
+            self._mail_cond.notify_all()
+
+    def fetch_message(self, src: int, dst: int, tag: int) -> Any:
+        """Block until a matching message is available; unpickle and return it."""
+        key = (src, dst, tag)
+        with self._mail_cond:
+            ok = self._mail_cond.wait_for(
+                lambda: self._mail.get(key), timeout=self.P2P_TIMEOUT
+            )
+            if not ok:
+                raise TimeoutError(
+                    f"loopback recv (proc {src} -> {dst}, tag {tag}) saw no "
+                    "matching send — the schedule must post sends before "
+                    "waiting on receives"
+                )
+            wire = self._mail[key].pop(0)
+        return pickle.loads(wire)
+
     def abort(self) -> None:
         """Break the barrier so peers of a crashed thread do not hang."""
         self._barrier.abort()
+        with self._mail_cond:
+            self._mail_cond.notify_all()
 
 
 class LoopbackComm:
@@ -130,8 +167,33 @@ class LoopbackComm:
         values = self._world.exchange_all(self._rank, list(sendobj))
         return [_roundtrip(values[src][self._rank]) for src in range(self._world.size)]
 
+    # -- nonblocking point-to-point ------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "_LoopbackSendRequest":
+        """Nonblocking send: deposit into the destination's thread mailbox.
+
+        The payload is pickled immediately (buffer reusable right away);
+        the returned request's ``wait`` is therefore a no-op, matching how
+        :class:`~repro.runtime.mpi_backend.MPIBackend` uses mpi4py's
+        ``isend``.
+        """
+        self._world.post_message(self._rank, int(dest), int(tag), obj)
+        return _LoopbackSendRequest()
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of the matching mailbox message (FIFO per channel)."""
+        return self._world.fetch_message(int(source), self._rank, int(tag))
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"LoopbackComm(rank={self._rank}, size={self._world.size})"
+
+
+class _LoopbackSendRequest:
+    """Completed-at-post send request (the payload was pickled at isend)."""
+
+    @staticmethod
+    def wait() -> None:
+        """No-op: the loopback send buffer is free as soon as it is posted."""
+        return None
 
 
 def run_spmd(

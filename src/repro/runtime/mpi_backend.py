@@ -33,8 +33,8 @@ import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.perf.recorder import record_comm_event
-from repro.runtime.backend import check_rank, normalize_group
+from repro.perf.recorder import perf_count, record_comm_event
+from repro.runtime.backend import CommRequest, check_rank, normalize_group
 from repro.runtime.config import MachineModel
 from repro.runtime.simmpi import payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
@@ -217,6 +217,9 @@ class MPIBackend:
                 stacklevel=2,
             )
         self._t0 = time.perf_counter()
+        #: (src, dst) -> FIFO of payloads isent between two locally-owned
+        #: logical ranks (delivered at the matching irecv wait)
+        self._p2p_mail: dict[tuple[int, int], list[Any]] = {}
 
     # ------------------------------------------------------------------
     # rank ownership
@@ -274,8 +277,9 @@ class MPIBackend:
         self._t0 = time.perf_counter()
 
     def reset(self) -> None:
-        """Reset the clock *and* the accumulated statistics."""
+        """Reset the clock *and* statistics (drops undelivered isend payloads)."""
         self.reset_clock()
+        self._p2p_mail.clear()
         self.stats.reset()
 
     def barrier(self, group: Sequence[int] | None = None) -> None:
@@ -713,6 +717,143 @@ class MPIBackend:
             root, payloads, combine, group=ranks, category=category
         )
         return self.bcast(root, result, group=ranks, category=category)
+
+    # ------------------------------------------------------------------
+    # nonblocking primitives
+    # ------------------------------------------------------------------
+    def _p2p_tag(self, src: int, dst: int) -> int:
+        """MPI tag matching one logical ``(src, dst)`` channel.
+
+        Messages between the same pair match in FIFO order (MPI guarantees
+        ordering per source/tag), which is exactly the posting-order
+        semantics the simulator implements.
+        """
+        return src * self.n_ranks + dst + 1
+
+    @staticmethod
+    def _noop_request(op: str, category: str) -> CommRequest:
+        """A request for the non-owning side of an operation (resolves to None)."""
+        return CommRequest(op, category, lambda: None)
+
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> CommRequest:
+        """Post a nonblocking send from logical ``src`` to logical ``dst``.
+
+        On the process owning ``src``: delivered through an in-process
+        mailbox when ``dst`` lives on the same process, else through
+        ``mpi4py``'s nonblocking ``isend`` (the loopback world provides the
+        same surface).  Non-owning processes get a no-op request, so SPMD
+        call sites can post unconditionally.  Statistics are recorded by
+        the matching ``irecv`` wait on the receiving process.
+        """
+        check_rank(self.n_ranks, src)
+        check_rank(self.n_ranks, dst)
+        if not self.owns(src):
+            return self._noop_request("isend", category)
+        perf_count("overlap.requests")
+        owner = self.owner_of(dst)
+        if owner == self.world_rank:
+            self._p2p_mail.setdefault((src, dst), []).append(payload)
+            return CommRequest("isend", category, lambda: None)
+        mpi_req = self._comm.isend(payload, dest=owner, tag=self._p2p_tag(src, dst))
+        return CommRequest("isend", category, mpi_req.wait)
+
+    def irecv(
+        self,
+        src: int,
+        dst: int,
+        *,
+        category: str = StatCategory.SEND_RECV,
+    ) -> CommRequest:
+        """Post a nonblocking receive at ``dst`` for a message from ``src``.
+
+        The matching ``isend`` must be posted (on its owning process)
+        before this request is waited on — the overlapped schedules
+        guarantee that by posting whole rounds of sends before any wait.
+        Accounting mirrors :class:`SimMPI`: the receive records the bytes,
+        and a message unless ``src == dst``.
+        """
+        check_rank(self.n_ranks, src)
+        check_rank(self.n_ranks, dst)
+        if not self.owns(dst):
+            return self._noop_request("irecv", category)
+        perf_count("overlap.requests")
+        owner = self.owner_of(src)
+
+        def complete() -> Any:
+            start = time.perf_counter()
+            if owner == self.world_rank:
+                queue = self._p2p_mail.get((src, dst))
+                if not queue:
+                    raise RuntimeError(
+                        f"irecv({src} -> {dst}) waited with no matching "
+                        "isend posted; post the send before waiting"
+                    )
+                payload = queue.pop(0)
+            else:
+                payload = self._comm.recv(
+                    source=owner, tag=self._p2p_tag(src, dst)
+                )
+            record_comm_event(
+                self.stats,
+                category,
+                operations=1,
+                messages=0 if src == dst else 1,
+                nbytes=payload_nbytes(payload),
+                modeled_seconds=time.perf_counter() - start,
+            )
+            return payload
+
+        return CommRequest("irecv", category, complete)
+
+    def ibcast(
+        self,
+        root: int,
+        payload: Any,
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.BCAST,
+    ) -> CommRequest:
+        """Post a nonblocking broadcast; completes eagerly at the post.
+
+        MPI permits a nonblocking collective to complete anywhere between
+        post and wait; this backend runs the underlying (deadlock-free,
+        SPMD-ordered) collective at post time and hands the result to the
+        wait, so the single-rank emulator and real multi-process worlds
+        behave identically.  Volume accounting is exactly :meth:`bcast`'s.
+        """
+        perf_count("overlap.requests")
+        result = self.bcast(root, payload, group=group, category=category)
+        return CommRequest("ibcast", category, lambda: result)
+
+    def iallgather(
+        self,
+        payloads: Mapping[int, Any],
+        *,
+        group: Sequence[int] | None = None,
+        category: str = StatCategory.ALLGATHER,
+    ) -> CommRequest:
+        """Post a nonblocking allgather; completes eagerly at the post.
+
+        Same eager-completion semantics (and accounting) as :meth:`ibcast`.
+        """
+        perf_count("overlap.requests")
+        result = self.allgather(payloads, group=group, category=category)
+        return CommRequest("iallgather", category, lambda: result)
+
+    def wait(self, request: CommRequest) -> Any:
+        """Complete one nonblocking request and return its result."""
+        return request.wait()
+
+    def waitall(self, requests: Sequence[CommRequest]) -> list[Any]:
+        """Complete requests in posting order; returns their results."""
+        return [request.wait() for request in requests]
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         kind = "mpi4py" if self.is_real_mpi else "emulated"

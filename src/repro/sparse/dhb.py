@@ -17,6 +17,7 @@ batch update operations of Section IV-A: semiring ``ADD``, ``MERGE``
 
 from __future__ import annotations
 
+import os
 from typing import Iterator
 
 import numpy as np
@@ -28,9 +29,42 @@ from repro.sparse.csr import CSRMatrix
 from repro.sparse.dcsr import DCSRMatrix
 from repro.sparse.layout import register_row_layout
 
-__all__ = ["DHBRow", "DHBMatrix"]
+__all__ = [
+    "AUTO_SCATTERED_FACTOR",
+    "DHB_INSERT_STRATEGY_ENV_VAR",
+    "DHBRow",
+    "DHBMatrix",
+]
 
 _INITIAL_CAPACITY = 4
+
+#: ``"auto"`` dispatch threshold of :meth:`DHBMatrix.insert_batch`: a batch
+#: with fewer than ``AUTO_SCATTERED_FACTOR`` entries per touched row on
+#: average is considered *scattered* and takes the per-element hash-probe
+#: loop; denser batches take the vectorised per-row path.  The value 8 was
+#: picked from the ``bench_dhb_insert`` crossover on the paper-regime
+#: batch mix.
+AUTO_SCATTERED_FACTOR = 8
+
+#: Environment variable overriding the ``"auto"`` insert strategy of
+#: :meth:`DHBMatrix.insert_batch` globally: set to ``per_element`` or
+#: ``vectorized`` to force that path wherever callers left the default
+#: ``strategy="auto"`` (explicit non-auto ``strategy=`` arguments win).
+#: Unset or empty keeps the heuristic dispatch.
+DHB_INSERT_STRATEGY_ENV_VAR = "REPRO_DHB_INSERT_STRATEGY"
+
+
+def _env_insert_strategy() -> str | None:
+    """The validated ``REPRO_DHB_INSERT_STRATEGY`` override, if any."""
+    raw = os.environ.get(DHB_INSERT_STRATEGY_ENV_VAR, "").strip().lower()
+    if raw in ("", "auto"):
+        return None
+    if raw in ("per_element", "vectorized"):
+        return raw
+    raise ValueError(
+        f"{DHB_INSERT_STRATEGY_ENV_VAR}={raw!r} is not a recognised insert "
+        "strategy (use 'auto', 'per_element' or 'vectorized')"
+    )
 
 
 class DHBRow:
@@ -326,6 +360,10 @@ class DHBMatrix:
         * ``"per_element"`` — force the per-element loop.  Kept as the
           measured baseline the benchmark suite compares the batched path
           against.
+
+        With ``strategy="auto"`` the :data:`DHB_INSERT_STRATEGY_ENV_VAR`
+        environment variable, when set, overrides the heuristic dispatch
+        (scattered-batch detection via :data:`AUTO_SCATTERED_FACTOR`).
         """
         if strategy not in ("auto", "vectorized", "per_element"):
             raise ValueError(
@@ -355,6 +393,10 @@ class DHBMatrix:
         order last-write-wins semantics are defined over), so no sorting
         happens before dispatch; the vectorised path owns its one lexsort.
         """
+        if strategy == "auto":
+            override = _env_insert_strategy()
+            if override is not None:
+                strategy = override
         if strategy == "per_element":
             perf_count("dhb.insert.path_per_element")
             return self._insert_scattered(rows, cols, values, combine)
@@ -368,7 +410,7 @@ class DHBMatrix:
         order = np.lexsort((cols, rows))
         rows_s, cols_s, vals_s = rows[order], cols[order], values[order]
         n_touched = 1 + int(np.count_nonzero(rows_s[1:] != rows_s[:-1]))
-        if rows_s.size < 8 * n_touched:
+        if rows_s.size < AUTO_SCATTERED_FACTOR * n_touched:
             # Scattered batch (one or two entries per touched row): the
             # per-element hash-probe loop has the lowest constant factor.
             # Row-major iteration keeps each row's dict hot (~25% faster

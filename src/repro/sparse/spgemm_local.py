@@ -123,20 +123,21 @@ def spgemm_local(
         indices.
     """
     n, m = _check_shapes(a.shape, b.shape)
+    eligible = semiring.name == "plus_times" and not compute_bloom
     if use_scipy is None:
-        use_scipy = (
-            semiring.name == "plus_times"
-            and not compute_bloom
-            and getattr(a, "nnz", 0) > 0
-            and getattr(b, "nnz", 0) > 0
-        )
-    if use_scipy and semiring.name == "plus_times" and not compute_bloom:
+        use_scipy = eligible and getattr(a, "nnz", 0) > 0 and getattr(b, "nnz", 0) > 0
+    elif use_scipy and not eligible:
+        # A caller-forced fast path is clamped when the semiring or the
+        # Bloom request makes scipy inapplicable.
+        use_scipy = False
+    if use_scipy:
         with perf_phase("spgemm_local"):
             result = _scipy_fast_path(a, b, semiring)
         perf_count("spgemm.scipy_calls")
         perf_count("spgemm.output_nnz", result.nnz)
         return result, None
 
+    perf_count("spgemm.rowwise_calls")
     with perf_phase("spgemm_local"):
         return _spgemm_rowwise(
             a,

@@ -15,8 +15,10 @@ import warnings
 import numpy as np
 import pytest
 
+from repro.perf import PerfRecorder, use_recorder
 from repro.runtime import (
     Communicator,
+    MachineModel,
     MPIBackend,
     SimMPI,
     available_backends,
@@ -187,6 +189,70 @@ class TestConformance:
         with pytest.raises(ValueError):
             comm.barrier(group=[])
 
+    # -- nonblocking primitives ---------------------------------------
+    def test_isend_irecv_matches_fifo_posting_order(self, factory):
+        comm = factory(3)
+        first = comm.isend(0, 1, "a")
+        second = comm.isend(0, 1, "b")
+        assert comm.wait(comm.irecv(0, 1)) == "a"
+        assert comm.wait(comm.irecv(0, 1)) == "b"
+        comm.waitall([first, second])
+
+    def test_isend_to_self_delivers(self, factory):
+        comm = factory(2)
+        send = comm.isend(1, 1, np.arange(4))
+        received = comm.wait(comm.irecv(1, 1))
+        assert np.array_equal(received, np.arange(4))
+        comm.wait(send)
+        # self-messages follow the exchange convention: bytes, no message
+        assert comm.stats.categories["send_recv"].messages == 0
+        assert comm.stats.categories["send_recv"].bytes > 0
+
+    def test_ibcast_matches_blocking_bcast(self, factory):
+        blocking, nonblocking = factory(4), factory(4)
+        payload = np.arange(16)
+        want = blocking.bcast(1, payload, group=[1, 2, 3])
+        got = nonblocking.wait(nonblocking.ibcast(1, payload, group=[1, 2, 3]))
+        assert set(got) == set(want)
+        for rank in want:
+            assert np.array_equal(got[rank], want[rank])
+        for name, totals in blocking.stats.categories.items():
+            other = nonblocking.stats.categories[name]
+            assert (totals.bytes, totals.messages) == (other.bytes, other.messages)
+
+    def test_iallgather_matches_blocking_allgather(self, factory):
+        blocking, nonblocking = factory(3), factory(3)
+        payloads = {r: r * 10 for r in range(3)}
+        want = blocking.allgather(payloads)
+        got = nonblocking.wait(nonblocking.iallgather(payloads))
+        assert got == want
+        for name, totals in blocking.stats.categories.items():
+            other = nonblocking.stats.categories[name]
+            assert (totals.bytes, totals.messages) == (other.bytes, other.messages)
+
+    def test_request_wait_is_idempotent(self, factory):
+        comm = factory(2)
+        request = comm.ibcast(0, np.ones(8))
+        assert not request.done
+        first = comm.wait(request)
+        assert request.done
+        assert comm.wait(request) is first
+        # accounting happened exactly once despite the repeated wait
+        assert comm.stats.categories["bcast"].operations == 1
+
+    def test_waitall_returns_results_in_posting_order(self, factory):
+        comm = factory(4)
+        requests = [
+            comm.ibcast(0, "root0"),
+            comm.iallgather({r: r for r in range(4)}),
+            comm.ibcast(2, "root2"),
+        ]
+        results = comm.waitall(requests)
+        assert results[0][3] == "root0"
+        assert results[1][0] == {r: r for r in range(4)}
+        assert results[2][1] == "root2"
+        assert all(request.done for request in requests)
+
 
 def _collective_script(comm: Communicator) -> None:
     payload = {r: np.arange(4) + r for r in range(comm.n_ranks)}
@@ -199,6 +265,11 @@ def _collective_script(comm: Communicator) -> None:
     comm.exchange([(0, 1, np.zeros(2)), (1, 0, np.zeros(2)), (2, 2, np.zeros(32))])
     comm.gather(0, payload)
     comm.scatter(0, payload)
+    # nonblocking legs: accounting must match the blocking collectives'
+    send = comm.isend(0, 1, np.zeros(6))
+    comm.waitall([comm.ibcast(1, np.ones(32)), comm.iallgather(payload)])
+    comm.wait(comm.irecv(0, 1))
+    comm.wait(send)
 
 
 def test_logical_traffic_accounting_matches_simulator():
@@ -212,6 +283,66 @@ def test_logical_traffic_accounting_matches_simulator():
         assert totals.bytes == other.bytes, name
         assert totals.messages == other.messages, name
         assert totals.operations == other.operations, name
+
+
+class TestSimMPIOverlapModel:
+    """Deterministic clock accounting of the nonblocking cost model.
+
+    Every test pins the machine parameters, so the expected simulated
+    times are exact closed forms of the alpha/beta model — no tolerance
+    for measured noise is needed beyond float round-off.
+    """
+
+    @staticmethod
+    def _machine(beta: float = 0.0) -> MachineModel:
+        # equal intra/inter parameters: the expected costs below do not
+        # depend on which node the model places a rank on
+        return MachineModel(
+            alpha=1e-3, beta=beta, intra_node_alpha=1e-3, intra_node_beta=beta
+        )
+
+    def test_outstanding_ibcasts_share_the_overlap_window(self):
+        """Two broadcasts posted back to back cost max, not sum."""
+        payload = np.zeros(64)
+        blocking = SimMPI(4, self._machine())
+        blocking.bcast(0, payload)
+        blocking.bcast(0, payload)
+        serial = blocking.elapsed()
+        assert serial == pytest.approx(4e-3)  # 2 bcasts x 2 rounds x alpha
+
+        overlapped = SimMPI(4, self._machine())
+        overlapped.waitall([overlapped.ibcast(0, payload), overlapped.ibcast(0, payload)])
+        assert overlapped.elapsed() == pytest.approx(serial / 2)
+
+    def test_exposed_and_hidden_seconds_are_attributed(self):
+        """The overlap counters split the full transfer cost exactly."""
+        payload = np.zeros(64)
+        recorder = PerfRecorder()
+        with use_recorder(recorder):
+            comm = SimMPI(4, self._machine())
+            comm.waitall([comm.ibcast(0, payload), comm.ibcast(0, payload)])
+        assert recorder.counters["overlap.exposed_seconds"] == pytest.approx(2e-3)
+        assert recorder.counters["overlap.hidden_seconds"] == pytest.approx(2e-3)
+        assert recorder.counters["overlap.requests"] == 2
+
+    def test_isend_irecv_charges_the_link_cost_once(self):
+        machine = self._machine(beta=1e-6)
+        comm = SimMPI(2, machine)
+        payload = np.zeros(1000)
+        send = comm.isend(0, 1, payload)
+        received = comm.wait(comm.irecv(0, 1))
+        comm.wait(send)
+        assert np.array_equal(received, payload)
+        assert comm.elapsed() == pytest.approx(
+            machine.message_cost(0, 1, payload.nbytes)
+        )
+
+    def test_self_message_is_free_in_simulated_time(self):
+        comm = SimMPI(2, self._machine(beta=1e-6))
+        send = comm.isend(1, 1, np.zeros(1000))
+        comm.wait(comm.irecv(1, 1))
+        comm.wait(send)
+        assert comm.elapsed() == 0.0
 
 
 class TestMPIBackendSpecifics:

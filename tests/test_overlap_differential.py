@@ -1,0 +1,137 @@
+"""Differential oracle for the compute/comm-overlap pipelines.
+
+The nonblocking schedules behind ``REPRO_OVERLAP=on`` (double-buffered
+SUMMA, pipelined ``A^R``/``C*`` broadcasts, overlapped two-phase
+redistribution) must be *pure re-schedulings*: for every scenario,
+backend, layout and world size the final tuples, applied-update counts
+and per-category communication volume must be byte-identical to the
+synchronous schedule (``REPRO_OVERLAP=off``).  Only charged time may
+differ.  This module replays a pipeline-heavy subset of the scenario
+library under both settings across
+
+* both single-process backends (``sim`` and the emulated ``mpi``),
+* all four local layouts of the static operand,
+* emulated multi-process loopback worlds of size 1, 2 and 4,
+
+and asserts the equivalences.  Together with the cross-backend suite
+(``test_scenarios_differential.py``, which runs whole-library under the
+default overlap setting) this pins the optimisation down from both
+sides.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime import OVERLAP_ENV_VAR, MPIBackend
+from repro.runtime.loopback import run_spmd
+from repro.scenarios import (
+    REPLAY_LAYOUTS,
+    SCENARIO_GENERATORS,
+    ScenarioResult,
+    replay,
+)
+
+N_RANKS = 4
+SEED = 2022
+MODES = ("off", "on")
+BACKENDS = ("sim", "mpi")
+WORLD_SIZES = (1, 2, 4)
+
+#: the subset that exercises every overlapped pipeline: redistribution
+#: (bulk growth), the general-mode A^R broadcasts (mixed updates with
+#: multiplies) and an application stream on top of the algebraic product
+GENERATORS = (
+    "grow_from_empty",
+    "mixed_update_multiply",
+    "social_triangle_stream",
+)
+
+
+def _replay(generator_name: str, backend: str, layout: str, mode: str) -> ScenarioResult:
+    scenario = SCENARIO_GENERATORS[generator_name](seed=SEED)
+    with warnings.catch_warnings():
+        # the emulated-mpi backend warns once when mpi4py is absent
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return replay(scenario, backend=backend, n_ranks=N_RANKS, layout=layout)
+
+
+@pytest.fixture(scope="module")
+def results(request) -> dict[tuple[str, str, str, str], ScenarioResult]:
+    """Every (generator, backend, layout, overlap-mode) replay, once."""
+    out: dict[tuple[str, str, str, str], ScenarioResult] = {}
+    monkeypatch = pytest.MonkeyPatch()
+    request.addfinalizer(monkeypatch.undo)
+    for mode in MODES:
+        monkeypatch.setenv(OVERLAP_ENV_VAR, mode)
+        for name in GENERATORS:
+            for backend in BACKENDS:
+                for layout in REPLAY_LAYOUTS:
+                    out[(name, backend, layout, mode)] = _replay(
+                        name, backend, layout, mode
+                    )
+    monkeypatch.setenv(OVERLAP_ENV_VAR, "on")
+    return out
+
+
+def _assert_tuples_identical(a, b, *, what: str) -> None:
+    assert np.array_equal(a[0], b[0]), f"{what}: row structure differs"
+    assert np.array_equal(a[1], b[1]), f"{what}: column structure differs"
+    assert np.array_equal(a[2], b[2]), f"{what}: values differ"
+
+
+def _assert_equivalent(off: ScenarioResult, on: ScenarioResult, *, what: str) -> None:
+    _assert_tuples_identical(off.final_a, on.final_a, what=f"{what}: A")
+    assert (off.final_c is None) == (on.final_c is None)
+    if off.final_c is not None:
+        _assert_tuples_identical(off.final_c, on.final_c, what=f"{what}: C")
+    assert off.applied_counts == on.applied_counts, what
+    assert off.comm_signature() == on.comm_signature(), what
+
+
+@pytest.mark.parametrize("layout", REPLAY_LAYOUTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("generator_name", GENERATORS)
+def test_overlap_is_a_pure_rescheduling(results, generator_name, backend, layout):
+    """on vs off: identical tuples, counts and per-category comm volume."""
+    off = results[(generator_name, backend, layout, "off")]
+    on = results[(generator_name, backend, layout, "on")]
+    assert off.total_comm_bytes() > 0, "scenario must actually communicate"
+    _assert_equivalent(off, on, what=f"{generator_name}/{backend}/{layout}")
+
+
+@pytest.mark.parametrize("generator_name", GENERATORS)
+def test_overlap_matches_across_backends(results, generator_name):
+    """With overlap on, sim and emulated mpi still agree bit for bit."""
+    sim = results[(generator_name, "sim", "csr", "on")]
+    mpi = results[(generator_name, "mpi", "csr", "on")]
+    _assert_equivalent(sim, mpi, what=f"{generator_name}: sim vs mpi (overlap on)")
+
+
+@pytest.mark.parametrize("world", WORLD_SIZES)
+@pytest.mark.parametrize("generator_name", GENERATORS)
+def test_overlapped_loopback_worlds_match_sync_sim(
+    results, generator_name, world, monkeypatch
+):
+    """Overlapped multi-process replay vs the synchronous simulator.
+
+    The loopback worlds route the pipelines' ``isend``/``irecv`` pairs
+    through real thread mailboxes with pickled payloads — the strictest
+    exercise of the cross-process matching — and must still reproduce
+    the synchronous single-process schedule byte for byte.
+    """
+    reference = results[(generator_name, "sim", "csr", "off")]
+    scenario = SCENARIO_GENERATORS[generator_name](seed=SEED)
+    monkeypatch.setenv(OVERLAP_ENV_VAR, "on")
+
+    def program(comm_obj, world_rank):
+        comm = MPIBackend(N_RANKS, comm=comm_obj)
+        return replay(scenario, comm=comm, layout="csr")
+
+    for result in run_spmd(world, program):
+        _assert_equivalent(
+            reference, result, what=f"{generator_name}@world={world} (overlap on)"
+        )

@@ -312,6 +312,39 @@ def test_compare_reports_unmatched_runs():
     assert not report.regressed
 
 
+def test_compare_expect_speedup_requires_faster_current():
+    base = _sample_document()
+    fast = _sample_document()
+    fast["runs"][0]["elapsed_seconds_median"] *= 0.7  # 30% faster
+    assert not compare_documents(base, fast, expect_speedup=0.2).regressed
+    # 30% is not a 40% speedup
+    report = compare_documents(base, fast, expect_speedup=0.4)
+    assert report.regressed
+    assert "expected >= 40% speedup" in report.regressions[0].metric
+    # equal timings are a failure too: no speedup at all
+    assert compare_documents(base, base, expect_speedup=0.2).regressed
+
+
+def test_compare_expect_speedup_skips_phases_but_keeps_volume():
+    base = _sample_document()
+    current = _sample_document()
+    current["runs"][0]["elapsed_seconds_median"] *= 0.5
+    # phases may shift freely between modes...
+    current["runs"][0]["phase_seconds_median"]["replay_insert"] *= 10.0
+    assert not compare_documents(base, current, expect_speedup=0.2).regressed
+    # ...but the communication volume must not grow
+    current["runs"][0]["comm"]["bytes"] *= 2
+    report = compare_documents(base, current, expect_speedup=0.2)
+    assert report.regressed
+    assert report.regressions[0].metric == "comm.bytes"
+
+
+def test_compare_expect_speedup_validates_fraction():
+    base = _sample_document()
+    with pytest.raises(ValueError):
+        compare_documents(base, base, expect_speedup=1.5)
+
+
 def test_compare_cli_round_trip(tmp_path):
     from repro.perf.compare import main
 
@@ -325,6 +358,11 @@ def test_compare_cli_round_trip(tmp_path):
     assert main([str(base_path), str(base_path)]) == 0
     assert main([str(base_path), str(slow_path)]) == 1
     assert main([str(base_path), str(tmp_path / "missing.json")]) == 2
+    # --expect-speedup flips the gate: baseline-vs-half-time passes,
+    # self-comparison (no speedup) fails
+    assert main([str(slow_path), str(base_path), "--expect-speedup", "0.2"]) == 0
+    assert main([str(base_path), str(base_path), "--expect-speedup", "0.2"]) == 1
+    assert main([str(base_path), str(base_path), "--expect-speedup", "2"]) == 2
 
 
 # ----------------------------------------------------------------------
