@@ -141,7 +141,8 @@ def _run_update_bcast(comm, n_ranks: int, seed: int) -> float:
     for index in range(batches):
         rows, cols, values = _random_tuples(n, nnz_upd, seed + 7 + index)
         batch = UpdateBatch.from_global(
-            (n, n), rows, cols, values, n_ranks, kind="insert"
+            (n, n), rows, cols, values, n_ranks, kind="insert",
+            seed=seed + 13 + index,
         )
         product.apply_updates(a_batch=batch)
     return comm.elapsed() - start

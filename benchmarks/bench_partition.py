@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Partitioning benchmark: placement strategies under a skewed stream.
+
+Replays the bursty R-MAT scenario (``bursty_skewed_stream``) on real
+multi-process loopback worlds with each registered
+:mod:`repro.runtime.partitioner` strategy and emits a schema-validated
+``BENCH_partition.json`` whose per-run metrics are fully deterministic:
+
+``comm.bytes`` / ``comm.messages``
+    The world-summed *interprocess* traffic counted by
+    :meth:`~repro.runtime.mpi_backend.MPIBackend.global_interprocess_comm`
+    — payload bytes that actually crossed a process boundary, as opposed
+    to the logical collective volume (which is placement-invariant by
+    design).
+
+``counters["partition.max_nnz_share"]``
+    The heaviest process's share of the final matrix nnz under the run's
+    placement — 1/world_size is perfect balance, 1.0 is total skew.
+
+The cells use ``N_RANKS = 9`` logical ranks (a 3x3 grid) on worlds 2 and
+4 deliberately: neither world size divides the grid dimension, so the
+round-robin baseline shears grid columns across processes and both the
+locality win (fewer cross-process bytes) and the nnz win (lower max
+share under R-MAT skew) are structural, not incidental.  At world sizes
+that divide the grid dimension round-robin degenerates to column
+striping, which is already locality-optimal.
+
+CI usage (the perf-smoke partition gate)::
+
+    python benchmarks/bench_partition.py --partitioner round_robin \
+        --out bench_out --filename BENCH_partition_rr.json
+    python benchmarks/bench_partition.py --partitioner nnz_aware \
+        --out bench_out --filename BENCH_partition_nnz.json
+    python benchmarks/bench_partition.py --partitioner locality_aware \
+        --out bench_out --filename BENCH_partition_loc.json
+    python -m repro.perf.compare bench_out/BENCH_partition_rr.json \
+        bench_out/BENCH_partition_nnz.json \
+        --expect-reduction counters.partition.max_nnz_share=0.1
+    python -m repro.perf.compare bench_out/BENCH_partition_rr.json \
+        bench_out/BENCH_partition_loc.json --expect-reduction comm.bytes=0.2
+
+Each strategy is gated only on the metric it optimises: nnz-aware
+placement may legitimately *increase* cross-process bytes (it splits
+neighbouring heavy blocks apart) and locality-aware placement may
+concentrate nnz.  ``--partitioner all`` emits one combined document with
+per-strategy scenario tags — the ``partition`` figure of
+``benchmarks/run_suite.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Any
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.distributed.distribution import BlockDistribution
+from repro.perf import bench_document, bench_run_entry
+from repro.runtime import (
+    REPARTITION_ENV_VAR,
+    MPIBackend,
+    ProcessGrid,
+    available_partitioners,
+    run_spmd,
+    world_rank,
+    world_size,
+)
+from repro.scenarios import SCENARIO_GENERATORS
+from repro.scenarios.replay import replay
+
+#: Logical ranks per world — a 3x3 grid; see the module docstring for why
+#: the grid dimension must not divide the benchmarked world sizes.
+N_RANKS = 9
+
+SCENARIO = "bursty_skewed_stream"
+DEFAULT_WORLDS = (2, 4)
+DEFAULT_REPEATS = 3
+DEFAULT_SEED = 2022
+
+
+def measure_cell(
+    partitioner: str,
+    *,
+    world: int,
+    n_ranks: int = N_RANKS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    tag_mode: bool = False,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """One ``runs[]`` entry plus its extras: a (partitioner, world) cell.
+
+    Replays the scenario ``repeats`` times on a threaded loopback world of
+    ``world`` processes, one :class:`MPIBackend` of ``n_ranks`` logical
+    ranks per process, placed by ``partitioner``.  Returns the run entry
+    and an extras record (placement and per-process nnz loads).  With
+    ``tag_mode`` the scenario tag carries a ``:<partitioner>`` suffix (the
+    combined-document layout); without it the tag is strategy-free so two
+    single-strategy documents can be matched run for run by
+    ``repro.perf.compare``.
+    """
+    scenario = SCENARIO_GENERATORS[SCENARIO](seed=seed)
+
+    def program(comm_obj, _world_rank: int):
+        comm = MPIBackend(n_ranks, comm=comm_obj)
+        result = replay(scenario, comm=comm, layout="csr", partitioner=partitioner)
+        return result, comm.global_interprocess_comm(), comm.placement()
+
+    previous = os.environ.pop(REPARTITION_ENV_VAR, None)
+    try:
+        elapsed: list[float] = []
+        run_spmd(world, program)  # warm-up: caching and import costs
+        for _ in range(repeats):
+            started = time.perf_counter()
+            results = run_spmd(world, program)
+            elapsed.append(time.perf_counter() - started)
+    finally:
+        if previous is not None:
+            os.environ[REPARTITION_ENV_VAR] = previous
+    result, cross, placement = results[0]
+
+    # Final-state nnz balance, computed host-side from the replay result so
+    # it is exactly reproducible: map every stored entry to its logical
+    # rank, then group rank nnz by the run's placement.
+    grid = ProcessGrid(n_ranks)
+    dist = BlockDistribution(*scenario.shape, grid)
+    rows, cols, _values = result.final_a
+    owners = dist.owner_of(np.asarray(rows), np.asarray(cols))
+    rank_nnz = np.bincount(owners, minlength=n_ranks).astype(float)
+    active = min(world, n_ranks)
+    loads = np.zeros(active)
+    for rank in range(n_ranks):
+        loads[placement[rank]] += rank_nnz[rank]
+    total = float(loads.sum())
+    share = float(loads.max() / total) if total else 0.0
+
+    entry = bench_run_entry(
+        backend="mpi",
+        layout="csr",
+        repeats=repeats,
+        elapsed_seconds_median=float(statistics.median(elapsed)),
+        phase_seconds_median={},
+        phase_calls={},
+        counters={
+            "partition.max_nnz_share": share,
+            "partition.max_nnz": float(loads.max()) if total else 0.0,
+            "partition.total_nnz": total,
+            "partition.active_processes": float(active),
+        },
+        comm={
+            "messages": float(cross["messages"]),
+            "bytes": float(cross["bytes"]),
+        },
+    )
+    tag = f"{SCENARIO}@w{world}"
+    entry["scenario"] = f"{tag}:{partitioner}" if tag_mode else tag
+    cell_extras = {
+        "partitioner": partitioner,
+        "world": world,
+        "placement": [placement[rank] for rank in range(n_ranks)],
+        "process_nnz": [float(load) for load in loads],
+    }
+    return entry, cell_extras
+
+
+def build_document(
+    *,
+    partitioners: tuple[str, ...],
+    worlds: tuple[int, ...] = DEFAULT_WORLDS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """Assemble the ``BENCH_partition`` document for the requested cells."""
+    tag_mode = len(partitioners) > 1
+    runs: list[dict[str, Any]] = []
+    cells: list[dict[str, Any]] = []
+    for world in worlds:
+        for partitioner in partitioners:
+            entry, cell_extras = measure_cell(
+                partitioner,
+                world=world,
+                repeats=repeats,
+                seed=seed,
+                tag_mode=tag_mode,
+            )
+            runs.append(entry)
+            cells.append(cell_extras)
+    extras: dict[str, Any] = {
+        "scenario": SCENARIO,
+        "partitioners": list(partitioners),
+        "worlds": list(worlds),
+        "cells": cells,
+    }
+    return bench_document(
+        figure="partition",
+        title="Logical-rank placement strategies under a skewed stream",
+        seed=seed,
+        profile="partition",
+        n_ranks=N_RANKS,
+        runs=runs,
+        extras=extras,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--partitioner",
+        choices=(*available_partitioners(), "all"),
+        default="all",
+        help="placement strategy to measure, or 'all' for one combined "
+        "document with per-strategy tags (default %(default)s)",
+    )
+    parser.add_argument(
+        "--worlds",
+        default=",".join(str(world) for world in DEFAULT_WORLDS),
+        help="comma-separated loopback world sizes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="repeats per cell; medians are reported (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="bench_out", help="output directory (default %(default)s)"
+    )
+    parser.add_argument(
+        "--filename",
+        default="BENCH_partition.json",
+        help="output file name (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="base seed")
+    args = parser.parse_args(argv)
+    if world_size() > 1:
+        # The bench drives its own threaded loopback worlds; under mpiexec
+        # only rank 0 runs them (the others would duplicate the work).
+        if world_rank() != 0:
+            return 0
+    partitioners = (
+        available_partitioners() if args.partitioner == "all" else (args.partitioner,)
+    )
+    worlds = tuple(int(field) for field in args.worlds.split(",") if field)
+    started = time.perf_counter()
+    document = build_document(
+        partitioners=tuple(partitioners),
+        worlds=worlds,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, args.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {path}  ({len(document['runs'])} runs, "
+        f"{time.perf_counter() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,7 +63,7 @@ from repro.sparse import DHBMatrix
 DEFAULT_BACKENDS = ("sim", "mpi")
 DEFAULT_LAYOUTS = ("csr", "dhb")
 DEFAULT_REPEATS = 3
-KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps", "overlap")
+KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps", "overlap", "partition")
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +315,26 @@ def run_suite(
             backend = backends[0] if backends else "sim"
             document = build_overlap_document(
                 modes=("off", "on"), backend=backend, repeats=repeats, seed=seed
+            )
+            if _write_document(document, fig, out_dir, started, len(document["runs"])):
+                written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
+            continue
+        if fig == "partition":
+            # Delegates to benchmarks/bench_partition.py: one run entry per
+            # (partitioner, loopback world) cell of the bursty R-MAT
+            # scenario, all strategies in one document.  The profile,
+            # backend and layout knobs do not apply — the bench pins its
+            # own world sizes and logical rank count; the per-strategy
+            # single-document CI gate is driven by bench_partition.py
+            # directly (see its docstring).
+            sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+            from bench_partition import build_document as build_partition_document
+            from repro.runtime import available_partitioners
+
+            document = build_partition_document(
+                partitioners=tuple(available_partitioners()),
+                repeats=repeats,
+                seed=seed if seed else 2022,
             )
             if _write_document(document, fig, out_dir, started, len(document["runs"])):
                 written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))

@@ -71,13 +71,13 @@ class BlockDistribution:
     # ------------------------------------------------------------------
     def block_row_of(self, rows: np.ndarray) -> np.ndarray:
         rows = np.asarray(rows, dtype=np.int64)
-        if rows.size and (rows.min() < 0 or rows.max() >= max(self.n_rows, 1)):
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_rows):
             raise IndexError("row index outside the distributed matrix")
         return np.searchsorted(self.row_offsets, rows, side="right") - 1
 
     def block_col_of(self, cols: np.ndarray) -> np.ndarray:
         cols = np.asarray(cols, dtype=np.int64)
-        if cols.size and (cols.min() < 0 or cols.max() >= max(self.n_cols, 1)):
+        if cols.size and (cols.min() < 0 or cols.max() >= self.n_cols):
             raise IndexError("column index outside the distributed matrix")
         return np.searchsorted(self.col_offsets, cols, side="right") - 1
 

@@ -53,6 +53,13 @@ def partition_tuples_round_robin(
     Models the paper's assumption that "MPI processes can generate updates
     independently and without knowledge of the distribution of data": each
     rank ends up with ``nnz/p`` tuples drawn without regard to ownership.
+
+    The shuffle is unconditional: dealing tuples in generation order would
+    correlate batch skew (generators emit hot rows in bursts) with rank
+    assignment, which is exactly the imbalance the shuffle is documented to
+    break.  ``seed=None`` derives a deterministic seed from the batch
+    geometry, so replays stay reproducible without callers having to pick
+    a seed.
     """
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
@@ -61,10 +68,10 @@ def partition_tuples_round_robin(
         raise ValueError("rows, cols and values must have identical lengths")
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
-    order = np.arange(rows.size)
-    if seed is not None:
-        rng = np.random.default_rng(seed)
-        order = rng.permutation(rows.size)
+    if seed is None:
+        seed = (rows.size * 0x9E3779B1 + n_ranks) & 0xFFFFFFFF
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(rows.size)
     out: dict[int, TupleArrays] = {}
     for rank in range(n_ranks):
         sel = order[rank::n_ranks]

@@ -28,6 +28,19 @@ phases — but the communication volume checks still apply, so the speedup
 cannot come from silently doing less work.  This is the CI overlap gate:
 ``BENCH_overlap`` documents produced with ``REPRO_OVERLAP=off`` (baseline)
 and ``on`` (current) are compared with ``--expect-speedup 0.2``.
+
+``--expect-reduction METRIC=FRACTION`` (repeatable) gates arbitrary
+deterministic metrics instead of wall-clock time: each matched run must
+satisfy ``current <= baseline * (1 - FRACTION)`` for every requested
+metric, and **only** the requested metrics are compared — nothing else.
+Metric paths: ``comm.bytes``, ``comm.messages``,
+``elapsed_seconds_median`` and ``counters.<name>``.  This is the CI
+partitioning gate: ``BENCH_partition`` documents produced per placement
+strategy are compared against the round-robin document with
+``--expect-reduction counters.partition.max_nnz_share=...`` (nnz-aware)
+or ``--expect-reduction comm.bytes=...`` (locality-aware), because each
+strategy optimises its own metric and may legitimately be worse on the
+other.
 """
 
 from __future__ import annotations
@@ -44,6 +57,7 @@ __all__ = [
     "ComparisonReport",
     "compare_documents",
     "load_bench",
+    "parse_expect_reduction",
     "main",
 ]
 
@@ -96,6 +110,49 @@ class ComparisonReport:
         return bool(self.regressions)
 
 
+def _metric_value(run: Mapping[str, Any], metric: str) -> float:
+    """Resolve a ``--expect-reduction`` metric path against one run entry.
+
+    Supported paths: ``elapsed_seconds_median``, ``comm.bytes``,
+    ``comm.messages`` and ``counters.<name>``.  A path that does not
+    resolve (unknown shape, or a counter the run never recorded) raises
+    ``ValueError`` so a typo fails the gate loudly instead of comparing
+    nothing.
+    """
+    if metric == "elapsed_seconds_median":
+        return float(run["elapsed_seconds_median"])
+    if metric in ("comm.bytes", "comm.messages"):
+        return float(run["comm"][metric.split(".", 1)[1]])
+    if metric.startswith("counters."):
+        name = metric.split(".", 1)[1]
+        counters = run["counters"]
+        if name not in counters:
+            raise ValueError(
+                f"run {_run_key(run)!r} has no counter {name!r} "
+                f"(available: {sorted(counters) or 'none'})"
+            )
+        return float(counters[name])
+    raise ValueError(
+        f"unknown metric path {metric!r}: expected elapsed_seconds_median, "
+        "comm.bytes, comm.messages or counters.<name>"
+    )
+
+
+def parse_expect_reduction(specs: list[str] | None) -> dict[str, float] | None:
+    """Parse repeated ``METRIC=FRACTION`` CLI specs into a mapping."""
+    if not specs:
+        return None
+    parsed: dict[str, float] = {}
+    for spec in specs:
+        metric, sep, fraction = spec.partition("=")
+        if not sep or not metric:
+            raise ValueError(
+                f"malformed --expect-reduction {spec!r}: expected METRIC=FRACTION"
+            )
+        parsed[metric] = float(fraction)
+    return parsed
+
+
 def _run_key(run: Mapping[str, Any]) -> str:
     """Identity of one run within a document's ``runs[]`` series.
 
@@ -115,6 +172,7 @@ def compare_documents(
     threshold: float = DEFAULT_THRESHOLD,
     min_seconds: float = DEFAULT_MIN_SECONDS,
     expect_speedup: float | None = None,
+    expect_reduction: Mapping[str, float] | None = None,
 ) -> ComparisonReport:
     """Compare two validated BENCH documents; see the module docstring.
 
@@ -123,9 +181,25 @@ def compare_documents(
     ``current <= baseline * (1 - expect_speedup)`` or the run is reported
     as a regression; phase timings are skipped and the communication
     volume checks keep their usual threshold semantics.
+
+    With ``expect_reduction`` set (metric path -> required fractional
+    reduction), **only** those metrics are compared: each matched run must
+    satisfy ``current <= baseline * (1 - fraction)`` per metric.  The two
+    expectation modes are mutually exclusive.
     """
     if expect_speedup is not None and not 0.0 < expect_speedup < 1.0:
         raise ValueError(f"expect_speedup must be in (0, 1), got {expect_speedup!r}")
+    if expect_reduction is not None:
+        if expect_speedup is not None:
+            raise ValueError("expect_speedup and expect_reduction are exclusive")
+        if not expect_reduction:
+            raise ValueError("expect_reduction must name at least one metric")
+        for metric, fraction in expect_reduction.items():
+            if not 0.0 < fraction < 1.0:
+                raise ValueError(
+                    f"expect_reduction fraction for {metric!r} must be in (0, 1), "
+                    f"got {fraction!r}"
+                )
     validate_bench(baseline)
     validate_bench(current)
     if baseline["figure"] != current["figure"]:
@@ -150,6 +224,21 @@ def compare_documents(
 
     for key in sorted(set(base_runs) & set(cur_runs)):
         base, cur = base_runs[key], cur_runs[key]
+        if expect_reduction is not None:
+            for metric, fraction in sorted(expect_reduction.items()):
+                base_value = _metric_value(base, metric)
+                cur_value = _metric_value(cur, metric)
+                report.compared_metrics += 1
+                if cur_value > base_value * (1.0 - fraction):
+                    report.regressions.append(
+                        Regression(
+                            run=key,
+                            metric=f"{metric} (expected >= {fraction:.0%} reduction)",
+                            baseline=base_value,
+                            current=cur_value,
+                        )
+                    )
+            continue
         base_elapsed = float(base["elapsed_seconds_median"])
         cur_elapsed = float(cur["elapsed_seconds_median"])
         if expect_speedup is not None:
@@ -234,6 +323,16 @@ def main(argv: list[str] | None = None) -> int:
         "faster than the baseline (e.g. 0.2 for a 20%% speedup); "
         "phase timings are not compared in this mode",
     )
+    parser.add_argument(
+        "--expect-reduction",
+        action="append",
+        default=None,
+        metavar="METRIC=FRACTION",
+        help="require every matched run to reduce METRIC (comm.bytes, "
+        "comm.messages, elapsed_seconds_median or counters.<name>) by at "
+        "least FRACTION vs the baseline; repeatable; only the requested "
+        "metrics are compared in this mode",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_bench(args.baseline)
@@ -244,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
             threshold=args.threshold,
             min_seconds=args.min_seconds,
             expect_speedup=args.expect_speedup,
+            expect_reduction=parse_expect_reduction(args.expect_reduction),
         )
     except (OSError, json.JSONDecodeError, BenchSchemaError, ValueError) as exc:
         print(f"error: {exc}")

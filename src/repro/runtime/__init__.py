@@ -49,6 +49,18 @@ from repro.runtime.mpi_backend import (
     world_rank,
     world_size,
 )
+from repro.runtime.partitioner import (
+    DEFAULT_PARTITIONER,
+    PARTITIONER_ENV_VAR,
+    REPARTITION_ENV_VAR,
+    Partitioner,
+    available_partitioners,
+    make_partitioner,
+    register_partitioner,
+    repartition_threshold,
+    resolve_partitioner_name,
+    verify_placement,
+)
 from repro.runtime.simmpi import SimMPI, payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
 
@@ -79,4 +91,14 @@ __all__ = [
     "run_spmd",
     "world_rank",
     "world_size",
+    "DEFAULT_PARTITIONER",
+    "PARTITIONER_ENV_VAR",
+    "REPARTITION_ENV_VAR",
+    "Partitioner",
+    "available_partitioners",
+    "make_partitioner",
+    "register_partitioner",
+    "repartition_threshold",
+    "resolve_partitioner_name",
+    "verify_placement",
 ]

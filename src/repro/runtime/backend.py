@@ -152,7 +152,8 @@ class Communicator(Protocol):
 
     **Ownership and partial mappings.**  Logical ranks are partitioned over
     the participating processes (one process owns everything on the
-    simulator; round-robin on a multi-process backend).  All per-rank state
+    simulator; a pluggable :mod:`~repro.runtime.partitioner` strategy —
+    round-robin by default — on a multi-process backend).  All per-rank state
     mappings (``rank -> block``, ``rank -> payload``) are *partial*: a
     process materialises entries only for the ranks it owns, and every
     collective accepts such partial contribution mappings, merging them

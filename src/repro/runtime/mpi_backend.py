@@ -4,11 +4,13 @@
 :class:`~repro.runtime.backend.Communicator` surface as
 :class:`~repro.runtime.simmpi.SimMPI`, but on top of a *real* MPI
 communicator, in SPMD fashion: every process executes the same
-orchestration program, logical ranks are distributed round-robin over the
-world (rank ``r`` lives on process ``r % world_size``), ``run_local``
-executes kernels only for owned ranks, and the collectives accept partial
-per-process payload mappings and merge them through the corresponding
-mpi4py collectives.  ``mpiexec -n 1``, ``mpiexec -n p`` and oversubscribed
+orchestration program, logical ranks are placed on processes by a
+pluggable :class:`~repro.runtime.partitioner.Partitioner` (round-robin —
+rank ``r`` on process ``r % world_size`` — by default; see
+``docs/backends.md`` for the nnz-aware and locality-aware strategies),
+``run_local`` executes kernels only for owned ranks, and the collectives
+accept partial per-process payload mappings and merge them through the
+corresponding mpi4py collectives.  ``mpiexec -n 1``, ``mpiexec -n p`` and oversubscribed
 worlds (more processes than logical ranks — the surplus processes idle
 with a warning) are all supported; per-process memory and local compute
 scale with the number of *owned* ranks, which is the point of running
@@ -36,6 +38,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.perf.recorder import perf_count, record_comm_event
 from repro.runtime.backend import CommRequest, check_rank, normalize_group
 from repro.runtime.config import MachineModel
+from repro.runtime.partitioner import Partitioner, make_partitioner, verify_placement
 from repro.runtime.simmpi import payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
 
@@ -190,6 +193,7 @@ class MPIBackend:
         track_time: bool = True,
         comm: Any = None,
         force_emulator: bool = False,
+        partitioner: str | Partitioner | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("communicator needs at least one rank")
@@ -220,6 +224,20 @@ class MPIBackend:
         #: (src, dst) -> FIFO of payloads isent between two locally-owned
         #: logical ranks (delivered at the matching irecv wait)
         self._p2p_mail: dict[tuple[int, int], list[Any]] = {}
+        # The logical-rank -> process map.  The default partitioner
+        # reproduces the historical round-robin (``r % world_size``)
+        # placement exactly; grid-/weight-aware placements are installed
+        # later through :meth:`set_placement` (strategies may need the
+        # process grid or nnz estimates the backend does not know about).
+        self.partitioner = make_partitioner(partitioner)
+        self._placement: dict[int, int] = self.partitioner.placement(
+            self.n_ranks, self.world_size
+        )
+        verify_placement(self._placement, self.n_ranks, self.world_size)
+        #: physical cross-process traffic recorded by this process
+        #: (deterministic modelled counts, not wire measurements)
+        self.interprocess_bytes = 0
+        self.interprocess_messages = 0
 
     # ------------------------------------------------------------------
     # rank ownership
@@ -232,7 +250,7 @@ class MPIBackend:
     def owner_of(self, rank: int) -> int:
         """World rank of the process hosting logical ``rank``."""
         check_rank(self.n_ranks, rank)
-        return rank % self.world_size
+        return self._placement[rank]
 
     def owns(self, rank: int) -> bool:
         """``True`` when this process hosts logical ``rank``."""
@@ -241,6 +259,104 @@ class MPIBackend:
     def owned_ranks(self, group: Sequence[int] | None = None) -> list[int]:
         """The ranks of ``group`` (default: all) hosted by this process."""
         return [r for r in normalize_group(self.n_ranks, group) if self.owns(r)]
+
+    def placement(self) -> dict[int, int]:
+        """Copy of the current ``logical rank -> process`` map."""
+        return dict(self._placement)
+
+    def set_placement(self, placement: Mapping[int, int]) -> None:
+        """Install a new logical-rank→process map.
+
+        Must be called *before* any per-rank state is materialised (every
+        process must call it with the identical map — placement is an SPMD
+        agreement); to move already-constructed state use
+        :meth:`migrate_ownership` instead.
+        """
+        verify_placement(placement, self.n_ranks, self.world_size)
+        self._placement = {int(r): int(p) for r, p in placement.items()}
+
+    def migrate_ownership(
+        self,
+        new_placement: Mapping[int, int],
+        block_maps: Sequence[dict[int, Any]],
+        *,
+        category: str = StatCategory.REDIST_COMM,
+    ) -> int:
+        """Move owned per-rank state to the owners of ``new_placement``.
+
+        ``block_maps`` are partial ``rank -> block`` mappings (e.g. the
+        ``DistMatrixBase.blocks`` of every live matrix); blocks whose rank
+        changes process are shipped *as pickled objects* through one
+        bucketed all-to-all — preserving their exact internal state keeps
+        scenario results byte-identical across a migration — and the new
+        placement is installed on completion.  Charged under ``category``
+        (redistribution traffic); returns the number of blocks moved.
+        """
+        verify_placement(new_placement, self.n_ranks, self.world_size)
+        start = time.perf_counter()
+        outgoing: list[list[tuple[int, int, Any]]] = [
+            [] for _ in range(self.world_size)
+        ]
+        total_bytes = 0
+        moved = 0
+        for index, blocks in enumerate(block_maps):
+            for rank in sorted(blocks):
+                if not self.owns(rank):
+                    continue
+                new_owner = int(new_placement[rank])
+                if new_owner == self.world_rank:
+                    continue
+                block = blocks.pop(rank)
+                total_bytes += payload_nbytes(block)
+                moved += 1
+                outgoing[new_owner].append((index, rank, block))
+        if self.world_size > 1:
+            arrived = self._comm.alltoall(outgoing)
+            for bucket in arrived:
+                for index, rank, block in bucket:
+                    block_maps[index][rank] = block
+        self.interprocess_bytes += total_bytes
+        self.interprocess_messages += moved
+        record_comm_event(
+            self.stats,
+            category,
+            operations=1,
+            messages=moved,
+            nbytes=total_bytes,
+            modeled_seconds=time.perf_counter() - start,
+        )
+        perf_count("partition.migrated_blocks", moved)
+        self._placement = {int(r): int(p) for r, p in new_placement.items()}
+        return moved
+
+    # ------------------------------------------------------------------
+    # physical cross-process traffic
+    # ------------------------------------------------------------------
+    def interprocess_comm(self) -> dict[str, int]:
+        """This process's cross-process traffic ``{"bytes", "messages"}``.
+
+        A deterministic model of the traffic that actually crosses a
+        process boundary under the current placement — unlike the
+        *logical* ``stats`` (which are placement-invariant by design),
+        this is exactly what a better placement shrinks.  Counted once
+        per transfer: sender-side for ``exchange``/``alltoallv``/
+        ``gather``/``reduce``/block migration, receiver-side for
+        ``bcast``/``allgather``/``irecv``, root-side for ``scatter``.
+        """
+        return {
+            "bytes": int(self.interprocess_bytes),
+            "messages": int(self.interprocess_messages),
+        }
+
+    def global_interprocess_comm(self) -> dict[str, int]:
+        """World-summed cross-process traffic (uncharged control plane)."""
+        return self.host_fold(
+            self.interprocess_comm(),
+            lambda a, b: {
+                "bytes": a["bytes"] + b["bytes"],
+                "messages": a["messages"] + b["messages"],
+            },
+        )
 
     # ------------------------------------------------------------------
     # control plane (uncharged: metadata exchange, not payload traffic)
@@ -281,6 +397,8 @@ class MPIBackend:
         self.reset_clock()
         self._p2p_mail.clear()
         self.stats.reset()
+        self.interprocess_bytes = 0
+        self.interprocess_messages = 0
 
     def barrier(self, group: Sequence[int] | None = None) -> None:
         """Synchronise the processes hosting ``group`` (no-op world of 1)."""
@@ -396,13 +514,16 @@ class MPIBackend:
                 continue
             # Byte accounting mirrors SimMPI exactly: self-messages count
             # their payload bytes but not as messages.
-            total_bytes += payload_nbytes(payload)
+            nbytes = payload_nbytes(payload)
+            total_bytes += nbytes
             if src != dst:
                 n_msgs += 1
             owner = self.owner_of(dst)
             if owner == self.world_rank:
                 inbox.setdefault(dst, []).append((src, payload))
             else:
+                self.interprocess_bytes += nbytes
+                self.interprocess_messages += 1
                 outgoing[owner].append((src, dst, payload))
         if self.world_size > 1:
             arrived = self._comm.alltoall(outgoing)
@@ -479,6 +600,8 @@ class MPIBackend:
                 if owner == self.world_rank:
                     recvbufs[dst][src] = payload
                 else:
+                    self.interprocess_bytes += payload_nbytes(payload)
+                    self.interprocess_messages += 1
                     outgoing[owner].append((src, dst, payload))
         if self.world_size > 1:
             arrived = self._comm.alltoall(outgoing)
@@ -517,6 +640,12 @@ class MPIBackend:
         # processes this equals SimMPI's global (g-1) messages.
         n_recv = sum(1 for r in ranks if self.owns(r) and r != root)
         nbytes = payload_nbytes(value)
+        if self.world_size > 1 and not self.owns(root) and any(
+            self.owns(r) for r in ranks
+        ):
+            # One physical copy crosses into this process from root's.
+            self.interprocess_bytes += nbytes
+            self.interprocess_messages += 1
         record_comm_event(
             self.stats,
             category,
@@ -545,6 +674,12 @@ class MPIBackend:
             payload_nbytes(v) for src, v in mine.items() if src != root
         )
         n_msgs = sum(1 for src in mine if src != root)
+        if self.world_size > 1 and mine and not self.owns(root):
+            # This process's contributions cross to the root's process.
+            self.interprocess_bytes += sum(
+                payload_nbytes(v) for v in mine.values()
+            )
+            self.interprocess_messages += 1
         merged = mine
         if self.world_size > 1:
             parts = self._comm.gather(mine, root=self.owner_of(root))
@@ -582,12 +717,16 @@ class MPIBackend:
                 if dst != root:
                     total_bytes += payload_nbytes(payloads.get(dst))
                     n_msgs += 1
+                if self.owner_of(dst) != self.world_rank:
+                    # Root-side: this share crosses to dst's process.
+                    self.interprocess_bytes += payload_nbytes(payloads.get(dst))
+                    self.interprocess_messages += 1
         part: Mapping[int, Any] = payloads
         if self.world_size > 1:
             parts = None
             if self.owns(root):
                 parts = [
-                    {r: payloads.get(r) for r in ranks if r % self.world_size == q}
+                    {r: payloads.get(r) for r in ranks if self.owner_of(r) == q}
                     for q in range(self.world_size)
                 ]
             part = self._comm.scatter(parts, root=self.owner_of(root))
@@ -624,6 +763,12 @@ class MPIBackend:
         # payload; summed over processes this equals SimMPI's global
         # g·(g-1) messages and total·(g-1) bytes.
         owned = [r for r in ranks if self.owns(r)]
+        if self.world_size > 1 and owned:
+            # Receiver-side: one copy of every remotely-owned payload
+            # crosses into this process.
+            remote = [r for r in ranks if not self.owns(r)]
+            self.interprocess_bytes += sum(sizes[r] for r in remote)
+            self.interprocess_messages += len(remote)
         record_comm_event(
             self.stats,
             category,
@@ -673,6 +818,10 @@ class MPIBackend:
                 partial = combine(partial, value)
         result = partial
         if self.world_size > 1:
+            if have_partial and not self.owns(root):
+                # Sender-side: the local partial crosses to root's process.
+                self.interprocess_bytes += payload_nbytes(partial)
+                self.interprocess_messages += 1
             parts = self._comm.gather(
                 (have_partial, partial), root=self.owner_of(root)
             )
@@ -800,6 +949,8 @@ class MPIBackend:
                 payload = self._comm.recv(
                     source=owner, tag=self._p2p_tag(src, dst)
                 )
+                self.interprocess_bytes += payload_nbytes(payload)
+                self.interprocess_messages += 1
             record_comm_event(
                 self.stats,
                 category,

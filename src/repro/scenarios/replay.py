@@ -25,6 +25,7 @@ multiply work.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 import numpy as np
@@ -33,6 +34,12 @@ from repro.perf.recorder import perf_phase
 from repro.runtime import ProcessGrid, make_communicator, resolve_backend_name
 from repro.runtime.backend import Communicator
 from repro.runtime.config import MachineModel
+from repro.runtime.partitioner import (
+    PARTITIONER_ENV_VAR,
+    Partitioner,
+    make_partitioner,
+    repartition_threshold,
+)
 from repro.semirings import Semiring
 from repro.sparse import (
     COOMatrix,
@@ -48,6 +55,8 @@ from repro.distributed import (
     build_update_matrix,
     partition_tuples_round_robin,
 )
+from repro.distributed.distribution import BlockDistribution
+from repro.distributed.repartition import maybe_repartition
 from repro.core import DynamicProduct, dynamic_spgemm_algebraic
 from repro.scenarios.model import (
     AppQueryResult,
@@ -577,6 +586,74 @@ def _registry_name_of(comm: Communicator) -> str:
     return _COMM_CLASS_NAMES.get(cls, cls.lower())
 
 
+def _scenario_nnz_weights(
+    scenario: Scenario, grid: ProcessGrid, n_ranks: int
+) -> dict[int, float]:
+    """Per-rank nnz estimates from the initial matrix and a step prefix.
+
+    Counts how many tuples of the initial matrix plus the first few
+    insert/update steps land on each grid rank under the block
+    distribution — the weights the ``nnz_aware`` partitioner bin-packs on.
+    Pure host-side arithmetic on the scenario description (identical on
+    every process), no communication.
+    """
+    dist = BlockDistribution(*scenario.shape, grid)
+    weights = np.zeros(n_ranks, dtype=np.float64)
+    sources: list[tuple[np.ndarray, np.ndarray]] = []
+    if scenario.initial_tuples is not None:
+        sources.append(scenario.initial_tuples[:2])
+    prefix = 0
+    for step in scenario.steps:
+        if isinstance(step, ScenarioStep) and step.kind in ("insert", "update"):
+            sources.append((step.rows, step.cols))
+            prefix += 1
+            if prefix >= 8:
+                break
+    for rows, cols in sources:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            continue
+        owners = dist.owner_of(rows, cols)
+        counts = np.bincount(owners, minlength=n_ranks)
+        weights += counts[:n_ranks]
+    return {rank: float(weights[rank]) for rank in range(n_ranks)}
+
+
+def _install_placement(
+    comm: Communicator,
+    scenario: Scenario,
+    grid: ProcessGrid,
+    partitioner: str | Partitioner | None,
+) -> None:
+    """Resolve the requested partitioner and install its placement.
+
+    Strategy names are validated even when the communicator has no
+    placement surface (the simulator), so ``REPRO_PARTITIONER`` typos fail
+    loudly on every backend.  The placement is only *installed* when one
+    was explicitly requested (argument or environment): a caller-provided
+    communicator may already carry a custom placement that an unsolicited
+    reset to the default would silently destroy.
+    """
+    requested = (
+        partitioner
+        if partitioner is not None
+        else (os.environ.get(PARTITIONER_ENV_VAR) or None)
+    )
+    if requested is None:
+        return
+    strategy = make_partitioner(requested)
+    if not hasattr(comm, "set_placement"):
+        return
+    weights = (
+        _scenario_nnz_weights(scenario, grid, comm.p)
+        if strategy.uses_weights
+        else None
+    )
+    comm.set_placement(
+        strategy.placement(comm.p, comm.world_size, grid=grid, weights=weights)
+    )
+
+
 def _global_stats_diff(comm: Communicator, since):
     """Statistics accumulated since ``since``, merged over all processes.
 
@@ -596,6 +673,7 @@ def replay(
     machine: MachineModel | None = None,
     layout: str = "csr",
     comm: Communicator | None = None,
+    partitioner: str | Partitioner | None = None,
     executor_factory: Callable | None = None,
     check_snapshots: bool = True,
     collect_final: bool = True,
@@ -613,6 +691,16 @@ def replay(
     layout:
         Local storage layout of the static right-hand operand, one of
         :data:`REPLAY_LAYOUTS`.
+    partitioner:
+        Logical-rank→process placement strategy (a name or a
+        :class:`~repro.runtime.partitioner.Partitioner`); defaults to the
+        ``REPRO_PARTITIONER`` environment variable.  Placement is physical
+        — results are byte-identical under every strategy; only the
+        multi-process backends act on it.  Weight-using strategies
+        (``nnz_aware``) estimate per-rank nnz from the initial matrix and
+        a scenario prefix.  With ``REPRO_REPARTITION`` armed, pure-update
+        replays additionally migrate block ownership between batches when
+        the per-process nnz imbalance exceeds the threshold.
     executor_factory:
         ``(comm, grid, scenario, *, layout) -> executor``; defaults to
         :class:`NativeExecutor`.  Use
@@ -647,6 +735,9 @@ def replay(
     # asked for the square count directly.
     grid = ProcessGrid.fit(n_ranks)
     n_ranks = grid.n_ranks
+    # Placement must be agreed before any per-rank state is materialised.
+    _install_placement(comm, scenario, grid, partitioner)
+    repartition_at = repartition_threshold()
     factory = executor_factory or NativeExecutor
     executor = factory(comm, grid, scenario, layout=layout)
 
@@ -782,6 +873,23 @@ def replay(
             )
         )
         applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
+        # Online repartitioning (REPRO_REPARTITION): only for pure-update
+        # replays on a placement-aware backend — with SpGEMM state or an
+        # application in play, more matrices than `a` would have to move
+        # in lock-step, which the hook deliberately does not attempt.
+        if (
+            repartition_at is not None
+            and isinstance(executor, NativeExecutor)
+            and executor.app is None
+            and executor.product is None
+            and executor.b_static is None
+            and executor.c is None
+            and executor.a is not None
+        ):
+            with perf_phase("replay_repartition"):
+                maybe_repartition(
+                    comm, grid, [executor.a], threshold=repartition_at
+                )
 
     # ---------------- result -------------------------------------------
     empty = (

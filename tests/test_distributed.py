@@ -62,6 +62,24 @@ class TestBlockDistribution:
         with pytest.raises(IndexError):
             dist.to_local(0, np.array([9]), np.array([9]))  # owned by rank 3
 
+    def test_degenerate_shapes_reject_all_coordinates(self):
+        """Regression: the bounds guards used ``max(n_rows, 1)``, so a
+        zero-row (or zero-column) distribution silently accepted coordinate
+        0 and mapped it into a block that does not exist."""
+        grid = ProcessGrid(4)
+        zero_rows = BlockDistribution(0, 10, grid)
+        with pytest.raises(IndexError):
+            zero_rows.block_row_of(np.array([0]))
+        assert zero_rows.block_col_of(np.array([5])).tolist() == [1]
+        zero_cols = BlockDistribution(10, 0, grid)
+        with pytest.raises(IndexError):
+            zero_cols.block_col_of(np.array([0]))
+        with pytest.raises(IndexError):
+            zero_cols.owner_of(np.array([0]), np.array([0]))
+        # empty queries remain valid on fully degenerate shapes
+        empty = np.array([], dtype=np.int64)
+        assert BlockDistribution(0, 0, grid).owner_of(empty, empty).size == 0
+
     def test_permutation_round_trip(self):
         perm = IndexPermutation(100, seed=3)
         idx = np.arange(100)

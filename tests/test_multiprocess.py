@@ -22,12 +22,20 @@ import pytest
 from repro.core import DynamicProduct, compute_cstar, summa_spgemm
 from repro.core.collectives import bloom_reduce_to_root, sparse_reduce_to_root
 from repro.distributed import DynamicDistMatrix, StaticDistMatrix, UpdateBatch
-from repro.runtime import MPIBackend, ProcessGrid, SimMPI
+from repro.runtime import MPIBackend, ProcessGrid, SimMPI, available_partitioners
 from repro.runtime.loopback import LoopbackWorld, run_spmd
 from repro.semirings import MIN_PLUS, PLUS_TIMES
 from repro.sparse import BloomFilterMatrix, COOMatrix
 
-WORLD_SIZES = (1, 2, 4)
+# world 6 oversubscribes the 4 logical ranks: two processes idle, which is
+# exactly the configuration the leg exists to exercise (the construction
+# warning is expected; the filter must be installed at collection level —
+# warnings.catch_warnings is not safe inside the loopback worker threads)
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:MPI world of 6 processes:RuntimeWarning"
+)
+
+WORLD_SIZES = (1, 2, 4, 6)
 
 
 def _comm_volume(comm) -> dict[str, tuple[int, int]]:
@@ -87,6 +95,30 @@ class TestOwnership:
             return comm.host_fold(len(comm.owned_ranks()), lambda x, y: x + y)
 
         assert all(total == 4 for total in _spmd(world, program))
+
+    @pytest.mark.parametrize("world", (2, 4, 6))
+    @pytest.mark.parametrize("name", available_partitioners())
+    def test_every_partitioner_excludes_idle_processes(self, world, name):
+        """Satellite of the placement work: whatever the strategy, the
+        owned-rank sets must partition the logical ranks and surplus
+        processes of an oversubscribed world must own nothing."""
+
+        def wrapped(comm_obj, world_rank):
+            comm = MPIBackend(4, comm=comm_obj, partitioner=name)
+            owned = comm.owned_ranks()
+            assert owned == comm.owned_ranks(list(range(4)))
+            return world_rank, owned, comm.placement()
+
+        results = run_spmd(world, wrapped)
+        seen = sorted(r for _, owned, _ in results for r in owned)
+        assert seen == list(range(4))  # disjoint + complete
+        active = min(world, 4)
+        reference = results[0][2]
+        for world_rank, owned, placement in results:
+            assert placement == reference  # SPMD agreement
+            assert all(0 <= proc < active for proc in placement.values())
+            if world_rank >= active:
+                assert owned == []
 
     def test_simulator_owns_everything(self):
         comm = SimMPI(4)
@@ -156,7 +188,11 @@ class TestPartialCollectives:
             out = comm.allreduce(payloads, lambda x, y: x | y)
             return int(out[comm.owned_ranks()[0]]) if comm.owned_ranks() else None
 
-        assert all(v == 0b1111 for v in _spmd(world, program))
+        results = _spmd(world, program)
+        # idle processes of an oversubscribed world own nothing -> None
+        values = [v for v in results if v is not None]
+        assert len(values) == min(world, 4)
+        assert all(v == 0b1111 for v in values)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,354 @@
+"""Unit tests for the pluggable logical-rank→process placement layer.
+
+Covers the strategy algebra (``repro.runtime.partitioner``), placement
+validation, the environment/argument resolution chain, block migration and
+the online repartitioning hook, plus the ``--expect-reduction`` mode of
+``repro.perf.compare`` that gates the placement benchmark in CI.  The
+cross-world byte-identity sweeps live in
+``tests/test_partitioner_differential.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf.compare import compare_documents, parse_expect_reduction
+from repro.perf.schema import bench_document, bench_run_entry
+from repro.runtime import MPIBackend, ProcessGrid, run_spmd
+from repro.runtime.partitioner import (
+    PARTITIONER_ENV_VAR,
+    REPARTITION_ENV_VAR,
+    BlockCyclicPartitioner,
+    LocalityAwarePartitioner,
+    NnzAwarePartitioner,
+    RoundRobinPartitioner,
+    available_partitioners,
+    make_partitioner,
+    repartition_threshold,
+    resolve_partitioner_name,
+    verify_placement,
+)
+from repro.scenarios import SCENARIO_GENERATORS
+from repro.scenarios.replay import replay
+
+
+# ----------------------------------------------------------------------
+# strategy algebra
+# ----------------------------------------------------------------------
+class TestStrategies:
+    def test_round_robin_matches_historical_modulo(self):
+        placement = RoundRobinPartitioner().placement(9, 4)
+        assert placement == {r: r % 4 for r in range(9)}
+
+    def test_block_cyclic_deals_contiguous_runs(self):
+        placement = BlockCyclicPartitioner(block_size=2).placement(8, 2)
+        assert placement == {0: 0, 1: 0, 2: 1, 3: 1, 4: 0, 5: 0, 6: 1, 7: 1}
+        with pytest.raises(ValueError, match="block_size"):
+            BlockCyclicPartitioner(block_size=0)
+
+    def test_nnz_aware_lpt_balances_skewed_weights(self):
+        weights = {0: 100.0, 1: 10.0, 2: 10.0, 3: 80.0}
+        placement = NnzAwarePartitioner().placement(4, 2, weights=weights)
+        loads = [0.0, 0.0]
+        for rank, proc in placement.items():
+            loads[proc] += weights[rank]
+        assert sorted(loads) == [100.0, 100.0]
+
+    def test_nnz_aware_uniform_weights_reproduce_round_robin(self):
+        for n_ranks, world in ((9, 2), (9, 4), (16, 4), (4, 6)):
+            uniform = NnzAwarePartitioner().placement(n_ranks, world)
+            assert uniform == RoundRobinPartitioner().placement(n_ranks, world)
+
+    def test_nnz_aware_degenerate_weights_fall_back_to_uniform(self):
+        zeros = NnzAwarePartitioner().placement(6, 3, weights=[0.0] * 6)
+        assert zeros == RoundRobinPartitioner().placement(6, 3)
+        with pytest.raises(ValueError, match="cover all"):
+            NnzAwarePartitioner().placement(6, 3, weights=[1.0, 2.0])
+
+    def test_nnz_aware_is_deterministic(self):
+        weights = {r: float((r * 7) % 5) for r in range(9)}
+        first = NnzAwarePartitioner().placement(9, 4, weights=weights)
+        assert first == NnzAwarePartitioner().placement(9, 4, weights=weights)
+
+    def test_locality_aware_bands_keep_grid_columns_together(self):
+        """On a 3x3 grid at world 2 the factorisation is 1x2: two column
+        bands, so every grid column (the phase-1 redistribution group) is
+        intra-process."""
+        grid = ProcessGrid(9)
+        placement = LocalityAwarePartitioner().placement(9, 2, grid=grid)
+        for col in range(3):
+            owners = {placement[row * 3 + col] for row in range(3)}
+            assert len(owners) == 1
+        assert set(placement.values()) == {0, 1}
+
+    def test_locality_aware_square_world_is_block_partition(self):
+        grid = ProcessGrid(16)
+        placement = LocalityAwarePartitioner().placement(16, 4, grid=grid)
+        # 2x2 bands of the 4x4 grid: each process owns one contiguous tile
+        for rank, proc in placement.items():
+            row, col = divmod(rank, 4)
+            assert proc == (row // 2) * 2 + (col // 2)
+
+    def test_locality_aware_prime_world_falls_back_to_chunks(self):
+        grid = ProcessGrid(9)
+        placement = LocalityAwarePartitioner().placement(9, 5, grid=grid)
+        verify_placement(placement, 9, 5)
+        # contiguous row-major chunks: owners are non-decreasing
+        owners = [placement[r] for r in range(9)]
+        assert owners == sorted(owners)
+        assert set(owners) == set(range(5))
+
+    def test_locality_aware_surplus_ranks_deal_round_robin(self):
+        # 6 logical ranks on a fitted 2x2 grid: ranks 4, 5 are outside q²
+        grid = ProcessGrid(4)
+        placement = LocalityAwarePartitioner().placement(6, 2, grid=grid)
+        verify_placement(placement, 6, 2)
+        assert placement[4] == 0 and placement[5] == 1
+
+    @pytest.mark.parametrize("name", available_partitioners())
+    @pytest.mark.parametrize("n_ranks,world", [(1, 1), (4, 6), (9, 2), (16, 3)])
+    def test_every_strategy_produces_valid_placements(self, name, n_ranks, world):
+        placement = make_partitioner(name).placement(n_ranks, world)
+        verify_placement(placement, n_ranks, world)
+        active = min(world, n_ranks)
+        assert set(placement.values()) <= set(range(active))
+
+
+# ----------------------------------------------------------------------
+# placement validation
+# ----------------------------------------------------------------------
+class TestVerifyPlacement:
+    def test_missing_and_duplicate_ranks_rejected(self):
+        with pytest.raises(ValueError, match="exactly once"):
+            verify_placement({0: 0, 2: 0}, 3, 2)
+        with pytest.raises(ValueError, match="exactly once"):
+            verify_placement({0: 0}, 2, 2)
+
+    def test_idle_process_targets_rejected(self):
+        # world 6 over 4 ranks: active domain is [0, 4)
+        with pytest.raises(ValueError, match="active process domain"):
+            verify_placement({0: 0, 1: 1, 2: 2, 3: 5}, 4, 6)
+        with pytest.raises(ValueError, match="active process domain"):
+            verify_placement({0: -1, 1: 0}, 2, 2)
+
+    def test_valid_placement_passes(self):
+        verify_placement({0: 1, 1: 0, 2: 1}, 3, 2)
+
+
+# ----------------------------------------------------------------------
+# resolution: argument -> environment -> default
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_round_robin(self, monkeypatch):
+        monkeypatch.delenv(PARTITIONER_ENV_VAR, raising=False)
+        assert resolve_partitioner_name() == "round_robin"
+        assert isinstance(make_partitioner(), RoundRobinPartitioner)
+
+    def test_env_var_selects_strategy(self, monkeypatch):
+        monkeypatch.setenv(PARTITIONER_ENV_VAR, "locality_aware")
+        assert isinstance(make_partitioner(), LocalityAwarePartitioner)
+
+    def test_typos_raise_from_argument_and_environment(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            resolve_partitioner_name("nnz_awre")
+        monkeypatch.setenv(PARTITIONER_ENV_VAR, "roundrobin")
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner()
+
+    def test_instance_passthrough(self):
+        instance = BlockCyclicPartitioner(block_size=3)
+        assert make_partitioner(instance) is instance
+
+    def test_replay_validates_env_even_on_sim(self, monkeypatch):
+        scenario = SCENARIO_GENERATORS["grow_from_empty"](seed=2022)
+        monkeypatch.setenv(PARTITIONER_ENV_VAR, "no_such_strategy")
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            replay(scenario, backend="sim", n_ranks=4, layout="csr")
+
+
+# ----------------------------------------------------------------------
+# REPRO_REPARTITION parsing
+# ----------------------------------------------------------------------
+class TestRepartitionThreshold:
+    @pytest.mark.parametrize("raw", ["", "off", "0", "none", "false", "OFF"])
+    def test_disabled_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(REPARTITION_ENV_VAR, raw)
+        assert repartition_threshold() is None
+
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv(REPARTITION_ENV_VAR, raising=False)
+        assert repartition_threshold() is None
+
+    def test_valid_ratio(self, monkeypatch):
+        monkeypatch.setenv(REPARTITION_ENV_VAR, "1.5")
+        assert repartition_threshold() == 1.5
+
+    @pytest.mark.parametrize("raw", ["1.0", "0.5", "-2"])
+    def test_ratio_at_or_below_one_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(REPARTITION_ENV_VAR, raw)
+        with pytest.raises(ValueError, match="strictly greater than 1"):
+            repartition_threshold()
+
+    def test_junk_raises(self, monkeypatch):
+        monkeypatch.setenv(REPARTITION_ENV_VAR, "sometimes")
+        with pytest.raises(ValueError, match="ratio > 1 or 'off'"):
+            repartition_threshold()
+
+
+# ----------------------------------------------------------------------
+# migration and the online repartitioning hook
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("ignore:MPI world of 3 processes:RuntimeWarning")
+class TestMigration:
+    def test_migrate_ownership_moves_blocks(self):
+        def wrapped(comm_obj, world_rank):
+            comm = MPIBackend(4, comm=comm_obj)
+            blocks = {rank: f"block-{rank}" for rank in comm.owned_ranks()}
+            # round-robin start: process 0 owns {0, 2}, process 1 owns
+            # {1, 3}; this map swaps every block to the other process
+            new_placement = {0: 1, 1: 0, 2: 1, 3: 0}
+            moved = comm.migrate_ownership(new_placement, [blocks])
+            return world_rank, moved, blocks, comm.placement()
+
+        for world_rank, moved, blocks, placement in run_spmd(2, wrapped):
+            assert placement == {0: 1, 1: 0, 2: 1, 3: 0}
+            assert moved == 2  # this process shipped both of its blocks
+            owned = {r for r, p in placement.items() if p == world_rank}
+            assert set(blocks) == owned
+            assert all(blocks[r] == f"block-{r}" for r in owned)
+
+    def test_migration_is_charged_as_interprocess_traffic(self):
+        def wrapped(comm_obj, world_rank):
+            comm = MPIBackend(4, comm=comm_obj)
+            blocks = {rank: np.arange(100) for rank in comm.owned_ranks()}
+            before = comm.global_interprocess_comm()
+            comm.migrate_ownership({0: 1, 1: 0, 2: 0, 3: 1}, [blocks])
+            return before, comm.global_interprocess_comm()
+
+        for before, after in run_spmd(2, wrapped):
+            assert after["bytes"] > before["bytes"]
+            assert after["messages"] > before["messages"]
+
+    def test_repartition_hook_preserves_results(self, monkeypatch):
+        """An aggressively low threshold forces mid-replay migrations; the
+        scenario outcome must stay byte-identical to the simulator's."""
+        scenario = SCENARIO_GENERATORS["bursty_skewed_stream"](seed=2022)
+        reference = replay(scenario, backend="sim", n_ranks=9, layout="csr")
+        monkeypatch.setenv(REPARTITION_ENV_VAR, "1.01")
+
+        def wrapped(comm_obj, world_rank):
+            comm = MPIBackend(9, comm=comm_obj)
+            result = replay(scenario, comm=comm, layout="csr")
+            return result, comm.placement()
+
+        results = run_spmd(2, wrapped)
+        start = RoundRobinPartitioner().placement(9, 2)
+        assert any(placement != start for _, placement in results)
+        for result, _ in results:
+            assert np.array_equal(result.final_a[0], reference.final_a[0])
+            assert np.array_equal(result.final_a[1], reference.final_a[1])
+            assert np.array_equal(result.final_a[2], reference.final_a[2])
+            assert result.applied_counts == reference.applied_counts
+            # migrations add redistribution traffic by design; every other
+            # communication category must stay byte-identical
+            signature = dict(result.comm_signature())
+            expected = dict(reference.comm_signature())
+            moved_extra = signature.pop("redist_comm")
+            assert moved_extra > expected.pop("redist_comm")
+            assert signature == expected
+
+    def test_oversubscribed_world_keeps_surplus_idle_after_migration(self):
+        def wrapped(comm_obj, world_rank):
+            comm = MPIBackend(2, comm=comm_obj)
+            blocks = {rank: rank for rank in comm.owned_ranks()}
+            comm.migrate_ownership({0: 1, 1: 0}, [blocks])
+            return world_rank, sorted(blocks)
+
+        for world_rank, owned in run_spmd(3, wrapped):
+            if world_rank == 2:
+                assert owned == []
+
+
+# ----------------------------------------------------------------------
+# compare --expect-reduction (the CI partition gate)
+# ----------------------------------------------------------------------
+def _doc(bytes_: float, share: float) -> dict:
+    run = bench_run_entry(
+        backend="mpi",
+        layout="csr",
+        repeats=1,
+        elapsed_seconds_median=1.0,
+        phase_seconds_median={},
+        phase_calls={},
+        counters={"partition.max_nnz_share": share},
+        comm={"messages": 10.0, "bytes": bytes_},
+    )
+    return bench_document(
+        figure="partition",
+        title="test",
+        seed=0,
+        profile="test",
+        n_ranks=9,
+        runs=[run],
+        sha="deadbeef",
+    )
+
+
+class TestExpectReduction:
+    def test_met_reduction_passes_and_checks_only_requested_metrics(self):
+        # bytes drop 50%; nnz share got *worse* but is not requested
+        report = compare_documents(
+            _doc(1000.0, 0.4),
+            _doc(500.0, 0.9),
+            expect_reduction={"comm.bytes": 0.2},
+        )
+        assert not report.regressed
+        assert report.compared_metrics == 1
+
+    def test_unmet_reduction_fails(self):
+        report = compare_documents(
+            _doc(1000.0, 0.4),
+            _doc(900.0, 0.4),
+            expect_reduction={"comm.bytes": 0.2},
+        )
+        assert report.regressed
+        assert "comm.bytes" in report.regressions[0].metric
+
+    def test_counter_metric_path(self):
+        report = compare_documents(
+            _doc(1000.0, 0.6),
+            _doc(2000.0, 0.3),
+            expect_reduction={"counters.partition.max_nnz_share": 0.25},
+        )
+        assert not report.regressed
+
+    def test_unknown_counter_raises(self):
+        with pytest.raises(ValueError, match="no counter"):
+            compare_documents(
+                _doc(1.0, 0.5),
+                _doc(1.0, 0.5),
+                expect_reduction={"counters.nope": 0.1},
+            )
+
+    def test_bad_fractions_and_mode_mixing_rejected(self):
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            compare_documents(
+                _doc(1.0, 0.5), _doc(1.0, 0.5), expect_reduction={"comm.bytes": 1.5}
+            )
+        with pytest.raises(ValueError, match="exclusive"):
+            compare_documents(
+                _doc(1.0, 0.5),
+                _doc(1.0, 0.5),
+                expect_speedup=0.2,
+                expect_reduction={"comm.bytes": 0.2},
+            )
+
+    def test_cli_spec_parsing(self):
+        assert parse_expect_reduction(None) is None
+        assert parse_expect_reduction(["comm.bytes=0.2", "counters.x=0.5"]) == {
+            "comm.bytes": 0.2,
+            "counters.x": 0.5,
+        }
+        with pytest.raises(ValueError, match="METRIC=FRACTION"):
+            parse_expect_reduction(["comm.bytes"])

@@ -216,6 +216,27 @@ class TestPermutationAndPartitioning:
         assert sizes.count(0) == 6
         assert all(max(s, 0) in (0, 1) for s in sizes)
 
+    def test_default_seed_still_shuffles(self):
+        """Regression: ``seed=None`` used to skip the shuffle entirely,
+        dealing tuples in generation order — which correlates generator
+        burst skew with rank assignment.  The default seed is now derived
+        from the batch geometry, so the shuffle is unconditional *and*
+        reproducible."""
+        rows = np.arange(40, dtype=np.int64)
+        cols = rows.copy()
+        vals = rows.astype(np.float64)
+        a = partition_tuples_round_robin(rows, cols, vals, 4)
+        b = partition_tuples_round_robin(rows, cols, vals, 4)
+        for rank in range(4):
+            assert np.array_equal(a[rank][0], b[rank][0])  # deterministic
+        # generation order would give rank 0 exactly 0, 4, 8, ...
+        in_order = all(
+            np.array_equal(a[rank][0], rows[rank::4]) for rank in range(4)
+        )
+        assert not in_order
+        gathered = np.sort(np.concatenate([a[rank][0] for rank in range(4)]))
+        assert np.array_equal(gathered, rows)
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError, match="identical lengths"):
             partition_tuples_round_robin(
