@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Checkpoint/restore benchmark: snapshot cost and recovery traffic.
+
+For each (backend, layout) cell the bench replays the dynamic-SpGEMM
+trace (``mixed_update_multiply`` — the richest state: matrix, static
+operand, maintained product) through a checkpointed kill-and-recover
+drill and reports the durable-snapshot economics as counters of a
+schema-validated ``BENCH_checkpoint.json``:
+
+``counters["checkpoint.snapshot_bytes"]``
+    Size of the versioned ``.npz`` snapshot file on disk.
+
+``counters["checkpoint.save_seconds"]`` / ``checkpoint.restore_seconds``
+    Median wall-clock latency of :func:`~repro.scenarios.save_snapshot`
+    (flatten + compress + write) and :func:`~repro.scenarios.load_snapshot`
+    (read + schema check + rebuild) over ``--repeats`` repetitions.
+
+``counters["checkpoint.recovery_bytes"]`` / ``checkpoint.recovery_messages``
+    The traffic the drill charged to the ``recovery`` category while
+    shipping snapshot blocks back into the rebuilt world — the byte cost
+    of one crash at the drill's kill point.
+
+Every cell also *verifies* the fault-tolerance contract: the recovered
+run's final tuples and non-recovery communication signature must be
+byte-identical to the uninterrupted reference, and the process exits
+non-zero on any mismatch — so the perf-smoke CI leg doubles as a
+round-trip gate.
+
+CI usage (the perf-smoke checkpoint gate)::
+
+    python benchmarks/bench_checkpoint.py --out bench_out
+    python -m repro.perf.schema bench_out/BENCH_checkpoint.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+import warnings
+from typing import Any
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.perf import bench_document, bench_run_entry
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.scenarios import (
+    REPLAY_LAYOUTS,
+    SCENARIO_GENERATORS,
+    CheckpointStore,
+    load_snapshot,
+    replay,
+    save_snapshot,
+    with_checkpoint,
+    with_crash,
+)
+
+SCENARIO = "mixed_update_multiply"
+CHECKPOINT_AT = 3
+CRASH_AT = 5
+DEFAULT_BACKENDS = ("sim", "mpi")
+DEFAULT_REPEATS = 3
+DEFAULT_SEED = 2022
+N_RANKS = 4
+
+
+class RoundTripMismatch(RuntimeError):
+    """The recovered run diverged from the uninterrupted reference."""
+
+
+def _check_identical(reference, recovered, *, what: str) -> None:
+    for a, b in zip(reference.final_a, recovered.final_a):
+        if not np.array_equal(a, b):
+            raise RoundTripMismatch(f"{what}: final tuples diverged after restore")
+    signature = dict(recovered.comm_signature())
+    signature.pop("recovery", None)
+    if signature != dict(reference.comm_signature()):
+        raise RoundTripMismatch(f"{what}: non-recovery comm volume diverged")
+
+
+def measure_cell(
+    *,
+    backend: str,
+    layout: str,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """One ``runs[]`` entry: a (backend, layout) kill-and-recover drill."""
+    scenario = SCENARIO_GENERATORS[SCENARIO](seed=seed)
+    base = with_checkpoint(scenario, at=CHECKPOINT_AT)
+    drill = with_crash(base, at=CRASH_AT)
+
+    with warnings.catch_warnings():
+        # the emulated-mpi backend warns once when mpi4py is absent
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reference = replay(base, backend=backend, n_ranks=N_RANKS, layout=layout)
+        elapsed: list[float] = []
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            store = CheckpointStore(tmp_dir)
+            started = time.perf_counter()
+            recovered = replay(
+                drill,
+                backend=backend,
+                n_ranks=N_RANKS,
+                layout=layout,
+                checkpoint_store=store,
+                faults=FaultInjector(FaultPlan()),
+                on_crash="restore",
+            )
+            elapsed.append(time.perf_counter() - started)
+            _check_identical(reference, recovered, what=f"{backend}/{layout}")
+
+            snapshot_path = store._path("default", 0)
+            snapshot_bytes = os.path.getsize(snapshot_path)
+            snapshot = store.load("default", 0)
+            save_times: list[float] = []
+            load_times: list[float] = []
+            for _ in range(max(repeats, 1)):
+                started = time.perf_counter()
+                save_snapshot(snapshot_path, snapshot)
+                save_times.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                load_snapshot(snapshot_path)
+                load_times.append(time.perf_counter() - started)
+
+    recovery = recovered.comm_stats.get("recovery", {})
+    entry = bench_run_entry(
+        backend=backend,
+        layout=layout,
+        repeats=repeats,
+        elapsed_seconds_median=float(statistics.median(elapsed)),
+        phase_seconds_median={},
+        phase_calls={},
+        counters={
+            "checkpoint.snapshot_bytes": float(snapshot_bytes),
+            "checkpoint.save_seconds": float(statistics.median(save_times)),
+            "checkpoint.restore_seconds": float(statistics.median(load_times)),
+            "checkpoint.recovery_bytes": float(recovery.get("bytes", 0)),
+            "checkpoint.recovery_messages": float(recovery.get("messages", 0)),
+        },
+        comm={
+            "messages": float(recovered.total_comm_messages()),
+            "bytes": float(recovered.total_comm_bytes()),
+        },
+    )
+    entry["scenario"] = f"{SCENARIO}@kill{CRASH_AT}"
+    return entry
+
+
+def build_document(
+    *,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    layouts: tuple[str, ...] = REPLAY_LAYOUTS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """Assemble the ``BENCH_checkpoint`` document for the requested cells."""
+    runs = [
+        measure_cell(backend=backend, layout=layout, repeats=repeats, seed=seed)
+        for backend in backends
+        for layout in layouts
+    ]
+    extras: dict[str, Any] = {
+        "scenario": SCENARIO,
+        "checkpoint_at": CHECKPOINT_AT,
+        "crash_at": CRASH_AT,
+        "round_trip_verified": True,
+    }
+    return bench_document(
+        figure="checkpoint",
+        title="Checkpoint/restore cost and crash-recovery traffic",
+        seed=seed,
+        profile="checkpoint",
+        n_ranks=N_RANKS,
+        runs=runs,
+        extras=extras,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backends",
+        default=",".join(DEFAULT_BACKENDS),
+        help="comma-separated backends to measure (default %(default)s)",
+    )
+    parser.add_argument(
+        "--layouts",
+        default=",".join(REPLAY_LAYOUTS),
+        help="comma-separated layouts to measure (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="save/load timing repeats; medians are reported (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="bench_out", help="output directory (default %(default)s)"
+    )
+    parser.add_argument(
+        "--filename",
+        default="BENCH_checkpoint.json",
+        help="output file name (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="base seed")
+    args = parser.parse_args(argv)
+    backends = tuple(field for field in args.backends.split(",") if field)
+    layouts = tuple(field for field in args.layouts.split(",") if field)
+    started = time.perf_counter()
+    try:
+        document = build_document(
+            backends=backends, layouts=layouts, repeats=args.repeats, seed=args.seed
+        )
+    except RoundTripMismatch as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, args.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {path}  ({len(document['runs'])} runs, "
+        f"{time.perf_counter() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,7 +63,7 @@ from repro.sparse import DHBMatrix
 DEFAULT_BACKENDS = ("sim", "mpi")
 DEFAULT_LAYOUTS = ("csr", "dhb")
 DEFAULT_REPEATS = 3
-KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps", "overlap", "partition")
+KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps", "overlap", "partition", "checkpoint")
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +333,31 @@ def run_suite(
 
             document = build_partition_document(
                 partitioners=tuple(available_partitioners()),
+                repeats=repeats,
+                seed=seed if seed else 2022,
+            )
+            if _write_document(document, fig, out_dir, started, len(document["runs"])):
+                written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
+            continue
+        if fig == "checkpoint":
+            # Delegates to benchmarks/bench_checkpoint.py: one run entry
+            # per (backend, layout) kill-and-recover drill reporting
+            # snapshot size, save/restore latency and recovery traffic.
+            # The profile knob does not apply — the drill pins its own
+            # trace and kill point; every cell is round-trip verified
+            # against the uninterrupted reference before it is reported.
+            sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+            from bench_checkpoint import build_document as build_checkpoint_document
+            from repro.runtime.mpi_backend import world_size
+
+            # Crash recovery is an in-process protocol (the mpiexec durable
+            # drill is tools/mpi_restore_drill.py), so under a real
+            # multi-process launch every rank measures its own in-process
+            # drill on the sim backend instead of the shared COMM_WORLD.
+            drill_backends = ("sim",) if world_size() > 1 else tuple(backends)
+            document = build_checkpoint_document(
+                backends=drill_backends,
+                layouts=tuple(layouts),
                 repeats=repeats,
                 seed=seed if seed else 2022,
             )

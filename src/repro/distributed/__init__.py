@@ -13,6 +13,9 @@ This package implements Section IV of the paper:
   blocks, in-place updates) and :class:`StaticDistMatrix` (CSR/DCSR blocks).
 * :mod:`repro.distributed.updates` — batch-update representation and the
   construction of distributed (hypersparse, DCSR) update matrices.
+* :mod:`repro.distributed.serialization` — faithful block codecs used by
+  the checkpoint/restore subsystem (adjacency order, capacities and bloom
+  insertion order all survive the round trip).
 """
 
 from repro.distributed.distribution import BlockDistribution, IndexPermutation
@@ -31,6 +34,13 @@ from repro.distributed.updates import (
     build_update_matrix,
     partition_tuples_round_robin,
 )
+from repro.distributed.serialization import (
+    BlockCodecError,
+    decode_block,
+    decode_bloom,
+    encode_block,
+    encode_bloom,
+)
 
 __all__ = [
     "BlockDistribution",
@@ -44,4 +54,9 @@ __all__ = [
     "UpdateBatch",
     "build_update_matrix",
     "partition_tuples_round_robin",
+    "BlockCodecError",
+    "encode_block",
+    "decode_block",
+    "encode_bloom",
+    "decode_bloom",
 ]

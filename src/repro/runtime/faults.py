@@ -1,0 +1,329 @@
+"""Deterministic fault injection for SimMPI and loopback worlds.
+
+A :class:`FaultPlan` describes *what goes wrong and when* — process kills at
+chosen scenario step indices, probabilistic message drops, probabilistic
+message delays — parsed from the ``REPRO_FAULTS`` environment variable (or
+built programmatically).  A :class:`FaultInjector` executes one plan
+deterministically: the same spec and seed always kill the same step and
+charge the same recovery traffic, so a fault drill is as replayable as the
+trace it interrupts.
+
+``REPRO_FAULTS`` grammar (``;``-separated clauses, order-free)::
+
+    kill@<step>              kill the world when step <step> is reached
+    kill@<step>:proc=<p>     kill only loopback process <p> at step <step>
+    drop=1/<N>               drop (and retransmit) ~1 in N messages
+    delay=1/<N>:<seconds>    delay ~1 in N messages by <seconds> (modeled)
+    seed=<s>                 RNG seed for the drop/delay draws (default 0)
+
+Example: ``REPRO_FAULTS="kill@3;drop=1/50;seed=7"``.
+
+Faults never corrupt results: a dropped message is charged once in its
+nominal category (the payload is assumed retransmitted) and once more in
+:data:`repro.runtime.stats.StatCategory.RECOVERY` for the retransmission,
+so all non-recovery categories stay byte-identical to a fault-free run.
+Delays add modelled seconds only.  Kills raise :class:`SimulatedCrash`,
+which :func:`repro.scenarios.replay.replay` converts into a
+retry-or-restore recovery depending on its ``on_crash`` policy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.stats import set_fault_hook
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "SimulatedCrash",
+    "FaultPlanError",
+    "FaultPlan",
+    "FaultInjector",
+    "faults_from_env",
+]
+
+#: Environment variable holding the fault specification.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised at a kill point; carries the step index and victim process."""
+
+    def __init__(self, step_index: int, process: int | None = None) -> None:
+        where = f"step {step_index}"
+        if process is not None:
+            where += f" on process {process}"
+        super().__init__(f"injected crash at {where}")
+        self.step_index = int(step_index)
+        self.process = None if process is None else int(process)
+
+
+class FaultPlanError(ValueError):
+    """A ``REPRO_FAULTS`` specification could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable description of the faults to inject into one run."""
+
+    #: ``(step_index, process-or-None)`` kill points; ``None`` kills the
+    #: whole world regardless of which process reaches the step first.
+    kills: tuple[tuple[int, int | None], ...] = ()
+    #: drop one message in ``drop_one_in`` (0 disables dropping)
+    drop_one_in: int = 0
+    #: delay one message in ``delay_one_in`` (0 disables delays)
+    delay_one_in: int = 0
+    #: modelled seconds added to each delayed message
+    delay_seconds: float = 0.0
+    #: seed for the drop/delay pseudo-random draws
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar into a plan."""
+        kills: list[tuple[int, int | None]] = []
+        drop_one_in = 0
+        delay_one_in = 0
+        delay_seconds = 0.0
+        seed = 0
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            try:
+                if clause.startswith("kill@"):
+                    body = clause[len("kill@") :]
+                    process: int | None = None
+                    if ":" in body:
+                        body, opt = body.split(":", 1)
+                        if not opt.startswith("proc="):
+                            raise FaultPlanError(
+                                f"unknown kill option {opt!r} (want proc=<p>)"
+                            )
+                        process = int(opt[len("proc=") :])
+                    kills.append((int(body), process))
+                elif clause.startswith("drop="):
+                    drop_one_in = _parse_one_in(clause[len("drop=") :])
+                elif clause.startswith("delay="):
+                    body = clause[len("delay=") :]
+                    if ":" not in body:
+                        raise FaultPlanError(
+                            "delay clause must be delay=1/<N>:<seconds>"
+                        )
+                    ratio, seconds = body.split(":", 1)
+                    delay_one_in = _parse_one_in(ratio)
+                    delay_seconds = float(seconds)
+                elif clause.startswith("seed="):
+                    seed = int(clause[len("seed=") :])
+                else:
+                    raise FaultPlanError(f"unknown fault clause {clause!r}")
+            except FaultPlanError:
+                raise
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"malformed fault clause {clause!r}: {exc}"
+                ) from exc
+        return cls(
+            kills=tuple(kills),
+            drop_one_in=drop_one_in,
+            delay_one_in=delay_one_in,
+            delay_seconds=delay_seconds,
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        """Round-trippable textual form of the plan."""
+        clauses = []
+        for step, process in self.kills:
+            clauses.append(
+                f"kill@{step}" if process is None else f"kill@{step}:proc={process}"
+            )
+        if self.drop_one_in:
+            clauses.append(f"drop=1/{self.drop_one_in}")
+        if self.delay_one_in:
+            clauses.append(f"delay=1/{self.delay_one_in}:{self.delay_seconds}")
+        clauses.append(f"seed={self.seed}")
+        return ";".join(clauses)
+
+
+def _parse_one_in(text: str) -> int:
+    if not text.startswith("1/"):
+        raise FaultPlanError(f"expected a 1/<N> ratio, got {text!r}")
+    value = int(text[2:])
+    if value <= 0:
+        raise FaultPlanError(f"1/<N> ratio needs N >= 1, got {value}")
+    return value
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` deterministically.
+
+    The injector has two duties:
+
+    * :meth:`check_step` — consulted by the replay loop at every step
+      boundary; raises :class:`SimulatedCrash` the *first* time an armed
+      kill point is reached (recovery replays the same step without the
+      crash refiring, because fired kills are remembered).
+    * the message hook — installed into
+      :func:`repro.runtime.stats.set_fault_hook` while :meth:`activate` is
+      in effect; draws drop/delay decisions from a dedicated, seeded
+      counter-based stream (one draw per recorded message batch) and
+      returns the retransmission/delay charge for the ``recovery``
+      category.
+
+    Drop/delay draws hash a per-injector counter with the plan seed, so
+    determinism survives thread interleaving in loopback worlds: the k-th
+    recorded observation of each process sees the same draw on every run.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._fired_kills: set[tuple] = set()
+        self._lock = threading.Lock()
+        self._counters: dict[int, int] = {}
+        self._active = threading.local()
+
+    # ------------------------------------------------------------------
+    def check_step(self, step_index: int, process: int | None = None) -> None:
+        """Raise :class:`SimulatedCrash` when an unfired kill point matches."""
+        for kill_step, kill_process in self.plan.kills:
+            if kill_step != step_index:
+                continue
+            if kill_process is not None and process is not None:
+                if kill_process != process:
+                    continue
+            self._fire_once(("kill", kill_step, kill_process), step_index, kill_process)
+
+    def fire_crash(
+        self, step_index: int, victim: int | None, process: int | None = None
+    ) -> None:
+        """Fire an explicit :class:`~repro.scenarios.model.CrashStep` once.
+
+        ``victim`` restricts the kill to one process; non-victim callers
+        pass through unharmed.  Like plan kills, a fired crash point is
+        remembered so the recovered run replays the step as a no-op.
+        """
+        if victim is not None and process is not None and victim != process:
+            return
+        self._fire_once(("crash", step_index, victim), step_index, victim)
+
+    def _fire_once(
+        self, key: tuple, step_index: int, victim: int | None
+    ) -> None:
+        with self._lock:
+            if key in self._fired_kills:
+                return
+            self._fired_kills.add(key)
+        raise SimulatedCrash(step_index, victim)
+
+    def reset_kills(self) -> None:
+        """Forget fired kill points (so a fresh run re-arms the plan)."""
+        with self._lock:
+            self._fired_kills.clear()
+            self._counters.clear()
+
+    # ------------------------------------------------------------------
+    def activate(self, process: int = 0) -> "_InjectorActivation":
+        """Context manager arming the message hook for the calling thread."""
+        return _InjectorActivation(self, int(process))
+
+    def _draw(self, process: int) -> float:
+        with self._lock:
+            count = self._counters.get(process, 0)
+            self._counters[process] = count + 1
+        # A tiny counter-based PRNG: one independent uniform per
+        # (seed, process, count) triple, stable under thread scheduling.
+        seq = np.random.SeedSequence(
+            entropy=self.plan.seed, spawn_key=(process, count)
+        )
+        return float(np.random.default_rng(seq).random())
+
+    def on_message(
+        self, process: int, category: str, messages: int, nbytes: int
+    ) -> tuple[int, int, float] | None:
+        """Drop/delay decision for one recorded observation."""
+        plan = self.plan
+        if not plan.drop_one_in and not plan.delay_one_in:
+            return None
+        draw = self._draw(process)
+        if plan.drop_one_in and draw < 1.0 / plan.drop_one_in:
+            # the whole batch is retransmitted once
+            return (int(messages), int(nbytes), 0.0)
+        if plan.delay_one_in and draw < 1.0 / plan.delay_one_in:
+            return (0, 0, float(plan.delay_seconds))
+        return None
+
+
+@dataclass
+class _InjectorActivation:
+    """Arms the global stats fault hook for one ``with`` block."""
+
+    injector: FaultInjector
+    process: int
+    _previous_active: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> FaultInjector:
+        local = self.injector._active
+        self._previous_active = getattr(local, "armed", False)
+        local.armed = True
+        local.process = self.process
+        _install_shared_hook(self.injector)
+        return self.injector
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.injector._active.armed = self._previous_active
+        _release_shared_hook(self.injector)
+
+
+# One process-wide hook dispatches to whichever injector armed the calling
+# thread; a refcount tracks nested/concurrent activations so the hook is
+# uninstalled only when the last activation exits.
+_HOOK_LOCK = threading.Lock()
+_HOOK_USERS: dict[int, int] = {}
+_HOOK_INJECTORS: dict[int, FaultInjector] = {}
+
+
+def _shared_hook(
+    category: str, messages: int, nbytes: int
+) -> tuple[int, int, float] | None:
+    for injector in list(_HOOK_INJECTORS.values()):
+        local = injector._active
+        if getattr(local, "armed", False):
+            return injector.on_message(
+                getattr(local, "process", 0), category, messages, nbytes
+            )
+    return None
+
+
+def _install_shared_hook(injector: FaultInjector) -> None:
+    with _HOOK_LOCK:
+        key = id(injector)
+        _HOOK_USERS[key] = _HOOK_USERS.get(key, 0) + 1
+        _HOOK_INJECTORS[key] = injector
+        set_fault_hook(_shared_hook)
+
+
+def _release_shared_hook(injector: FaultInjector) -> None:
+    with _HOOK_LOCK:
+        key = id(injector)
+        count = _HOOK_USERS.get(key, 0) - 1
+        if count <= 0:
+            _HOOK_USERS.pop(key, None)
+            _HOOK_INJECTORS.pop(key, None)
+        else:
+            _HOOK_USERS[key] = count
+        if not _HOOK_INJECTORS:
+            set_fault_hook(None)
+
+
+def faults_from_env(env: "os._Environ[str] | dict[str, str] | None" = None) -> FaultPlan | None:
+    """The :class:`FaultPlan` selected by ``REPRO_FAULTS`` (or ``None``)."""
+    source = os.environ if env is None else env
+    spec = source.get(FAULTS_ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return FaultPlan.parse(spec)

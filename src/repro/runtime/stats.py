@@ -15,10 +15,32 @@ and diffs these counters to regenerate the breakdown figures.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable, Iterator
 
-__all__ = ["StatCategory", "CategoryTotals", "CommStats"]
+__all__ = [
+    "StatCategory",
+    "CategoryTotals",
+    "CommStats",
+    "set_fault_hook",
+]
+
+#: Optional fault-injection hook consulted on every recorded observation
+#: that moves messages.  Installed by :mod:`repro.runtime.faults`; returns
+#: ``(retransmitted_messages, retransmitted_bytes, delay_seconds)`` for the
+#: traffic the injected faults add (charged to ``StatCategory.RECOVERY``),
+#: or ``None`` when no fault fires.  Kept here (not in the backends) so one
+#: hook covers every communicator that funnels through ``CommStats``.
+_FAULT_HOOK: "Callable[[str, int, int], tuple[int, int, float] | None] | None" = None
+
+
+def set_fault_hook(
+    hook: "Callable[[str, int, int], tuple[int, int, float] | None] | None",
+) -> None:
+    """Install (or clear, with ``None``) the global fault-injection hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
 
 
 class StatCategory:
@@ -46,6 +68,13 @@ class StatCategory:
     GATHER = "gather"
     LOCAL_COMPUTE = "local_compute"
     OTHER = "other"
+
+    #: traffic spent recovering from a fault: shipping snapshot blocks back
+    #: into a rebuilt world, retransmitting dropped messages, and the
+    #: modelled delay of slowed ones.  Kept out of every other category so
+    #: a crash-and-restore run stays byte-comparable to the uninterrupted
+    #: run on all non-recovery categories.
+    RECOVERY = "recovery"
 
     INSERTION_BREAKDOWN = (
         REDIST_SORT,
@@ -89,6 +118,17 @@ class CategoryTotals:
         self.modeled_seconds += modeled_seconds
         self.measured_seconds += measured_seconds
 
+    @classmethod
+    def from_dict(cls, data: "dict[str, float]") -> "CategoryTotals":
+        """Rebuild totals from their :meth:`as_dict` form."""
+        return cls(
+            operations=int(data.get("operations", 0)),
+            messages=int(data.get("messages", 0)),
+            bytes=int(data.get("bytes", 0)),
+            modeled_seconds=float(data.get("modeled_seconds", 0.0)),
+            measured_seconds=float(data.get("measured_seconds", 0.0)),
+        )
+
     def copy(self) -> "CategoryTotals":
         """An independent copy of the totals."""
         return CategoryTotals(
@@ -125,6 +165,11 @@ class CommStats:
     """Accumulates per-category totals for a simulated run."""
 
     categories: dict[str, CategoryTotals] = field(default_factory=dict)
+    #: when set, every recorded observation lands in this category instead
+    #: of its nominal one — the restore path uses it so any traffic during
+    #: state reconstruction is accounted as recovery, never as ordinary
+    #: protocol traffic (which must stay byte-identical to a clean run)
+    redirect_to: str | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def category(self, name: str) -> CategoryTotals:
@@ -146,12 +191,48 @@ class CommStats:
         measured_seconds: float = 0.0,
     ) -> None:
         """Add an observation to category ``name``."""
+        if self.redirect_to is not None:
+            name = self.redirect_to
         self.category(name).add(
             operations=operations,
             messages=messages,
             nbytes=nbytes,
             modeled_seconds=modeled_seconds,
             measured_seconds=measured_seconds,
+        )
+        if (
+            _FAULT_HOOK is not None
+            and messages > 0
+            and name != StatCategory.RECOVERY
+        ):
+            fault = _FAULT_HOOK(name, messages, nbytes)
+            if fault is not None:
+                retrans_messages, retrans_bytes, delay_seconds = fault
+                self.category(StatCategory.RECOVERY).add(
+                    operations=1,
+                    messages=retrans_messages,
+                    nbytes=retrans_bytes,
+                    modeled_seconds=delay_seconds,
+                )
+
+    @contextmanager
+    def redirect(self, name: str) -> "Iterator[CommStats]":
+        """Route every observation recorded inside the block into ``name``."""
+        previous = self.redirect_to
+        self.redirect_to = name
+        try:
+            yield self
+        finally:
+            self.redirect_to = previous
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, dict[str, float]]") -> "CommStats":
+        """Rebuild statistics from their :meth:`as_dict` form."""
+        return cls(
+            categories={
+                name: CategoryTotals.from_dict(totals)
+                for name, totals in data.items()
+            }
         )
 
     # ------------------------------------------------------------------

@@ -11,23 +11,37 @@ Module map
 ``model``       :class:`Scenario` (the declarative, fully seeded trace),
                 the step types :class:`InsertBatch`, :class:`DeleteBatch`,
                 :class:`ValueUpdateBatch`, :class:`SpGEMMStep`,
-                :class:`SnapshotCheck`, the application pieces
+                :class:`SnapshotCheck`, the fault-tolerance steps
+                :class:`CheckpointStep` / :class:`RestoreStep` /
+                :class:`CrashStep`, the application pieces
                 :class:`AppSpec` / :class:`TriangleCountCheck` /
                 :class:`ShortestPathCheck` / :class:`ContractStep`, and the
                 structured results :class:`ScenarioResult` /
                 :class:`StepStats` / :class:`AppQueryResult`.
 ``generators``  The trace library: ``grow_from_empty``,
                 ``steady_state_churn``, ``sliding_window``,
-                ``bursty_skewed_stream``, ``mixed_update_multiply``, plus
-                the application traces ``social_triangle_stream``,
-                ``road_churn_sssp``, ``multilevel_contraction``;
+                ``bursty_skewed_stream``, ``mixed_update_multiply``, the
+                application traces ``social_triangle_stream``,
+                ``road_churn_sssp``, ``multilevel_contraction``, plus the
+                adversarial traces ``hotspot_vertex_stream``,
+                ``oscillating_insert_delete``,
+                ``dhb_bucket_collision_stream``;
                 registry ``SCENARIO_GENERATORS`` and
                 :func:`library_scenarios`.
 ``replay``      :func:`replay` — run any scenario on any communicator
                 backend, rank count and local layout (``REPLAY_LAYOUTS``),
                 through :class:`NativeExecutor` (the paper's machinery,
                 app-aware on :class:`AppSpec` scenarios) or
-                :class:`CompetitorExecutor` (benchmark backends).
+                :class:`CompetitorExecutor` (benchmark backends), with
+                fault injection (``faults=``) and retry-or-restore crash
+                recovery (``on_crash=``).
+``checkpoint``  Durable snapshots and the drill helpers:
+                :func:`build_snapshot` / :func:`restore_state`,
+                :func:`save_snapshot` / :func:`load_snapshot`,
+                :class:`CheckpointStore`, :func:`scenario_fingerprint`,
+                the trace editors :func:`with_checkpoint` /
+                :func:`with_crash`, and the loopback drill loop
+                :func:`run_with_recovery` / :func:`crash_cause`.
 ==============  ==========================================================
 
 A scenario materialises all randomness at generation time (per-step tuples
@@ -41,9 +55,12 @@ from repro.scenarios.model import (
     AppQueryResult,
     AppQueryStep,
     AppSpec,
+    CheckpointStep,
     ContractStep,
+    CrashStep,
     DeleteBatch,
     InsertBatch,
+    RestoreStep,
     Scenario,
     ScenarioResult,
     ScenarioStep,
@@ -59,10 +76,13 @@ from repro.scenarios.model import (
 from repro.scenarios.generators import (
     SCENARIO_GENERATORS,
     bursty_skewed_stream,
+    dhb_bucket_collision_stream,
     grow_from_empty,
+    hotspot_vertex_stream,
     library_scenarios,
     mixed_update_multiply,
     multilevel_contraction,
+    oscillating_insert_delete,
     road_churn_sssp,
     sliding_window,
     social_triangle_stream,
@@ -74,6 +94,21 @@ from repro.scenarios.replay import (
     NativeExecutor,
     ScenarioCheckError,
     replay,
+)
+from repro.scenarios.checkpoint import (
+    SNAPSHOT_VERSION,
+    CheckpointStore,
+    SnapshotFormatError,
+    build_snapshot,
+    check_snapshot,
+    crash_cause,
+    load_snapshot,
+    restore_state,
+    run_with_recovery,
+    save_snapshot,
+    scenario_fingerprint,
+    with_checkpoint,
+    with_crash,
 )
 
 __all__ = [
@@ -104,9 +139,28 @@ __all__ = [
     "social_triangle_stream",
     "road_churn_sssp",
     "multilevel_contraction",
+    "hotspot_vertex_stream",
+    "oscillating_insert_delete",
+    "dhb_bucket_collision_stream",
+    "CheckpointStep",
+    "RestoreStep",
+    "CrashStep",
     "REPLAY_LAYOUTS",
     "replay",
     "NativeExecutor",
     "CompetitorExecutor",
     "ScenarioCheckError",
+    "SNAPSHOT_VERSION",
+    "CheckpointStore",
+    "SnapshotFormatError",
+    "build_snapshot",
+    "check_snapshot",
+    "crash_cause",
+    "load_snapshot",
+    "restore_state",
+    "run_with_recovery",
+    "save_snapshot",
+    "scenario_fingerprint",
+    "with_checkpoint",
+    "with_crash",
 ]

@@ -21,6 +21,19 @@ large dynamic datasets in the related work:
   through update+multiply rounds (Fig. 9 regime) with full product
   verification at the checkpoints.
 
+Three *adversarial* traces stress the corners the well-behaved regimes
+above never reach (they are part of the differential and fault-drill
+sweeps precisely because they are the likeliest to expose divergence):
+
+* :func:`hotspot_vertex_stream` — a handful of hub vertices receive
+  almost every edge, producing extreme per-row and per-rank imbalance;
+* :func:`oscillating_insert_delete` — the same batch is inserted and
+  deleted over and over, so nnz oscillates while the DHB rows accumulate
+  a long swap-with-last / regrowth history;
+* :func:`dhb_bucket_collision_stream` — the DHB worst case: every entry
+  lands on a few hot rows with stride-spaced columns, interleaved with
+  interior deletions, maximising hash-index churn per structural nnz.
+
 The *application* traces exercise the workloads of :mod:`repro.apps`
 through the app-aware executor (queries baked with generation-time
 expected results):
@@ -77,6 +90,9 @@ __all__ = [
     "social_triangle_stream",
     "road_churn_sssp",
     "multilevel_contraction",
+    "hotspot_vertex_stream",
+    "oscillating_insert_delete",
+    "dhb_bucket_collision_stream",
 ]
 
 #: R-MAT quadrant probabilities of the most skewed (social) category.
@@ -655,6 +671,241 @@ def multilevel_contraction(
 
 
 # ----------------------------------------------------------------------
+# 9. hotspot vertex stream (adversarial: extreme imbalance)
+# ----------------------------------------------------------------------
+def hotspot_vertex_stream(
+    *,
+    n: int = 64,
+    n_hubs: int = 3,
+    n_batches: int = 5,
+    batch: int = 40,
+    hub_share: float = 0.85,
+    seed: int = 0,
+) -> Scenario:
+    """Hub-dominated stream: a few vertices receive almost every edge.
+
+    Each batch sends ``hub_share`` of its edges to ``n_hubs`` hub rows
+    (round-robin over the hubs, fresh columns per hub) and scatters the
+    rest uniformly — the degree-skew worst case for 2D block placement,
+    since whole grid rows concentrate on the ranks owning the hubs.
+    Every other batch also deletes a slice of the oldest hub edges, so
+    the hub rows churn instead of only growing.  The generator tracks
+    the exact present set and pins nnz after every batch.
+    """
+    pool_seed, pick_seed, value_seed = _child_seeds(seed, 3, salt=0x6F09)
+    rng_pick = np.random.default_rng(pick_seed)
+    rng_val = np.random.default_rng(value_seed)
+    hubs = np.sort(rng_pick.choice(n, size=n_hubs, replace=False)).tolist()
+    bg_rows, bg_cols = _unique_edge_pool(n, n_batches * batch, pool_seed)
+    bg_cursor = 0
+
+    present: set[tuple[int, int]] = set()
+    hub_history: list[tuple[int, int]] = []  # hub edges in insertion order
+    free_cols = {int(h): [c for c in range(n) if c != h] for h in hubs}
+    for h in free_cols:
+        rng_pick.shuffle(free_cols[h])
+
+    steps: list = []
+    for b in range(n_batches):
+        n_hub = int(round(hub_share * batch))
+        pairs: list[tuple[int, int]] = []
+        for k in range(n_hub):
+            h = hubs[k % n_hubs]
+            cols = free_cols[h]
+            if not cols:
+                continue
+            pair = (h, cols.pop())
+            pairs.append(pair)
+            hub_history.append(pair)
+        while len(pairs) < batch and bg_cursor < bg_rows.size:
+            pair = (int(bg_rows[bg_cursor]), int(bg_cols[bg_cursor]))
+            bg_cursor += 1
+            if pair not in present and pair not in pairs:
+                pairs.append(pair)
+        present.update(pairs)
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        steps.append(
+            InsertBatch(
+                arr[:, 0], arr[:, 1], _values(rng_val, arr.shape[0]),
+                label=f"hotspot-in[{b}]",
+            )
+        )
+        if b % 2 == 1 and hub_history:
+            drop = hub_history[: max(1, len(hub_history) // 4)]
+            hub_history = hub_history[len(drop):]
+            present.difference_update(drop)
+            for h, c in drop:
+                free_cols[h].append(c)
+            darr = np.asarray(drop, dtype=np.int64).reshape(-1, 2)
+            steps.append(
+                DeleteBatch(
+                    darr[:, 0], darr[:, 1], np.ones(darr.shape[0]),
+                    label=f"hotspot-del[{b}]",
+                )
+            )
+        steps.append(SnapshotCheck(expect_nnz=len(present), label=f"nnz@{b}"))
+    return Scenario(
+        name="hotspot_vertex_stream",
+        shape=(n, n),
+        steps=steps,
+        seed=seed,
+        metadata={
+            "generator": "hotspot_vertex_stream",
+            "hubs": hubs,
+            "batch": batch,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# 10. oscillating insert/delete (adversarial: churn without growth)
+# ----------------------------------------------------------------------
+def oscillating_insert_delete(
+    *,
+    n: int = 64,
+    rounds: int = 4,
+    batch: int = 48,
+    base: int = 64,
+    seed: int = 0,
+) -> Scenario:
+    """Insert a batch, then delete exactly that batch, over and over.
+
+    A persistent ``base`` graph keeps the matrix non-empty while the same
+    oscillating coordinate set is inserted and deleted every round (with
+    fresh values each time).  The structural nnz returns to ``base`` after
+    every round, but the DHB rows accumulate a long swap-with-last and
+    regrowth history — the regime where any state that is *not* derivable
+    from the live tuples (capacities, slot order, grow counters) drifts
+    furthest from a freshly built matrix.
+    """
+    pool_seed, value_seed = _child_seeds(seed, 2, salt=0x6F0A)
+    rows, cols = _unique_edge_pool(n, base + batch, pool_seed)
+    if rows.size < base + 1:
+        raise ValueError("edge pool too small for the requested base/batch")
+    base = min(base, rows.size - 1)
+    batch = min(batch, rows.size - base)
+    rng = np.random.default_rng(value_seed)
+    initial: TupleArrays = (rows[:base], cols[:base], _values(rng, base))
+    osc_r, osc_c = rows[base : base + batch], cols[base : base + batch]
+
+    steps: list = []
+    for r in range(rounds):
+        steps.append(
+            InsertBatch(osc_r, osc_c, _values(rng, batch), label=f"osc-in[{r}]")
+        )
+        steps.append(SnapshotCheck(expect_nnz=base + batch, label=f"nnz-hi@{r}"))
+        steps.append(
+            DeleteBatch(osc_r, osc_c, np.ones(batch), label=f"osc-del[{r}]")
+        )
+        steps.append(SnapshotCheck(expect_nnz=base, label=f"nnz-lo@{r}"))
+    return Scenario(
+        name="oscillating_insert_delete",
+        shape=(n, n),
+        steps=steps,
+        initial_tuples=initial,
+        seed=seed,
+        metadata={
+            "generator": "oscillating_insert_delete",
+            "rounds": rounds,
+            "batch": batch,
+            "base": base,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# 11. DHB bucket-collision stream (adversarial: hash-index churn)
+# ----------------------------------------------------------------------
+def dhb_bucket_collision_stream(
+    *,
+    n: int = 96,
+    n_hot_rows: int = 2,
+    waves: int = 5,
+    wave: int = 36,
+    stride: int = 7,
+    seed: int = 0,
+) -> Scenario:
+    """DHB worst case: every entry collides into a few hot rows.
+
+    All inserts land on ``n_hot_rows`` rows with stride-spaced column
+    indices (the classic bucket-collision pattern: many keys, one home),
+    and every wave deletes a block of *interior* columns before the next
+    wave re-inserts over the holes.  Each hot DHB row therefore replays
+    the maximum number of hash-index probes, swap-with-last relocations
+    and adjacency-array regrowths per structural non-zero — the pattern
+    that separates a restored row (bulk-loaded, compact) from a row that
+    lived through the history, which is exactly what the checkpoint codec
+    must preserve.
+    """
+    pick_seed, value_seed = _child_seeds(seed, 2, salt=0x6F0B)
+    rng_pick = np.random.default_rng(pick_seed)
+    rng_val = np.random.default_rng(value_seed)
+    hot_rows = np.sort(rng_pick.choice(n, size=n_hot_rows, replace=False)).tolist()
+
+    # stride-spaced column ring: visits every column exactly once per lap
+    # (a coprime stride makes the ring a full cycle)
+    while np.gcd(int(stride), n) != 1:
+        stride += 1
+    col_ring = [(k * stride) % n for k in range(n)]
+
+    present: dict[int, list[int]] = {h: [] for h in hot_rows}  # insertion order
+    cursor = {h: 0 for h in hot_rows}
+    steps: list = []
+    for w in range(waves):
+        pairs: list[tuple[int, int]] = []
+        per_row = wave // n_hot_rows
+        for h in hot_rows:
+            live = set(present[h])
+            taken = 0
+            while taken < per_row and len(live) < n:
+                c = col_ring[cursor[h] % n]
+                cursor[h] += 1
+                if c in live:
+                    continue
+                live.add(c)
+                present[h].append(c)
+                pairs.append((h, c))
+                taken += 1
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        steps.append(
+            InsertBatch(
+                arr[:, 0], arr[:, 1], _values(rng_val, arr.shape[0]),
+                label=f"collide-in[{w}]",
+            )
+        )
+        nnz = sum(len(v) for v in present.values())
+        steps.append(SnapshotCheck(expect_nnz=nnz, label=f"nnz-hi@{w}"))
+        # delete a block of interior (not most-recent) columns per hot row,
+        # forcing swap-with-last relocations rather than cheap tail pops
+        drop_pairs: list[tuple[int, int]] = []
+        for h in hot_rows:
+            inner = present[h][1 : 1 + max(1, len(present[h]) // 3)]
+            drop_pairs.extend((h, c) for c in inner)
+            present[h] = [c for c in present[h] if c not in set(inner)]
+        if drop_pairs:
+            darr = np.asarray(drop_pairs, dtype=np.int64).reshape(-1, 2)
+            steps.append(
+                DeleteBatch(
+                    darr[:, 0], darr[:, 1], np.ones(darr.shape[0]),
+                    label=f"collide-del[{w}]",
+                )
+            )
+        nnz = sum(len(v) for v in present.values())
+        steps.append(SnapshotCheck(expect_nnz=nnz, label=f"nnz-lo@{w}"))
+    return Scenario(
+        name="dhb_bucket_collision_stream",
+        shape=(n, n),
+        steps=steps,
+        seed=seed,
+        metadata={
+            "generator": "dhb_bucket_collision_stream",
+            "hot_rows": hot_rows,
+            "stride": int(stride),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 SCENARIO_GENERATORS: dict[str, Callable[..., Scenario]] = {
@@ -666,6 +917,9 @@ SCENARIO_GENERATORS: dict[str, Callable[..., Scenario]] = {
     "social_triangle_stream": social_triangle_stream,
     "road_churn_sssp": road_churn_sssp,
     "multilevel_contraction": multilevel_contraction,
+    "hotspot_vertex_stream": hotspot_vertex_stream,
+    "oscillating_insert_delete": oscillating_insert_delete,
+    "dhb_bucket_collision_stream": dhb_bucket_collision_stream,
 }
 
 

@@ -48,6 +48,9 @@ __all__ = [
     "ValueUpdateBatch",
     "SpGEMMStep",
     "SnapshotCheck",
+    "CheckpointStep",
+    "RestoreStep",
+    "CrashStep",
     "AppSpec",
     "AppQueryStep",
     "TriangleCountCheck",
@@ -67,6 +70,14 @@ TupleArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 #: Salt mixed into the scenario seed when deriving per-step partition seeds.
 _PARTITION_SALT = 0x5CE7A410
+
+#: Dedicated salt for the construction scatter seed.  It must NOT share the
+#: partition-seed stream: the construct seed used to be the last child of
+#: that pool, which made its value depend on *how many* step seeds were
+#: still missing — so a scenario rebuilt from fully-seeded steps (the
+#: checkpoint/trace-log path) silently constructed with a different scatter
+#: order than the original.
+_CONSTRUCT_SALT = 0x5CE7A411
 
 
 def spawn_seeds(
@@ -240,6 +251,71 @@ class SnapshotCheck:
 
 
 # ----------------------------------------------------------------------
+# fault-tolerance control steps
+# ----------------------------------------------------------------------
+@dataclass
+class CheckpointStep:
+    """Snapshot the full world state into the replay's checkpoint store.
+
+    The snapshot (see :mod:`repro.scenarios.checkpoint`) captures every
+    piece of state the remaining trace needs: owned blocks in their exact
+    layout-internal form, the placement map, app/product state, per-step
+    statistics and communication counters up to (and including) this step.
+    Untimed and communication-free on the charged categories — assembling
+    the snapshot uses the uncharged control plane.
+    """
+
+    #: key the snapshot is stored (and restored) under
+    tag: str = "default"
+    label: str = ""
+
+    kind = "checkpoint"
+
+    @property
+    def n_tuples(self) -> int:
+        return 0
+
+
+@dataclass
+class RestoreStep:
+    """Replace the world state with the snapshot stored under ``tag``.
+
+    The rebuilt state is byte-identical to the checkpointed one; the
+    traffic spent shipping blocks back into the world is charged to the
+    ``recovery`` category only.
+    """
+
+    tag: str = "default"
+    label: str = ""
+
+    kind = "restore"
+
+    @property
+    def n_tuples(self) -> int:
+        return 0
+
+
+@dataclass
+class CrashStep:
+    """Deterministic kill point: crash here when a fault plan is armed.
+
+    Without an armed :class:`~repro.runtime.faults.FaultInjector` the step
+    is a no-op, so the *same trace* serves as both the crashing run and the
+    uninterrupted reference of a differential drill.  ``process`` restricts
+    the kill to one loopback process (``None`` kills the world).
+    """
+
+    process: int | None = None
+    label: str = ""
+
+    kind = "crash"
+
+    @property
+    def n_tuples(self) -> int:
+        return 0
+
+
+# ----------------------------------------------------------------------
 # application steps
 # ----------------------------------------------------------------------
 @dataclass
@@ -360,9 +436,9 @@ class Scenario:
 
     name: str
     shape: tuple[int, int]
-    steps: list[ScenarioStep | SnapshotCheck | AppQueryStep] = field(
-        default_factory=list
-    )
+    steps: list[
+        ScenarioStep | SnapshotCheck | CheckpointStep | RestoreStep | CrashStep | AppQueryStep
+    ] = field(default_factory=list)
     #: pre-loaded matrix content, constructed before the trace runs
     initial_tuples: TupleArrays | None = None
     #: fixed right-hand operand for SpGEMM steps
@@ -395,14 +471,14 @@ class Scenario:
             for s in self.steps
             if isinstance(s, ScenarioStep) and s.partition_seed is None
         ]
-        need = len(missing) + (1 if self.construct_seed is None else 0)
-        if need:
-            children = spawn_seeds([int(self.seed), _PARTITION_SALT], need)
-            derived = [seed_int(c) for c in children]
-            if self.construct_seed is None:
-                self.construct_seed = derived.pop()
-            for step, s in zip(missing, derived):
-                step.partition_seed = s
+        if missing:
+            children = spawn_seeds([int(self.seed), _PARTITION_SALT], len(missing))
+            for step, child in zip(missing, children):
+                step.partition_seed = seed_int(child)
+        if self.construct_seed is None:
+            self.construct_seed = seed_int(
+                spawn_seeds([int(self.seed), _CONSTRUCT_SALT], 1)[0]
+            )
         for step in self.steps:
             if isinstance(step, ScenarioStep):
                 self._check_bounds(step.rows, step.cols, what=f"step {step.label!r}")

@@ -30,16 +30,25 @@ from typing import Callable
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from repro.perf.recorder import perf_phase
 from repro.runtime import ProcessGrid, make_communicator, resolve_backend_name
 from repro.runtime.backend import Communicator
 from repro.runtime.config import MachineModel
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    faults_from_env,
+)
 from repro.runtime.partitioner import (
     PARTITIONER_ENV_VAR,
     Partitioner,
     make_partitioner,
     repartition_threshold,
 )
+from repro.runtime.stats import CommStats
 from repro.semirings import Semiring
 from repro.sparse import (
     COOMatrix,
@@ -61,7 +70,10 @@ from repro.core import DynamicProduct, dynamic_spgemm_algebraic
 from repro.scenarios.model import (
     AppQueryResult,
     AppQueryStep,
+    CheckpointStep,
     ContractStep,
+    CrashStep,
+    RestoreStep,
     Scenario,
     ScenarioResult,
     ScenarioStep,
@@ -665,6 +677,16 @@ def _global_stats_diff(comm: Communicator, since):
     return comm.host_fold(comm.stats.diff(since), lambda a, b: a.merge(b))
 
 
+def _merged_stats(
+    prefix: "dict[str, dict[str, float]] | None", comm: Communicator, since
+) -> CommStats:
+    """Global statistics since ``since``, merged onto a snapshot prefix."""
+    suffix = _global_stats_diff(comm, since)
+    if prefix:
+        return CommStats.from_dict(prefix).merge(suffix)
+    return suffix
+
+
 def replay(
     scenario: Scenario,
     *,
@@ -677,6 +699,11 @@ def replay(
     executor_factory: Callable | None = None,
     check_snapshots: bool = True,
     collect_final: bool = True,
+    checkpoint_store=None,
+    resume_from=None,
+    faults: "FaultPlan | FaultInjector | str | None" = None,
+    on_crash: str = "raise",
+    max_recoveries: int = 8,
     **backend_kwargs,
 ) -> ScenarioResult:
     """Replay ``scenario`` and return its structured result.
@@ -712,8 +739,37 @@ def replay(
     collect_final:
         When False, skip assembling the global final tuples (cheaper for
         timing-only replays).
+    checkpoint_store:
+        :class:`~repro.scenarios.checkpoint.CheckpointStore` used by
+        :class:`~repro.scenarios.model.CheckpointStep` /
+        :class:`~repro.scenarios.model.RestoreStep` steps and the
+        ``on_crash="restore"`` policy.  A run-local store is created when
+        the scenario contains checkpoint steps and none is passed; share
+        one store across the processes of a loopback drill.
+    resume_from:
+        A snapshot ``dict`` (or path to a snapshot file) to continue
+        from: construction is skipped, the world state is rebuilt
+        (recovery traffic charged to the ``recovery`` category), and the
+        returned result covers the *whole* trace — the snapshot's progress
+        prefix stitched to the resumed suffix.
+    faults:
+        Fault injection: a :class:`~repro.runtime.faults.FaultPlan`, a
+        ``REPRO_FAULTS``-grammar string, or a pre-armed
+        :class:`~repro.runtime.faults.FaultInjector` (pass the same
+        injector across recovery attempts so fired kills do not refire).
+        Defaults to the ``REPRO_FAULTS`` environment variable.
+    on_crash:
+        What to do when an injected crash fires: ``"raise"`` (default —
+        the multi-process harness catches it and restarts the world),
+        ``"restore"`` (resume from the latest checkpoint, or retry from
+        scratch when none exists yet) or ``"retry"`` (always restart the
+        replay from scratch).  In-process backends only.
     """
-    from repro.competitors import UnsupportedOperation
+    if on_crash not in ("raise", "retry", "restore"):
+        raise ValueError(
+            f"unknown on_crash policy {on_crash!r} (use 'raise', 'retry' or 'restore')"
+        )
+    from repro.scenarios.checkpoint import CheckpointStore, load_snapshot
 
     if comm is None:
         backend_name = resolve_backend_name(backend)
@@ -727,6 +783,82 @@ def replay(
             else _registry_name_of(comm)
         )
         n_ranks = comm.p
+    if faults is None:
+        faults = faults_from_env()
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
+    injector = (
+        faults
+        if isinstance(faults, FaultInjector)
+        else (FaultInjector(faults) if faults is not None else None)
+    )
+    store = checkpoint_store
+    if store is None and any(
+        isinstance(s, (CheckpointStep, RestoreStep)) for s in scenario.steps
+    ):
+        store = CheckpointStore()
+    resume = resume_from
+    if isinstance(resume, (str, os.PathLike)):
+        resume = load_snapshot(resume)
+    world_rank = int(getattr(comm, "world_rank", 0))
+
+    recoveries = 0
+    while True:
+        try:
+            return _replay_once(
+                scenario,
+                comm=comm,
+                backend_name=backend_name,
+                n_ranks=n_ranks,
+                layout=layout,
+                partitioner=partitioner,
+                executor_factory=executor_factory,
+                check_snapshots=check_snapshots,
+                collect_final=collect_final,
+                store=store,
+                resume=resume,
+                injector=injector,
+                world_rank=world_rank,
+            )
+        except SimulatedCrash:
+            if on_crash == "raise":
+                raise
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise
+            resume = (
+                store.latest(world_rank)
+                if (on_crash == "restore" and store is not None)
+                else None
+            )
+
+
+def _replay_once(
+    scenario: Scenario,
+    *,
+    comm: Communicator,
+    backend_name: str,
+    n_ranks: int,
+    layout: str,
+    partitioner,
+    executor_factory,
+    check_snapshots: bool,
+    collect_final: bool,
+    store,
+    resume,
+    injector,
+    world_rank: int,
+) -> ScenarioResult:
+    """One replay attempt (the crash/recovery loop lives in :func:`replay`)."""
+    from repro.competitors import UnsupportedOperation
+    from repro.scenarios.checkpoint import (
+        SnapshotFormatError,
+        build_snapshot,
+        check_snapshot,
+        restore_state,
+        scenario_fingerprint,
+    )
+
     # Non-square rank counts degrade to the largest q×q subgrid (surplus
     # ranks idle), so e.g. `mpiexec -n 6` replays on a 2×2 grid instead of
     # aborting inside grid construction.  Everything downstream — tuple
@@ -743,71 +875,231 @@ def replay(
 
     step_stats: list[StepStats] = []
     applied_counts: dict[str, int] = {}
+    app_results: list[AppQueryResult] = []
     truncated_at: int | None = None
+    cursor = 0
+    prefix_comm: dict[str, dict[str, float]] | None = None
+    prefix_update: dict[str, dict[str, float]] | None = None
+    prefix_elapsed = 0.0
     elapsed_start = comm.elapsed()
     start = comm.stats.snapshot()
+    armed = injector.activate(world_rank) if injector is not None else nullcontext()
 
-    # ---------------- construction (optionally timed) -----------------
-    # The round-robin scatter is measurement infrastructure, not part of
-    # the construction protocol: it always stays outside the timed region.
-    with perf_phase("replay_prepare"):
-        executor.prepare()
-    if scenario.timed_construction:
-        before = comm.stats.snapshot()
-        with comm.timer() as timer, perf_phase("replay_construct"):
-            executor.construct()
-        diff = _global_stats_diff(comm, before)
-        n_initial = (
-            int(scenario.initial_tuples[0].size)
-            if scenario.initial_tuples is not None
-            else 0
-        )
-        step_stats.append(
-            StepStats(
-                index=-1,
-                kind="construct",
-                label="construct",
-                n_tuples=n_initial,
-                applied=n_initial,
-                seconds=timer.seconds,
-                comm_messages=diff.total_messages(),
-                comm_bytes=diff.total_bytes(),
-            )
-        )
-    else:
-        with perf_phase("replay_construct"):
-            executor.construct()
-    post_construct = comm.stats.snapshot()
-
-    # ---------------- the trace ----------------------------------------
-    app_results: list[AppQueryResult] = []
-    for index, step in enumerate(scenario.steps):
-        if isinstance(step, SnapshotCheck):
-            if check_snapshots:
-                executor.snapshot(step)
-            step_stats.append(
-                StepStats(
-                    index=index,
-                    kind="snapshot",
-                    label=step.label,
-                    n_tuples=0,
-                    applied=0,
-                    seconds=0.0,
+    with armed:
+        if resume is not None:
+            # ------------ resume: rebuild instead of constructing -------
+            check_snapshot(resume)
+            fingerprint = scenario_fingerprint(scenario)
+            if resume["fingerprint"] != fingerprint:
+                raise SnapshotFormatError(
+                    f"snapshot fingerprint {resume['fingerprint']} does not match "
+                    f"scenario {scenario.name!r} ({fingerprint}); refusing to "
+                    "continue a different trace"
                 )
-            )
-            continue
-        if isinstance(step, AppQueryStep):
-            before = comm.stats.snapshot()
-            try:
-                with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
-                    applied, payload = executor.query(step, check=check_snapshots)
-            except UnsupportedOperation:
+            if resume["layout"] != layout:
+                raise SnapshotFormatError(
+                    f"snapshot was taken with layout {resume['layout']!r}; "
+                    f"resuming with {layout!r} would diverge"
+                )
+            progress = resume["progress"]
+            cursor = int(resume["cursor"])
+            step_stats = [StepStats(**dict(s)) for s in progress["step_stats"]]
+            applied_counts = dict(progress["applied_counts"])
+            app_results = [
+                AppQueryResult(
+                    index=int(r["index"]),
+                    kind=str(r["kind"]),
+                    label=str(r["label"]),
+                    payload=r["payload"],
+                )
+                for r in progress["app_results"]
+            ]
+            prefix_comm = progress["comm_stats"]
+            prefix_update = progress["update_stats"]
+            prefix_elapsed = float(progress["elapsed"])
+            with perf_phase("replay_restore"):
+                restore_state(executor, resume)
+            # Recovery traffic lands between `start` and here: it shows up
+            # in the run's comm_stats (recovery category only) but not in
+            # the update-phase statistics.
+            post_construct = comm.stats.snapshot()
+        else:
+            # ------------ construction (optionally timed) ---------------
+            # The round-robin scatter is measurement infrastructure, not
+            # part of the construction protocol: it always stays outside
+            # the timed region.
+            with perf_phase("replay_prepare"):
+                executor.prepare()
+            if scenario.timed_construction:
+                before = comm.stats.snapshot()
+                with comm.timer() as timer, perf_phase("replay_construct"):
+                    executor.construct()
+                diff = _global_stats_diff(comm, before)
+                n_initial = (
+                    int(scenario.initial_tuples[0].size)
+                    if scenario.initial_tuples is not None
+                    else 0
+                )
+                step_stats.append(
+                    StepStats(
+                        index=-1,
+                        kind="construct",
+                        label="construct",
+                        n_tuples=n_initial,
+                        applied=n_initial,
+                        seconds=timer.seconds,
+                        comm_messages=diff.total_messages(),
+                        comm_bytes=diff.total_bytes(),
+                    )
+                )
+            else:
+                with perf_phase("replay_construct"):
+                    executor.construct()
+            post_construct = comm.stats.snapshot()
+
+        # ---------------- the trace ------------------------------------
+        for index, step in enumerate(scenario.steps):
+            if index < cursor:
+                continue
+            if injector is not None:
+                injector.check_step(index, process=world_rank)
+            if isinstance(step, CheckpointStep):
+                # The checkpoint's own (untimed, zero-comm) statistics are
+                # part of the snapshot, so the restored run replays it as
+                # already-done.
+                step_stats.append(
+                    StepStats(
+                        index=index,
+                        kind="checkpoint",
+                        label=step.label,
+                        n_tuples=0,
+                        applied=0,
+                        seconds=0.0,
+                    )
+                )
+                snapshot = build_snapshot(
+                    executor,
+                    cursor=index + 1,
+                    step_stats=step_stats,
+                    applied_counts=applied_counts,
+                    app_results=app_results,
+                    comm_stats=_merged_stats(prefix_comm, comm, start).as_dict(),
+                    update_stats=_merged_stats(
+                        prefix_update, comm, post_construct
+                    ).as_dict(),
+                    elapsed=prefix_elapsed + comm.elapsed() - elapsed_start,
+                )
+                if store is not None:
+                    store.save(step.tag, world_rank, snapshot)
+                continue
+            if isinstance(step, RestoreStep):
+                if store is None:
+                    raise ScenarioCheckError(
+                        f"step {step.label!r}: RestoreStep needs a checkpoint "
+                        "store (did a CheckpointStep run first?)"
+                    )
+                snapshot = store.load(step.tag, world_rank)
+                before = comm.stats.snapshot()
+                with perf_phase("replay_restore"):
+                    n_blocks = restore_state(executor, snapshot)
+                diff = _global_stats_diff(comm, before)
+                step_stats.append(
+                    StepStats(
+                        index=index,
+                        kind="restore",
+                        label=step.label,
+                        n_tuples=0,
+                        applied=int(n_blocks),
+                        seconds=0.0,
+                        comm_messages=diff.total_messages(),
+                        comm_bytes=diff.total_bytes(),
+                    )
+                )
+                continue
+            if isinstance(step, CrashStep):
+                if injector is not None:
+                    injector.fire_crash(index, step.process, process=world_rank)
+                step_stats.append(
+                    StepStats(
+                        index=index,
+                        kind="crash",
+                        label=step.label,
+                        n_tuples=0,
+                        applied=0,
+                        seconds=0.0,
+                    )
+                )
+                continue
+            if isinstance(step, SnapshotCheck):
+                if check_snapshots:
+                    executor.snapshot(step)
+                step_stats.append(
+                    StepStats(
+                        index=index,
+                        kind="snapshot",
+                        label=step.label,
+                        n_tuples=0,
+                        applied=0,
+                        seconds=0.0,
+                    )
+                )
+                continue
+            if isinstance(step, AppQueryStep):
+                before = comm.stats.snapshot()
+                try:
+                    with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
+                        applied, payload = executor.query(step, check=check_snapshots)
+                except UnsupportedOperation:
+                    step_stats.append(
+                        StepStats(
+                            index=index,
+                            kind=step.kind,
+                            label=step.label,
+                            n_tuples=0,
+                            applied=0,
+                            seconds=0.0,
+                            supported=False,
+                        )
+                    )
+                    truncated_at = index
+                    break
+                diff = _global_stats_diff(comm, before)
                 step_stats.append(
                     StepStats(
                         index=index,
                         kind=step.kind,
                         label=step.label,
                         n_tuples=0,
+                        applied=int(applied),
+                        seconds=timer.seconds,
+                        comm_messages=diff.total_messages(),
+                        comm_bytes=diff.total_bytes(),
+                    )
+                )
+                app_results.append(
+                    AppQueryResult(
+                        index=index, kind=step.kind, label=step.label, payload=payload
+                    )
+                )
+                applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
+                continue
+            # the applications re-scatter their (transformed) batches themselves
+            per_rank = (
+                step.per_rank(n_ranks)
+                if getattr(executor, "app", None) is None
+                else {}
+            )
+            before = comm.stats.snapshot()
+            try:
+                with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
+                    applied = executor.apply(step, per_rank)
+            except UnsupportedOperation:
+                step_stats.append(
+                    StepStats(
+                        index=index,
+                        kind=step.kind,
+                        label=step.label,
+                        n_tuples=step.n_tuples,
                         applied=0,
                         seconds=0.0,
                         supported=False,
@@ -821,75 +1113,31 @@ def replay(
                     index=index,
                     kind=step.kind,
                     label=step.label,
-                    n_tuples=0,
+                    n_tuples=step.n_tuples,
                     applied=int(applied),
                     seconds=timer.seconds,
                     comm_messages=diff.total_messages(),
                     comm_bytes=diff.total_bytes(),
                 )
             )
-            app_results.append(
-                AppQueryResult(
-                    index=index, kind=step.kind, label=step.label, payload=payload
-                )
-            )
             applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
-            continue
-        # the applications re-scatter their (transformed) batches themselves
-        per_rank = (
-            step.per_rank(n_ranks)
-            if getattr(executor, "app", None) is None
-            else {}
-        )
-        before = comm.stats.snapshot()
-        try:
-            with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
-                applied = executor.apply(step, per_rank)
-        except UnsupportedOperation:
-            step_stats.append(
-                StepStats(
-                    index=index,
-                    kind=step.kind,
-                    label=step.label,
-                    n_tuples=step.n_tuples,
-                    applied=0,
-                    seconds=0.0,
-                    supported=False,
-                )
-            )
-            truncated_at = index
-            break
-        diff = _global_stats_diff(comm, before)
-        step_stats.append(
-            StepStats(
-                index=index,
-                kind=step.kind,
-                label=step.label,
-                n_tuples=step.n_tuples,
-                applied=int(applied),
-                seconds=timer.seconds,
-                comm_messages=diff.total_messages(),
-                comm_bytes=diff.total_bytes(),
-            )
-        )
-        applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
-        # Online repartitioning (REPRO_REPARTITION): only for pure-update
-        # replays on a placement-aware backend — with SpGEMM state or an
-        # application in play, more matrices than `a` would have to move
-        # in lock-step, which the hook deliberately does not attempt.
-        if (
-            repartition_at is not None
-            and isinstance(executor, NativeExecutor)
-            and executor.app is None
-            and executor.product is None
-            and executor.b_static is None
-            and executor.c is None
-            and executor.a is not None
-        ):
-            with perf_phase("replay_repartition"):
-                maybe_repartition(
-                    comm, grid, [executor.a], threshold=repartition_at
-                )
+            # Online repartitioning (REPRO_REPARTITION): only for pure-update
+            # replays on a placement-aware backend — with SpGEMM state or an
+            # application in play, more matrices than `a` would have to move
+            # in lock-step, which the hook deliberately does not attempt.
+            if (
+                repartition_at is not None
+                and isinstance(executor, NativeExecutor)
+                and executor.app is None
+                and executor.product is None
+                and executor.b_static is None
+                and executor.c is None
+                and executor.a is not None
+            ):
+                with perf_phase("replay_repartition"):
+                    maybe_repartition(
+                        comm, grid, [executor.a], threshold=repartition_at
+                    )
 
     # ---------------- result -------------------------------------------
     empty = (
@@ -909,9 +1157,9 @@ def replay(
         final_a=final_a,
         final_c=final_c,
         applied_counts=applied_counts,
-        comm_stats=_global_stats_diff(comm, start).as_dict(),
-        update_stats=_global_stats_diff(comm, post_construct).as_dict(),
+        comm_stats=_merged_stats(prefix_comm, comm, start).as_dict(),
+        update_stats=_merged_stats(prefix_update, comm, post_construct).as_dict(),
         truncated_at=truncated_at,
-        elapsed_modeled=comm.elapsed() - elapsed_start,
+        elapsed_modeled=prefix_elapsed + comm.elapsed() - elapsed_start,
         app_results=app_results,
     )
