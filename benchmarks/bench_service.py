@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Service benchmark: micro-batched ingestion, query latency, tenancy.
+
+Drives the always-on :class:`repro.service.GraphService` on the ``sim``
+backend and emits a schema-validated ``BENCH_service.json`` with three
+kinds of cells:
+
+``ingest@flush<F>``
+    Ingest throughput versus micro-batch size: one tenant absorbs a fixed
+    seeded request stream under ``flush_max_requests = F``.  Flush size 1
+    degenerates to one-distributed-round-per-request (the naive baseline);
+    larger micro-batches coalesce consecutive same-kind requests into
+    single scenario steps, amortising redistribution.  Counters record the
+    applied step count, so the round reduction is visible next to the
+    wall-clock win.
+
+``query``
+    Consistent-snapshot query latency against an established graph
+    (contraction queries, the app-free query every tenant supports).
+
+``tenants@<T>``
+    Tenant-count scaling: ``T`` tenants with identical independent
+    workloads multiplexed over **one** persistent world, total wall-clock
+    and per-tenant comm isolation counters.
+
+CI usage (the perf-smoke service gate)::
+
+    python benchmarks/bench_service.py --flush-size 1 \
+        --out bench_out --filename BENCH_service_single.json
+    python benchmarks/bench_service.py --flush-size 16 \
+        --out bench_out --filename BENCH_service_micro.json
+    python -m repro.perf.compare bench_out/BENCH_service_single.json \
+        bench_out/BENCH_service_micro.json --expect-speedup 0.25
+
+With a single ``--flush-size`` the document contains only the ingest cell
+and its scenario tag is flush-free, so two single-size documents match run
+for run under ``repro.perf.compare`` — micro-batching must beat the
+one-request-per-batch baseline.  The default (``--flush-size all``) emits
+the combined three-cell document — the ``service`` figure of
+``benchmarks/run_suite.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Any
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.perf import bench_document, bench_run_entry
+from repro.runtime import world_rank, world_size
+from repro.scenarios import ReplayOptions
+from repro.service import GraphService, ServiceConfig
+
+N = 96
+N_RANKS = 4
+LAYOUT = "csr"
+DEFAULT_FLUSH_SIZES = (1, 4, 16)
+DEFAULT_TENANT_COUNTS = (1, 2, 4)
+DEFAULT_REPEATS = 3
+DEFAULT_SEED = 2022
+
+#: the fixed ingest workload: requests per stream and tuples per request
+N_REQUESTS = 48
+REQUEST_TUPLES = 8
+
+
+def _config(flush_size: int) -> ServiceConfig:
+    return ServiceConfig(
+        replay=ReplayOptions(n_ranks=N_RANKS, layout=LAYOUT),
+        flush_max_requests=flush_size,
+    )
+
+
+def _stream(tenant, *, seed: int, n_requests: int = N_REQUESTS) -> None:
+    """The seeded mixed request stream every ingest cell absorbs."""
+    rng = np.random.default_rng(seed)
+    for i in range(n_requests):
+        rows = rng.integers(0, N, REQUEST_TUPLES)
+        cols = rng.integers(0, N, REQUEST_TUPLES)
+        if i % 8 == 7:
+            tenant.delete(rows, cols, label=f"del{i}")
+        else:
+            tenant.insert(rows, cols, rng.random(REQUEST_TUPLES), label=f"ins{i}")
+    tenant.flush()
+
+
+def measure_ingest(
+    flush_size: int,
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    tag_mode: bool = False,
+) -> dict[str, Any]:
+    """One ingest-throughput cell: the stream under one micro-batch size."""
+    elapsed: list[float] = []
+    for _ in range(repeats + 1):  # first iteration is the warm-up
+        with GraphService(backend="sim", config=_config(flush_size)) as service:
+            tenant = service.create_tenant("ingest", (N, N), seed=seed)
+            started = time.perf_counter()
+            _stream(tenant, seed=seed)
+            elapsed.append(time.perf_counter() - started)
+            result = tenant.result()
+    entry = bench_run_entry(
+        backend="sim",
+        layout=LAYOUT,
+        repeats=repeats,
+        elapsed_seconds_median=float(statistics.median(elapsed[1:])),
+        phase_seconds_median={},
+        phase_calls={},
+        counters={
+            "service.flush_size": float(flush_size),
+            "service.requests": float(N_REQUESTS),
+            "service.steps_applied": float(tenant.n_steps),
+            "service.tuples": float(N_REQUESTS * REQUEST_TUPLES),
+        },
+        comm={
+            "messages": float(result.total_comm_messages()),
+            "bytes": float(result.total_comm_bytes()),
+        },
+    )
+    entry["scenario"] = f"ingest@flush{flush_size}" if tag_mode else "ingest"
+    return entry
+
+
+def measure_query(
+    *, repeats: int = DEFAULT_REPEATS, seed: int = DEFAULT_SEED
+) -> dict[str, Any]:
+    """Query-latency cell: contraction queries against a warm graph."""
+    per_query: list[float] = []
+    with GraphService(backend="sim", config=_config(8)) as service:
+        tenant = service.create_tenant("query", (N, N), seed=seed)
+        _stream(tenant, seed=seed)
+        clusters = np.arange(N, dtype=np.int64) % 8
+        tenant.contract(clusters, n_clusters=8)  # warm-up
+        for _ in range(repeats * 4):
+            started = time.perf_counter()
+            tenant.contract(clusters, n_clusters=8)
+            per_query.append(time.perf_counter() - started)
+        result = tenant.result()
+    entry = bench_run_entry(
+        backend="sim",
+        layout=LAYOUT,
+        repeats=repeats * 4,
+        elapsed_seconds_median=float(statistics.median(per_query)),
+        phase_seconds_median={},
+        phase_calls={},
+        counters={
+            "service.queries": float(len(per_query)),
+            "service.steps_applied": float(tenant.n_steps),
+        },
+        comm={
+            "messages": float(result.total_comm_messages()),
+            "bytes": float(result.total_comm_bytes()),
+        },
+    )
+    entry["scenario"] = "query"
+    return entry
+
+
+def measure_tenants(
+    n_tenants: int,
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """Tenant-count scaling cell: ``n_tenants`` workloads on one world."""
+    elapsed: list[float] = []
+    for _ in range(repeats + 1):  # first iteration is the warm-up
+        with GraphService(backend="sim", config=_config(8)) as service:
+            tenants = [
+                service.create_tenant(f"tenant{i}", (N, N), seed=seed + i)
+                for i in range(n_tenants)
+            ]
+            started = time.perf_counter()
+            for i, tenant in enumerate(tenants):
+                _stream(tenant, seed=seed + i, n_requests=N_REQUESTS // 2)
+            results = [tenant.result() for tenant in tenants]
+            elapsed.append(time.perf_counter() - started)
+            minted = service.world.minted
+    entry = bench_run_entry(
+        backend="sim",
+        layout=LAYOUT,
+        repeats=repeats,
+        elapsed_seconds_median=float(statistics.median(elapsed[1:])),
+        phase_seconds_median={},
+        phase_calls={},
+        counters={
+            "service.tenants": float(n_tenants),
+            "service.minted_communicators": float(minted),
+            "service.steps_applied": float(
+                sum(tenant.n_steps for tenant in tenants)
+            ),
+        },
+        comm={
+            "messages": float(sum(r.total_comm_messages() for r in results)),
+            "bytes": float(sum(r.total_comm_bytes() for r in results)),
+        },
+    )
+    entry["scenario"] = f"tenants@{n_tenants}"
+    return entry
+
+
+def build_document(
+    *,
+    flush_sizes: tuple[int, ...] = DEFAULT_FLUSH_SIZES,
+    tenant_counts: tuple[int, ...] = DEFAULT_TENANT_COUNTS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """Assemble the ``BENCH_service`` document.
+
+    A single flush size produces a gate document (ingest cell only,
+    flush-free tag — comparable run for run against another size); several
+    produce the combined three-cell figure document.
+    """
+    tag_mode = len(flush_sizes) > 1
+    runs = [
+        measure_ingest(size, repeats=repeats, seed=seed, tag_mode=tag_mode)
+        for size in flush_sizes
+    ]
+    if tag_mode:
+        runs.append(measure_query(repeats=repeats, seed=seed))
+        runs.extend(
+            measure_tenants(count, repeats=repeats, seed=seed)
+            for count in tenant_counts
+        )
+    extras: dict[str, Any] = {
+        "flush_sizes": list(flush_sizes),
+        "tenant_counts": list(tenant_counts) if tag_mode else [],
+        "n_requests": N_REQUESTS,
+        "request_tuples": REQUEST_TUPLES,
+        "shape": [N, N],
+    }
+    return bench_document(
+        figure="service",
+        title="Always-on service: micro-batched ingestion and tenancy",
+        seed=seed,
+        profile="service",
+        n_ranks=N_RANKS,
+        runs=runs,
+        extras=extras,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--flush-size",
+        default="all",
+        help="micro-batch size to measure, or 'all' for the combined "
+        "document with per-size tags plus query/tenancy cells "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--tenants",
+        default=",".join(str(count) for count in DEFAULT_TENANT_COUNTS),
+        help="comma-separated tenant counts for the scaling cells "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="repeats per cell; medians are reported (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="bench_out", help="output directory (default %(default)s)"
+    )
+    parser.add_argument(
+        "--filename",
+        default="BENCH_service.json",
+        help="output file name (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="base seed")
+    args = parser.parse_args(argv)
+    if world_size() > 1:
+        # The bench drives its own single-process sim worlds; under mpiexec
+        # only rank 0 runs them (the others would duplicate the work).
+        if world_rank() != 0:
+            return 0
+    flush_sizes = (
+        DEFAULT_FLUSH_SIZES
+        if args.flush_size == "all"
+        else tuple(int(field) for field in args.flush_size.split(",") if field)
+    )
+    tenant_counts = tuple(int(field) for field in args.tenants.split(",") if field)
+    started = time.perf_counter()
+    document = build_document(
+        flush_sizes=flush_sizes,
+        tenant_counts=tenant_counts,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, args.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {path}  ({len(document['runs'])} runs, "
+        f"{time.perf_counter() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

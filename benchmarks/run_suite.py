@@ -63,7 +63,16 @@ from repro.sparse import DHBMatrix
 DEFAULT_BACKENDS = ("sim", "mpi")
 DEFAULT_LAYOUTS = ("csr", "dhb")
 DEFAULT_REPEATS = 3
-KNOWN_FIGS = ("fig04", "fig08", "fig10", "apps", "overlap", "partition", "checkpoint")
+KNOWN_FIGS = (
+    "fig04",
+    "fig08",
+    "fig10",
+    "apps",
+    "overlap",
+    "partition",
+    "checkpoint",
+    "service",
+)
 
 
 # ----------------------------------------------------------------------
@@ -358,6 +367,24 @@ def run_suite(
             document = build_checkpoint_document(
                 backends=drill_backends,
                 layouts=tuple(layouts),
+                repeats=repeats,
+                seed=seed if seed else 2022,
+            )
+            if _write_document(document, fig, out_dir, started, len(document["runs"])):
+                written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
+            continue
+        if fig == "service":
+            # Delegates to benchmarks/bench_service.py: ingest throughput
+            # versus micro-batch size, query latency and tenant-count
+            # scaling of the always-on service, all cells in one document.
+            # The profile, backend and layout knobs do not apply — the
+            # bench pins its own workload on the sim backend; the
+            # single-flush-size CI gate is driven by bench_service.py
+            # directly (see its docstring).
+            sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+            from bench_service import build_document as build_service_document
+
+            document = build_service_document(
                 repeats=repeats,
                 seed=seed if seed else 2022,
             )

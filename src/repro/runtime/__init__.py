@@ -63,6 +63,7 @@ from repro.runtime.partitioner import (
 )
 from repro.runtime.simmpi import SimMPI, payload_nbytes
 from repro.runtime.stats import CommStats, StatCategory
+from repro.runtime.world import ServiceWorld
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -101,4 +102,5 @@ __all__ = [
     "repartition_threshold",
     "resolve_partitioner_name",
     "verify_placement",
+    "ServiceWorld",
 ]

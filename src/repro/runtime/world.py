@@ -1,0 +1,183 @@
+"""Long-lived SPMD worlds: create once, serve many runs, shut down once.
+
+Everything in the batch pipeline tears its world down after one trace.
+:class:`ServiceWorld` inverts that lifecycle, following the long-running
+driver/worker pattern of nengo_mpi: the expensive resource — the set of
+OS processes and their low-level communicator — is acquired **once** and
+then *mints* as many orchestration-level communicators as callers need,
+all multiplexed over the same underlying processes.
+
+Minting is cheap and collective-free: a :class:`~repro.runtime.simmpi.SimMPI`
+(``sim`` backend) or an :class:`~repro.runtime.mpi_backend.MPIBackend`
+bound to the shared low-level comm (``mpi`` backend) is pure per-process
+bookkeeping.  Each minted communicator carries
+
+* its own logical rank count (a *rank namespace*: tenants of the
+  always-on service may size their grids independently),
+* its own placement map and partitioner,
+* its own :class:`~repro.runtime.stats.CommStats` — per-tenant traffic
+  accounting is isolated by construction, which is what makes the
+  service's per-tenant comm signature comparable to a cold replay.
+
+The one rule multiplexing imposes: operations on communicators minted
+from the same world must be *serialised in the same order on every
+process* (the usual SPMD discipline — the service guarantees it by
+flushing tenants sequentially).  Concurrent collectives from two minted
+communicators over one world would interleave on the shared transport.
+
+Worlds accept any mpi4py-surface low-level comm: the genuine
+``MPI.COMM_WORLD``, a :class:`~repro.runtime.loopback.LoopbackComm` from a
+threaded test world, or the single-rank emulator when mpi4py is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.backend import Communicator, resolve_backend_name
+from repro.runtime.config import MachineModel
+from repro.runtime.mpi_backend import MPIBackend, load_mpi
+from repro.runtime.partitioner import Partitioner
+from repro.runtime.simmpi import SimMPI
+
+__all__ = ["ServiceWorld"]
+
+
+class ServiceWorld:
+    """A persistent execution substrate shared by many communicators.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``"sim"`` or ``"mpi"``); resolved like
+        :func:`repro.runtime.make_communicator` (``REPRO_BACKEND`` applies
+        when ``None``).
+    comm:
+        Low-level mpi4py-surface communicator to multiplex (``mpi``
+        backend only): ``MPI.COMM_WORLD``, a loopback world's
+        ``LoopbackComm``, or ``None`` to load mpi4py / the single-rank
+        emulator once for the world's lifetime.
+    machine:
+        Default :class:`~repro.runtime.config.MachineModel` for minted
+        communicators (per-mint override available).
+    """
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        *,
+        comm: Any = None,
+        machine: MachineModel | None = None,
+        force_emulator: bool = False,
+    ) -> None:
+        self.backend_name = resolve_backend_name(backend)
+        if self.backend_name not in ("sim", "mpi"):
+            raise ValueError(
+                f"ServiceWorld multiplexes the built-in backends only "
+                f"(got {self.backend_name!r}; use 'sim' or 'mpi')"
+            )
+        if self.backend_name == "sim" and comm is not None:
+            raise ValueError(
+                "the sim backend is single-process and owns its world; "
+                "a low-level comm only applies to backend='mpi'"
+            )
+        self.machine = machine
+        self._closed = False
+        self._minted = 0
+        if self.backend_name == "mpi":
+            if comm is None:
+                comm, _ = load_mpi(force_emulator)
+            self._comm = comm
+        else:
+            self._comm = None
+
+    # ------------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        """Number of OS processes backing the world (1 for ``sim``)."""
+        return 1 if self._comm is None else int(self._comm.Get_size())
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the world (0 for ``sim``)."""
+        return 0 if self._comm is None else int(self._comm.Get_rank())
+
+    @property
+    def minted(self) -> int:
+        """How many communicators this world has handed out so far."""
+        return self._minted
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran; minting then raises."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def communicator(
+        self,
+        n_ranks: int,
+        *,
+        machine: MachineModel | None = None,
+        partitioner: "str | Partitioner | None" = None,
+        track_time: bool = True,
+    ) -> Communicator:
+        """Mint a fresh orchestration communicator over this world.
+
+        The minted communicator has ``n_ranks`` logical ranks, its own
+        statistics and (on ``mpi``) its own placement over the world's
+        processes; construction performs no collectives, so minting mid-
+        service is safe on every process as long as all processes mint in
+        the same order.
+        """
+        if self._closed:
+            raise RuntimeError("ServiceWorld is shut down; no new communicators")
+        if self.backend_name == "sim":
+            comm: Communicator = SimMPI(
+                n_ranks,
+                machine if machine is not None else self.machine,
+                track_time=track_time,
+            )
+        else:
+            comm = MPIBackend(
+                n_ranks,
+                machine if machine is not None else self.machine,
+                comm=self._comm,
+                partitioner=partitioner,
+                track_time=track_time,
+            )
+        self._minted += 1
+        return comm
+
+    def barrier(self) -> None:
+        """Synchronise every process of the world (no-op for ``sim``)."""
+        if self._comm is not None:
+            self._comm.barrier()
+
+    def shutdown(self) -> None:
+        """Retire the world: final barrier, then refuse further minting.
+
+        Idempotent.  The low-level comm is *not* freed — `COMM_WORLD` and
+        loopback comms are owned by their creators — but the world object
+        stops handing out communicators, so a shut-down service cannot
+        silently keep serving.
+        """
+        if self._closed:
+            return
+        self.barrier()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceWorld":
+        """Context-manager entry: the world itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: shut the world down."""
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "closed" if self._closed else "open"
+        return (
+            f"ServiceWorld(backend={self.backend_name!r}, "
+            f"world_size={self.world_size}, minted={self._minted}, {state})"
+        )

@@ -28,13 +28,20 @@ Module map
                 ``dhb_bucket_collision_stream``;
                 registry ``SCENARIO_GENERATORS`` and
                 :func:`library_scenarios`.
+``engine``      :class:`ScenarioEngine` — the incremental step-application
+                engine shared by :func:`replay` and the always-on
+                :class:`repro.service.GraphService` (construct / advance /
+                result over a trace that may keep growing).
+``executors``   :class:`NativeExecutor` (the paper's machinery, app-aware
+                on :class:`AppSpec` scenarios) and
+                :class:`CompetitorExecutor` (benchmark backends).
+``options``     :class:`ReplayOptions` — the replay configuration bundle,
+                shared with the service config (the cold-replay oracle
+                runs under exactly the tenant's options).
 ``replay``      :func:`replay` — run any scenario on any communicator
                 backend, rank count and local layout (``REPLAY_LAYOUTS``),
-                through :class:`NativeExecutor` (the paper's machinery,
-                app-aware on :class:`AppSpec` scenarios) or
-                :class:`CompetitorExecutor` (benchmark backends), with
-                fault injection (``faults=``) and retry-or-restore crash
-                recovery (``on_crash=``).
+                with fault injection (``faults=``) and retry-or-restore
+                crash recovery (``on_crash=``).
 ``checkpoint``  Durable snapshots and the drill helpers:
                 :func:`build_snapshot` / :func:`restore_state`,
                 :func:`save_snapshot` / :func:`load_snapshot`,
@@ -88,6 +95,8 @@ from repro.scenarios.generators import (
     social_triangle_stream,
     steady_state_churn,
 )
+from repro.scenarios.engine import ScenarioEngine
+from repro.scenarios.options import ReplayOptions
 from repro.scenarios.replay import (
     REPLAY_LAYOUTS,
     CompetitorExecutor,
@@ -147,6 +156,8 @@ __all__ = [
     "CrashStep",
     "REPLAY_LAYOUTS",
     "replay",
+    "ReplayOptions",
+    "ScenarioEngine",
     "NativeExecutor",
     "CompetitorExecutor",
     "ScenarioCheckError",

@@ -1,0 +1,563 @@
+"""Step executors: how one scenario step becomes matrix operations.
+
+The :class:`~repro.scenarios.engine.ScenarioEngine` delegates the actual
+application of steps to an *executor*:
+
+* :class:`NativeExecutor` — the paper's own machinery: a
+  :class:`~repro.distributed.DynamicDistMatrix` target, hypersparse update
+  matrices, Algorithm 1 / 2 for :class:`~repro.scenarios.model.SpGEMMStep`
+  steps and support for all four local layouts (COO, CSR, DCSR, DHB) of the
+  static right-hand operand.
+* :class:`CompetitorExecutor` — wraps any backend from
+  :mod:`repro.competitors` (``ours``, ``combblas``, ``ctf``, ``petsc``), so
+  the benchmark drivers can replay one scenario against every system under
+  comparison.  Steps a backend does not support truncate the replay and are
+  reported via ``ScenarioResult.truncated_at``.
+
+Both classes are re-exported from :mod:`repro.scenarios.replay` (their
+historical home) and :mod:`repro.scenarios`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core import DynamicProduct, dynamic_spgemm_algebraic
+from repro.distributed import (
+    DynamicDistMatrix,
+    StaticDistMatrix,
+    UpdateBatch,
+    build_update_matrix,
+    partition_tuples_round_robin,
+)
+from repro.runtime import ProcessGrid
+from repro.runtime.backend import Communicator
+from repro.scenarios.model import (
+    AppQueryStep,
+    ContractStep,
+    Scenario,
+    ScenarioStep,
+    ShortestPathCheck,
+    SnapshotCheck,
+    SpGEMMStep,
+    TriangleCountCheck,
+    TupleArrays,
+    canonical_tuples,
+)
+from repro.semirings import Semiring
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    DCSRMatrix,
+    DHBMatrix,
+    spgemm_local,
+)
+
+__all__ = [
+    "REPLAY_LAYOUTS",
+    "ScenarioCheckError",
+    "NativeExecutor",
+    "CompetitorExecutor",
+]
+
+#: Local layouts a scenario can be replayed against (the differential
+#: harness sweeps all of them).
+REPLAY_LAYOUTS = ("coo", "csr", "dcsr", "dhb")
+
+
+class ScenarioCheckError(RuntimeError):
+    """A :class:`SnapshotCheck` assertion failed during replay."""
+
+
+def _as_layout(block, layout: str):
+    """Convert a CSR block to the requested local layout."""
+    if layout == "csr":
+        return block
+    coo = block.to_coo()
+    if layout == "coo":
+        return coo
+    if layout == "dcsr":
+        return DCSRMatrix.from_coo(coo, dedup=False)
+    if layout == "dhb":
+        return DHBMatrix.from_coo(coo, combine_duplicates=False)
+    raise ValueError(f"unknown replay layout {layout!r} (use one of {REPLAY_LAYOUTS})")
+
+
+# ----------------------------------------------------------------------
+# native executor (the paper's machinery)
+# ----------------------------------------------------------------------
+class NativeExecutor:
+    """Replays a scenario on the repository's own distributed matrices.
+
+    When the scenario carries an :class:`~repro.scenarios.model.AppSpec`,
+    the executor instantiates the corresponding application at construction
+    time, routes every update step through it (so the app's incremental
+    state — the maintained ``A²`` or ``S·A`` product — tracks the trace),
+    and answers the application query steps from that state.
+    """
+
+    name = "native"
+    supports_layouts = True
+    #: the maintained application instance (None outside app scenarios)
+    app = None
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: ProcessGrid,
+        scenario: Scenario,
+        *,
+        layout: str = "csr",
+        update_layout: str | None = None,
+    ) -> None:
+        if layout not in REPLAY_LAYOUTS:
+            raise ValueError(
+                f"unknown replay layout {layout!r} (use one of {REPLAY_LAYOUTS})"
+            )
+        self.comm = comm
+        self.grid = grid
+        self.scenario = scenario
+        self.layout = layout
+        #: update matrices need a static assembly layout (CSR or DCSR);
+        #: by default they follow ``layout``, degrading to hypersparse DCSR
+        #: for the layouts without an assembly path
+        self.update_layout = update_layout or (
+            layout if layout in ("csr", "dcsr") else "dcsr"
+        )
+        self.semiring: Semiring = scenario.semiring
+        self.a: DynamicDistMatrix | None = None
+        self.b_static: StaticDistMatrix | None = None
+        self.c: DynamicDistMatrix | None = None
+        self.product: DynamicProduct | None = None
+        self._initial_per_rank: dict[int, TupleArrays] | None = None
+        self._b_per_rank: dict[int, TupleArrays] | None = None
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Scatter the construction tuples (outside the timed region)."""
+        scenario, grid = self.scenario, self.grid
+        if scenario.b_tuples is None and scenario.has_spgemm:
+            raise ValueError(
+                f"scenario {scenario.name!r} contains SpGEMM steps but no "
+                "b_tuples for the right-hand operand"
+            )
+        if scenario.app is not None:
+            # the applications scatter their own construction batches
+            # (seeded with construct_seed), so there is nothing to stage
+            return
+        if scenario.initial_tuples is not None:
+            self._initial_per_rank = partition_tuples_round_robin(
+                *scenario.initial_tuples, grid.n_ranks, seed=scenario.construct_seed
+            )
+        if scenario.b_tuples is not None:
+            self._b_per_rank = partition_tuples_round_robin(
+                *scenario.b_tuples, grid.n_ranks, seed=scenario.construct_seed
+            )
+
+    def _construct_app(self) -> None:
+        """Instantiate the scenario's application and alias its matrices.
+
+        ``self.a`` aliases the app's adjacency matrix and ``self.c`` the
+        maintained product, so snapshot checks, ``final_a``/``final_c`` and
+        :class:`ContractStep` work unchanged on app scenarios.
+        """
+        from repro.apps import (
+            DynamicMultiSourceShortestPaths,
+            DynamicTriangleCounter,
+        )
+
+        scenario, comm, grid = self.scenario, self.comm, self.grid
+        spec = scenario.app
+        n = scenario.shape[0]
+        empty = np.empty(0, dtype=np.int64)
+        rows, cols, values = scenario.initial_tuples or (
+            empty,
+            empty,
+            np.empty(0, dtype=np.float64),
+        )
+        if spec.name == "triangle":
+            self.app = DynamicTriangleCounter(
+                comm, grid, n, rows, cols, seed=scenario.construct_seed
+            )
+        else:  # sssp (AppSpec validated the name)
+            self.app = DynamicMultiSourceShortestPaths(
+                comm,
+                grid,
+                n,
+                rows,
+                cols,
+                values,
+                spec.sources,
+                seed=scenario.construct_seed,
+            )
+        self.a = self.app.adjacency
+        self.c = self.app.product.c
+        self.product = self.app.product
+
+    def construct(self) -> None:
+        """Build the initial distributed state (matrices or application)."""
+        scenario, comm, grid = self.scenario, self.comm, self.grid
+        shape = scenario.shape
+        if scenario.app is not None:
+            self._construct_app()
+            return
+        if self._initial_per_rank is not None:
+            self.a = DynamicDistMatrix.from_tuples(
+                comm, grid, shape, self._initial_per_rank, self.semiring, combine="add"
+            )
+        else:
+            self.a = DynamicDistMatrix.empty(comm, grid, shape, self.semiring)
+        if self._b_per_rank is None:
+            return
+        b_per_rank = self._b_per_rank
+        if scenario.has_general_spgemm:
+            # Algorithm 2 maintains the product through DynamicProduct and
+            # needs a dynamic right operand (last-write-wins duplicates).
+            b_dyn = DynamicDistMatrix.from_tuples(
+                comm, grid, shape, b_per_rank, self.semiring, combine="last"
+            )
+            self.product = DynamicProduct(
+                comm, grid, self.a, b_dyn, semiring=self.semiring, mode="general"
+            )
+            self.c = self.product.c
+        else:
+            b_static = StaticDistMatrix.from_tuples(
+                comm, grid, shape, b_per_rank, self.semiring, layout="csr"
+            )
+            if self.layout != "csr":
+                for rank in list(b_static.blocks):
+                    b_static.blocks[rank] = comm.run_local(
+                        rank, _as_layout, b_static.blocks[rank], self.layout
+                    )
+            self.b_static = b_static
+            self.c = DynamicDistMatrix.empty(comm, grid, shape, self.semiring)
+
+    # ------------------------------------------------------------------
+    def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
+        """Apply one tuple step; returns the applied-update count."""
+        if self.app is not None:
+            return self._apply_app(step)
+        if isinstance(step, SpGEMMStep):
+            return self._apply_spgemm(step, per_rank)
+        assert self.a is not None
+        update = build_update_matrix(
+            self.comm,
+            self.grid,
+            self.a.dist,
+            per_rank,
+            self.semiring,
+            layout=self.update_layout,
+            combine="add" if step.kind == "insert" else "last",
+        )
+        if step.kind == "insert":
+            return self.a.add_update(update)
+        if step.kind == "update":
+            return self.a.merge_update(update)
+        return self.a.mask_update(update)
+
+    def _apply_spgemm(
+        self, step: SpGEMMStep, per_rank: dict[int, TupleArrays]
+    ) -> int:
+        assert self.a is not None
+        if step.mode == "general":
+            assert self.product is not None
+            batch = UpdateBatch(
+                shape=self.scenario.shape,
+                tuples_per_rank=dict(per_rank),
+                kind=step.kind,
+                semiring=self.semiring,
+            )
+            return self.product.apply_updates(a_batch=batch).touched_outputs
+        assert self.b_static is not None and self.c is not None
+        a_star = build_update_matrix(
+            self.comm,
+            self.grid,
+            self.a.dist,
+            per_rank,
+            self.semiring,
+            layout=self.update_layout,
+            combine="add",
+        )
+        touched = dynamic_spgemm_algebraic(
+            self.comm, self.grid, self.a, self.b_static, a_star, None, self.c
+        )
+        self.a.add_update(a_star)
+        return touched
+
+    def _apply_app(self, step: ScenarioStep) -> int:
+        """Route one update step through the maintained application.
+
+        The applications redistribute their (symmetrised / semiring-coerced)
+        batches themselves, seeded with the step's ``partition_seed``, so
+        the pre-scattered ``per_rank`` mapping is not used here.
+        """
+        spec = self.scenario.app
+        if spec.name == "triangle":
+            if step.kind != "insert":
+                raise ValueError(
+                    "the triangle application maintains A² additively; "
+                    f"{step.kind!r} steps are not expressible (insert only)"
+                )
+            return self.app.insert_edges(
+                step.rows, step.cols, seed=step.partition_seed
+            )
+        if step.kind == "delete":
+            return self.app.delete_edges(
+                step.rows, step.cols, seed=step.partition_seed
+            )
+        # insert and value-update steps are both general MERGE updates
+        return self.app.update_edges(
+            step.rows, step.cols, step.values, seed=step.partition_seed
+        )
+
+    # ------------------------------------------------------------------
+    def query(self, step: AppQueryStep, *, check: bool = True) -> tuple[int, object]:
+        """Execute one application query step.
+
+        Returns ``(applied, payload)`` — an operation count for the step
+        statistics and the byte-comparable payload recorded in
+        ``ScenarioResult.app_results``.  ``check=False`` records without
+        evaluating the baked-in expectations (mirrors ``check_snapshots``).
+        """
+        if isinstance(step, ContractStep):
+            return self._query_contract(step, check)
+        if isinstance(step, TriangleCountCheck):
+            if self.app is None or self.scenario.app.name != "triangle":
+                raise ScenarioCheckError(
+                    f"step {step.label!r}: TriangleCountCheck requires a "
+                    "triangle application scenario"
+                )
+            count = self.app.triangle_count()
+            if check and step.expect is not None and count != step.expect:
+                raise ScenarioCheckError(
+                    f"step {step.label!r}: expected {step.expect} triangles, "
+                    f"got {count}"
+                )
+            return count, int(count)
+        if isinstance(step, ShortestPathCheck):
+            if self.app is None or self.scenario.app.name != "sssp":
+                raise ScenarioCheckError(
+                    f"step {step.label!r}: ShortestPathCheck requires an "
+                    "sssp application scenario"
+                )
+            payload = self.app.distance_tuples(max_hops=step.max_hops)
+            if check and step.expect_tuples is not None:
+                self._check_expected_tuples(step.label, payload, step.expect_tuples)
+            return int(payload[0].size), payload
+        raise ScenarioCheckError(f"unknown application query step {step!r}")
+
+    def _query_contract(self, step: ContractStep, check: bool) -> tuple[int, object]:
+        from repro.apps import contract_graph
+
+        assert self.a is not None
+        contracted = contract_graph(
+            self.comm,
+            self.grid,
+            self.a,
+            step.clusters,
+            n_clusters=step.n_clusters,
+            drop_self_loops=step.drop_self_loops,
+        )
+        payload = canonical_tuples(contracted)
+        if check and step.expect_tuples is not None:
+            self._check_expected_tuples(step.label, payload, step.expect_tuples)
+        return int(contracted.nnz), payload
+
+    @staticmethod
+    def _check_expected_tuples(
+        label: str, got: TupleArrays, expected: TupleArrays
+    ) -> None:
+        ok = (
+            np.array_equal(got[0], expected[0])
+            and np.array_equal(got[1], expected[1])
+            and np.allclose(got[2], expected[2], rtol=1e-9)
+        )
+        if not ok:
+            raise ScenarioCheckError(
+                f"step {label!r}: query result ({got[0].size} tuples) does "
+                f"not match the expected tuples ({expected[0].size})"
+            )
+
+    # ------------------------------------------------------------------
+    def snapshot(self, step: SnapshotCheck) -> None:
+        """Run one mid-trace invariant check (nnz and/or product)."""
+        assert self.a is not None
+        if step.expect_nnz is not None:
+            got = self.a.nnz()
+            if got != step.expect_nnz:
+                raise ScenarioCheckError(
+                    f"snapshot {step.label!r}: expected nnz {step.expect_nnz}, "
+                    f"got {got}"
+                )
+        if step.verify_product:
+            self._verify_product(step)
+
+    def _verify_product(self, step: SnapshotCheck) -> None:
+        if self.c is None or self.scenario.b_tuples is None:
+            raise ScenarioCheckError(
+                f"snapshot {step.label!r}: verify_product requires SpGEMM state"
+            )
+        a_global = CSRMatrix.from_coo(self.a.to_coo_global())
+        b_coo = COOMatrix(
+            shape=self.scenario.shape,
+            rows=self.scenario.b_tuples[0],
+            cols=self.scenario.b_tuples[1],
+            values=self.semiring.coerce(self.scenario.b_tuples[2]),
+            semiring=self.semiring,
+        ).sum_duplicates()
+        reference, _ = spgemm_local(
+            a_global, CSRMatrix.from_coo(b_coo), self.semiring, use_scipy=False
+        )
+        reference = reference.drop_zeros().sort()
+        maintained = self.c.to_coo_global().drop_zeros().sort()
+        ok = (
+            maintained.nnz == reference.nnz
+            and np.array_equal(maintained.rows, reference.rows)
+            and np.array_equal(maintained.cols, reference.cols)
+            and np.allclose(maintained.values, reference.values, rtol=1e-9)
+        )
+        if not ok:
+            raise ScenarioCheckError(
+                f"snapshot {step.label!r}: maintained C (nnz {maintained.nnz}) "
+                f"does not match recomputed A·B (nnz {reference.nnz})"
+            )
+
+    # ------------------------------------------------------------------
+    def final_a(self) -> TupleArrays:
+        """Canonical global tuples of the maintained matrix ``A``."""
+        assert self.a is not None
+        return canonical_tuples(self.a.to_coo_global())
+
+    def final_c(self) -> TupleArrays | None:
+        """Canonical global tuples of the maintained product ``C``, if any."""
+        if self.c is None:
+            return None
+        return canonical_tuples(self.c.to_coo_global())
+
+
+# ----------------------------------------------------------------------
+# competitor executor (benchmark backends)
+# ----------------------------------------------------------------------
+class CompetitorExecutor:
+    """Replays the data-structure steps of a scenario on a benchmark backend.
+
+    SpGEMM steps are not expressible through the uniform
+    :class:`repro.competitors.base.Backend` interface and raise
+    :class:`~repro.competitors.base.UnsupportedOperation`, truncating the
+    replay (mirroring how the paper's figures drop unsupported systems).
+    """
+
+    name = "competitor"
+    supports_layouts = False
+    #: competitor backends expose no incremental application state
+    app = None
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: ProcessGrid,
+        scenario: Scenario,
+        *,
+        layout: str = "csr",
+        backend_name: str = "ours",
+        **backend_kwargs,
+    ) -> None:
+        from repro.competitors import get_backend
+
+        self.comm = comm
+        self.grid = grid
+        self.scenario = scenario
+        self.layout = layout
+        self.backend_name = backend_name
+        self.backend = get_backend(backend_name)(
+            comm, grid, scenario.shape, scenario.semiring, **backend_kwargs
+        )
+
+    @classmethod
+    def factory(cls, backend_name: str, **backend_kwargs) -> Callable:
+        """An ``executor_factory`` for :func:`replay` bound to a backend."""
+
+        def make(comm, grid, scenario, *, layout="csr"):
+            return cls(
+                comm,
+                grid,
+                scenario,
+                layout=layout,
+                backend_name=backend_name,
+                **backend_kwargs,
+            )
+
+        return make
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Scatter the construction tuples (outside the timed region)."""
+        scenario = self.scenario
+        initial = (
+            scenario.initial_tuples
+            if scenario.initial_tuples is not None
+            else (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        )
+        self._initial_per_rank = partition_tuples_round_robin(
+            *initial, self.grid.n_ranks, seed=scenario.construct_seed
+        )
+
+    def construct(self) -> None:
+        """Build the competitor backend's state from the initial tuples."""
+        self.backend.construct(self._initial_per_rank)
+
+    def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
+        """Apply one tuple step through the uniform backend interface."""
+        from repro.competitors import UnsupportedOperation
+
+        if isinstance(step, SpGEMMStep):
+            raise UnsupportedOperation(
+                f"backend {self.backend_name!r} cannot replay SpGEMM steps "
+                "through the uniform update interface"
+            )
+        if step.kind == "insert":
+            self.backend.insert_batch(per_rank)
+        elif step.kind == "update":
+            self.backend.update_batch(per_rank)
+        else:
+            self.backend.delete_batch(per_rank)
+        # The uniform backend interface does not report created/changed
+        # counts; the batch size is the comparable volume measure.
+        return step.n_tuples
+
+    def query(self, step: AppQueryStep, *, check: bool = True) -> tuple[int, object]:
+        """Application queries are outside the uniform backend interface."""
+        from repro.competitors import UnsupportedOperation
+
+        raise UnsupportedOperation(
+            f"backend {self.backend_name!r} cannot answer application "
+            f"queries ({step.kind})"
+        )
+
+    def snapshot(self, step: SnapshotCheck) -> None:
+        """Check nnz invariants (product checks need the native executor)."""
+        if step.expect_nnz is not None:
+            got = self.backend.nnz()
+            if got != step.expect_nnz:
+                raise ScenarioCheckError(
+                    f"snapshot {step.label!r}: expected nnz {step.expect_nnz}, "
+                    f"got {got}"
+                )
+        if step.verify_product:
+            raise ScenarioCheckError(
+                "verify_product snapshots require the native executor"
+            )
+
+    def final_a(self) -> TupleArrays:
+        """Canonical global tuples of the competitor's matrix."""
+        return canonical_tuples(self.backend.to_coo_global())
+
+    def final_c(self) -> TupleArrays | None:
+        """Competitor backends maintain no product; always ``None``."""
+        return None

@@ -1,0 +1,80 @@
+"""Replay configuration as a first-class object.
+
+:class:`ReplayOptions` consolidates the (previously sprawling) keyword
+surface of :func:`repro.scenarios.replay.replay` into one dataclass that
+can be stored, shared and overridden:
+
+* ``replay(scenario, options=opts)`` runs with the bundled configuration;
+* every historical keyword still works — ``replay(scenario, layout="dhb",
+  partitioner="nnz_aware")`` — and explicit keywords override the bundle;
+* unknown keywords flow into ``backend_kwargs`` and are forwarded to
+  :func:`repro.runtime.make_communicator`, exactly as ``**backend_kwargs``
+  always did;
+* the always-on service embeds the same object in its
+  :class:`repro.service.ServiceConfig`, so ``tenant.replay_options()`` is
+  *the* configuration of the cold-replay correctness oracle — one source
+  of truth for both the serving path and its differential reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable
+
+from repro.runtime.config import MachineModel
+from repro.runtime.partitioner import Partitioner
+
+__all__ = ["ReplayOptions"]
+
+
+@dataclass
+class ReplayOptions:
+    """Everything :func:`~repro.scenarios.replay.replay` can be told.
+
+    Field semantics are documented on :func:`repro.scenarios.replay.replay`
+    (they are the historical keyword arguments, unchanged).  ``backend_kwargs``
+    collects extra keywords for the communicator factory.
+    """
+
+    backend: str | None = None
+    n_ranks: int = 16
+    machine: MachineModel | None = None
+    layout: str = "csr"
+    partitioner: "str | Partitioner | None" = None
+    executor_factory: Callable | None = None
+    check_snapshots: bool = True
+    collect_final: bool = True
+    checkpoint_store: Any = None
+    resume_from: Any = None
+    faults: Any = None
+    on_crash: str = "raise"
+    max_recoveries: int = 8
+    backend_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def merged(self, **overrides: Any) -> "ReplayOptions":
+        """A copy with ``overrides`` applied.
+
+        Known field names replace the bundled values; anything else lands
+        in ``backend_kwargs`` (merged over the bundled ones), preserving
+        the historical ``replay(..., **backend_kwargs)`` contract.
+        """
+        known = {f.name for f in fields(self)} - {"backend_kwargs"}
+        updates: dict[str, Any] = {}
+        extra = dict(self.backend_kwargs)
+        for key, value in overrides.items():
+            if key in known:
+                updates[key] = value
+            else:
+                extra[key] = value
+        return replace(self, backend_kwargs=extra, **updates)
+
+    def validate(self) -> "ReplayOptions":
+        """Check cross-field invariants; returns ``self`` for chaining."""
+        if self.on_crash not in ("raise", "retry", "restore"):
+            raise ValueError(
+                f"unknown on_crash policy {self.on_crash!r} "
+                "(use 'raise', 'retry' or 'restore')"
+            )
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be non-negative")
+        return self

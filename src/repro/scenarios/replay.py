@@ -3,713 +3,94 @@
 :func:`replay` executes a scenario against any registered communicator
 backend (``sim``, ``mpi``, …), any rank count and any local storage layout,
 and returns a structured :class:`~repro.scenarios.model.ScenarioResult`.
-The actual application of steps is delegated to an *executor*:
+It is a thin driver: communicator resolution, fault arming and the
+crash/recovery loop live here, while the actual step application is the
+shared :class:`~repro.scenarios.engine.ScenarioEngine` (also driven,
+incrementally, by the always-on :class:`repro.service.GraphService`) and
+the per-step semantics live in the executors
+(:mod:`repro.scenarios.executors`):
 
-* :class:`NativeExecutor` — the paper's own machinery: a
-  :class:`~repro.distributed.DynamicDistMatrix` target, hypersparse update
-  matrices, Algorithm 1 / 2 for :class:`~repro.scenarios.model.SpGEMMStep`
-  steps and support for all four local layouts (COO, CSR, DCSR, DHB) of the
-  static right-hand operand.
-* :class:`CompetitorExecutor` — wraps any backend from
-  :mod:`repro.competitors` (``ours``, ``combblas``, ``ctf``, ``petsc``), so
-  the benchmark drivers can replay one scenario against every system under
-  comparison.  Steps a backend does not support truncate the replay and are
-  reported via ``ScenarioResult.truncated_at``.
+* :class:`NativeExecutor` — the paper's own machinery (all four local
+  layouts, Algorithm 1 / 2, app-aware on ``AppSpec`` scenarios).
+* :class:`CompetitorExecutor` — wraps any :mod:`repro.competitors`
+  backend; unsupported steps truncate the replay
+  (``ScenarioResult.truncated_at``).
 
 Timing semantics match the bespoke loops the benchmark drivers used to
 carry: construction is untimed unless ``scenario.timed_construction`` is
 set, batch scattering (``partition_tuples_round_robin``) happens outside
 the timed region, and each step's timed region covers exactly the update /
 multiply work.
+
+Configuration can be passed as historical keywords, as a bundled
+:class:`~repro.scenarios.options.ReplayOptions`, or both (keywords win).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable
-
-import numpy as np
-
 from contextlib import nullcontext
 
-from repro.perf.recorder import perf_phase
-from repro.runtime import ProcessGrid, make_communicator, resolve_backend_name
+from repro.runtime import make_communicator, resolve_backend_name
 from repro.runtime.backend import Communicator
-from repro.runtime.config import MachineModel
 from repro.runtime.faults import (
     FaultInjector,
     FaultPlan,
     SimulatedCrash,
     faults_from_env,
 )
-from repro.runtime.partitioner import (
-    PARTITIONER_ENV_VAR,
-    Partitioner,
-    make_partitioner,
-    repartition_threshold,
+from repro.scenarios.engine import (
+    ScenarioEngine,
+    global_stats_diff,
+    install_placement,
+    merged_stats,
+    registry_name_of,
+    scenario_nnz_weights,
 )
-from repro.runtime.stats import CommStats
-from repro.semirings import Semiring
-from repro.sparse import (
-    COOMatrix,
-    CSRMatrix,
-    DCSRMatrix,
-    DHBMatrix,
-    spgemm_local,
+from repro.scenarios.executors import (
+    REPLAY_LAYOUTS,
+    CompetitorExecutor,
+    NativeExecutor,
+    ScenarioCheckError,
+    _as_layout,
 )
-from repro.distributed import (
-    DynamicDistMatrix,
-    StaticDistMatrix,
-    UpdateBatch,
-    build_update_matrix,
-    partition_tuples_round_robin,
-)
-from repro.distributed.distribution import BlockDistribution
-from repro.distributed.repartition import maybe_repartition
-from repro.core import DynamicProduct, dynamic_spgemm_algebraic
-from repro.scenarios.model import (
-    AppQueryResult,
-    AppQueryStep,
-    CheckpointStep,
-    ContractStep,
-    CrashStep,
-    RestoreStep,
-    Scenario,
-    ScenarioResult,
-    ScenarioStep,
-    ShortestPathCheck,
-    SnapshotCheck,
-    SpGEMMStep,
-    StepStats,
-    TriangleCountCheck,
-    TupleArrays,
-    canonical_tuples,
-)
+from repro.scenarios.model import Scenario, ScenarioResult
+from repro.scenarios.options import ReplayOptions
 
 __all__ = [
     "REPLAY_LAYOUTS",
+    "ReplayOptions",
     "ScenarioCheckError",
+    "ScenarioEngine",
     "NativeExecutor",
     "CompetitorExecutor",
     "replay",
 ]
 
-#: Local layouts a scenario can be replayed against (the differential
-#: harness sweeps all of them).
-REPLAY_LAYOUTS = ("coo", "csr", "dcsr", "dhb")
-
-
-class ScenarioCheckError(RuntimeError):
-    """A :class:`SnapshotCheck` assertion failed during replay."""
-
-
-def _as_layout(block, layout: str):
-    """Convert a CSR block to the requested local layout."""
-    if layout == "csr":
-        return block
-    coo = block.to_coo()
-    if layout == "coo":
-        return coo
-    if layout == "dcsr":
-        return DCSRMatrix.from_coo(coo, dedup=False)
-    if layout == "dhb":
-        return DHBMatrix.from_coo(coo, combine_duplicates=False)
-    raise ValueError(f"unknown replay layout {layout!r} (use one of {REPLAY_LAYOUTS})")
-
-
-# ----------------------------------------------------------------------
-# native executor (the paper's machinery)
-# ----------------------------------------------------------------------
-class NativeExecutor:
-    """Replays a scenario on the repository's own distributed matrices.
-
-    When the scenario carries an :class:`~repro.scenarios.model.AppSpec`,
-    the executor instantiates the corresponding application at construction
-    time, routes every update step through it (so the app's incremental
-    state — the maintained ``A²`` or ``S·A`` product — tracks the trace),
-    and answers the application query steps from that state.
-    """
-
-    name = "native"
-    supports_layouts = True
-    #: the maintained application instance (None outside app scenarios)
-    app = None
-
-    def __init__(
-        self,
-        comm: Communicator,
-        grid: ProcessGrid,
-        scenario: Scenario,
-        *,
-        layout: str = "csr",
-        update_layout: str | None = None,
-    ) -> None:
-        if layout not in REPLAY_LAYOUTS:
-            raise ValueError(
-                f"unknown replay layout {layout!r} (use one of {REPLAY_LAYOUTS})"
-            )
-        self.comm = comm
-        self.grid = grid
-        self.scenario = scenario
-        self.layout = layout
-        #: update matrices need a static assembly layout (CSR or DCSR);
-        #: by default they follow ``layout``, degrading to hypersparse DCSR
-        #: for the layouts without an assembly path
-        self.update_layout = update_layout or (
-            layout if layout in ("csr", "dcsr") else "dcsr"
-        )
-        self.semiring: Semiring = scenario.semiring
-        self.a: DynamicDistMatrix | None = None
-        self.b_static: StaticDistMatrix | None = None
-        self.c: DynamicDistMatrix | None = None
-        self.product: DynamicProduct | None = None
-        self._initial_per_rank: dict[int, TupleArrays] | None = None
-        self._b_per_rank: dict[int, TupleArrays] | None = None
-
-    # ------------------------------------------------------------------
-    def prepare(self) -> None:
-        """Scatter the construction tuples (outside the timed region)."""
-        scenario, grid = self.scenario, self.grid
-        if scenario.b_tuples is None and scenario.has_spgemm:
-            raise ValueError(
-                f"scenario {scenario.name!r} contains SpGEMM steps but no "
-                "b_tuples for the right-hand operand"
-            )
-        if scenario.app is not None:
-            # the applications scatter their own construction batches
-            # (seeded with construct_seed), so there is nothing to stage
-            return
-        if scenario.initial_tuples is not None:
-            self._initial_per_rank = partition_tuples_round_robin(
-                *scenario.initial_tuples, grid.n_ranks, seed=scenario.construct_seed
-            )
-        if scenario.b_tuples is not None:
-            self._b_per_rank = partition_tuples_round_robin(
-                *scenario.b_tuples, grid.n_ranks, seed=scenario.construct_seed
-            )
-
-    def _construct_app(self) -> None:
-        """Instantiate the scenario's application and alias its matrices.
-
-        ``self.a`` aliases the app's adjacency matrix and ``self.c`` the
-        maintained product, so snapshot checks, ``final_a``/``final_c`` and
-        :class:`ContractStep` work unchanged on app scenarios.
-        """
-        from repro.apps import (
-            DynamicMultiSourceShortestPaths,
-            DynamicTriangleCounter,
-        )
-
-        scenario, comm, grid = self.scenario, self.comm, self.grid
-        spec = scenario.app
-        n = scenario.shape[0]
-        empty = np.empty(0, dtype=np.int64)
-        rows, cols, values = scenario.initial_tuples or (
-            empty,
-            empty,
-            np.empty(0, dtype=np.float64),
-        )
-        if spec.name == "triangle":
-            self.app = DynamicTriangleCounter(
-                comm, grid, n, rows, cols, seed=scenario.construct_seed
-            )
-        else:  # sssp (AppSpec validated the name)
-            self.app = DynamicMultiSourceShortestPaths(
-                comm,
-                grid,
-                n,
-                rows,
-                cols,
-                values,
-                spec.sources,
-                seed=scenario.construct_seed,
-            )
-        self.a = self.app.adjacency
-        self.c = self.app.product.c
-        self.product = self.app.product
-
-    def construct(self) -> None:
-        scenario, comm, grid = self.scenario, self.comm, self.grid
-        shape = scenario.shape
-        if scenario.app is not None:
-            self._construct_app()
-            return
-        if self._initial_per_rank is not None:
-            self.a = DynamicDistMatrix.from_tuples(
-                comm, grid, shape, self._initial_per_rank, self.semiring, combine="add"
-            )
-        else:
-            self.a = DynamicDistMatrix.empty(comm, grid, shape, self.semiring)
-        if self._b_per_rank is None:
-            return
-        b_per_rank = self._b_per_rank
-        if scenario.has_general_spgemm:
-            # Algorithm 2 maintains the product through DynamicProduct and
-            # needs a dynamic right operand (last-write-wins duplicates).
-            b_dyn = DynamicDistMatrix.from_tuples(
-                comm, grid, shape, b_per_rank, self.semiring, combine="last"
-            )
-            self.product = DynamicProduct(
-                comm, grid, self.a, b_dyn, semiring=self.semiring, mode="general"
-            )
-            self.c = self.product.c
-        else:
-            b_static = StaticDistMatrix.from_tuples(
-                comm, grid, shape, b_per_rank, self.semiring, layout="csr"
-            )
-            if self.layout != "csr":
-                for rank in list(b_static.blocks):
-                    b_static.blocks[rank] = comm.run_local(
-                        rank, _as_layout, b_static.blocks[rank], self.layout
-                    )
-            self.b_static = b_static
-            self.c = DynamicDistMatrix.empty(comm, grid, shape, self.semiring)
-
-    # ------------------------------------------------------------------
-    def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
-        if self.app is not None:
-            return self._apply_app(step)
-        if isinstance(step, SpGEMMStep):
-            return self._apply_spgemm(step, per_rank)
-        assert self.a is not None
-        update = build_update_matrix(
-            self.comm,
-            self.grid,
-            self.a.dist,
-            per_rank,
-            self.semiring,
-            layout=self.update_layout,
-            combine="add" if step.kind == "insert" else "last",
-        )
-        if step.kind == "insert":
-            return self.a.add_update(update)
-        if step.kind == "update":
-            return self.a.merge_update(update)
-        return self.a.mask_update(update)
-
-    def _apply_spgemm(
-        self, step: SpGEMMStep, per_rank: dict[int, TupleArrays]
-    ) -> int:
-        assert self.a is not None
-        if step.mode == "general":
-            assert self.product is not None
-            batch = UpdateBatch(
-                shape=self.scenario.shape,
-                tuples_per_rank=dict(per_rank),
-                kind=step.kind,
-                semiring=self.semiring,
-            )
-            return self.product.apply_updates(a_batch=batch).touched_outputs
-        assert self.b_static is not None and self.c is not None
-        a_star = build_update_matrix(
-            self.comm,
-            self.grid,
-            self.a.dist,
-            per_rank,
-            self.semiring,
-            layout=self.update_layout,
-            combine="add",
-        )
-        touched = dynamic_spgemm_algebraic(
-            self.comm, self.grid, self.a, self.b_static, a_star, None, self.c
-        )
-        self.a.add_update(a_star)
-        return touched
-
-    def _apply_app(self, step: ScenarioStep) -> int:
-        """Route one update step through the maintained application.
-
-        The applications redistribute their (symmetrised / semiring-coerced)
-        batches themselves, seeded with the step's ``partition_seed``, so
-        the pre-scattered ``per_rank`` mapping is not used here.
-        """
-        spec = self.scenario.app
-        if spec.name == "triangle":
-            if step.kind != "insert":
-                raise ValueError(
-                    "the triangle application maintains A² additively; "
-                    f"{step.kind!r} steps are not expressible (insert only)"
-                )
-            return self.app.insert_edges(
-                step.rows, step.cols, seed=step.partition_seed
-            )
-        if step.kind == "delete":
-            return self.app.delete_edges(
-                step.rows, step.cols, seed=step.partition_seed
-            )
-        # insert and value-update steps are both general MERGE updates
-        return self.app.update_edges(
-            step.rows, step.cols, step.values, seed=step.partition_seed
-        )
-
-    # ------------------------------------------------------------------
-    def query(self, step: AppQueryStep, *, check: bool = True) -> tuple[int, object]:
-        """Execute one application query step.
-
-        Returns ``(applied, payload)`` — an operation count for the step
-        statistics and the byte-comparable payload recorded in
-        ``ScenarioResult.app_results``.  ``check=False`` records without
-        evaluating the baked-in expectations (mirrors ``check_snapshots``).
-        """
-        if isinstance(step, ContractStep):
-            return self._query_contract(step, check)
-        if isinstance(step, TriangleCountCheck):
-            if self.app is None or self.scenario.app.name != "triangle":
-                raise ScenarioCheckError(
-                    f"step {step.label!r}: TriangleCountCheck requires a "
-                    "triangle application scenario"
-                )
-            count = self.app.triangle_count()
-            if check and step.expect is not None and count != step.expect:
-                raise ScenarioCheckError(
-                    f"step {step.label!r}: expected {step.expect} triangles, "
-                    f"got {count}"
-                )
-            return count, int(count)
-        if isinstance(step, ShortestPathCheck):
-            if self.app is None or self.scenario.app.name != "sssp":
-                raise ScenarioCheckError(
-                    f"step {step.label!r}: ShortestPathCheck requires an "
-                    "sssp application scenario"
-                )
-            payload = self.app.distance_tuples(max_hops=step.max_hops)
-            if check and step.expect_tuples is not None:
-                self._check_expected_tuples(step.label, payload, step.expect_tuples)
-            return int(payload[0].size), payload
-        raise ScenarioCheckError(f"unknown application query step {step!r}")
-
-    def _query_contract(self, step: ContractStep, check: bool) -> tuple[int, object]:
-        from repro.apps import contract_graph
-
-        assert self.a is not None
-        contracted = contract_graph(
-            self.comm,
-            self.grid,
-            self.a,
-            step.clusters,
-            n_clusters=step.n_clusters,
-            drop_self_loops=step.drop_self_loops,
-        )
-        payload = canonical_tuples(contracted)
-        if check and step.expect_tuples is not None:
-            self._check_expected_tuples(step.label, payload, step.expect_tuples)
-        return int(contracted.nnz), payload
-
-    @staticmethod
-    def _check_expected_tuples(
-        label: str, got: TupleArrays, expected: TupleArrays
-    ) -> None:
-        ok = (
-            np.array_equal(got[0], expected[0])
-            and np.array_equal(got[1], expected[1])
-            and np.allclose(got[2], expected[2], rtol=1e-9)
-        )
-        if not ok:
-            raise ScenarioCheckError(
-                f"step {label!r}: query result ({got[0].size} tuples) does "
-                f"not match the expected tuples ({expected[0].size})"
-            )
-
-    # ------------------------------------------------------------------
-    def snapshot(self, step: SnapshotCheck) -> None:
-        assert self.a is not None
-        if step.expect_nnz is not None:
-            got = self.a.nnz()
-            if got != step.expect_nnz:
-                raise ScenarioCheckError(
-                    f"snapshot {step.label!r}: expected nnz {step.expect_nnz}, "
-                    f"got {got}"
-                )
-        if step.verify_product:
-            self._verify_product(step)
-
-    def _verify_product(self, step: SnapshotCheck) -> None:
-        if self.c is None or self.scenario.b_tuples is None:
-            raise ScenarioCheckError(
-                f"snapshot {step.label!r}: verify_product requires SpGEMM state"
-            )
-        a_global = CSRMatrix.from_coo(self.a.to_coo_global())
-        b_coo = COOMatrix(
-            shape=self.scenario.shape,
-            rows=self.scenario.b_tuples[0],
-            cols=self.scenario.b_tuples[1],
-            values=self.semiring.coerce(self.scenario.b_tuples[2]),
-            semiring=self.semiring,
-        ).sum_duplicates()
-        reference, _ = spgemm_local(
-            a_global, CSRMatrix.from_coo(b_coo), self.semiring, use_scipy=False
-        )
-        reference = reference.drop_zeros().sort()
-        maintained = self.c.to_coo_global().drop_zeros().sort()
-        ok = (
-            maintained.nnz == reference.nnz
-            and np.array_equal(maintained.rows, reference.rows)
-            and np.array_equal(maintained.cols, reference.cols)
-            and np.allclose(maintained.values, reference.values, rtol=1e-9)
-        )
-        if not ok:
-            raise ScenarioCheckError(
-                f"snapshot {step.label!r}: maintained C (nnz {maintained.nnz}) "
-                f"does not match recomputed A·B (nnz {reference.nnz})"
-            )
-
-    # ------------------------------------------------------------------
-    def final_a(self) -> TupleArrays:
-        assert self.a is not None
-        return canonical_tuples(self.a.to_coo_global())
-
-    def final_c(self) -> TupleArrays | None:
-        if self.c is None:
-            return None
-        return canonical_tuples(self.c.to_coo_global())
-
-
-# ----------------------------------------------------------------------
-# competitor executor (benchmark backends)
-# ----------------------------------------------------------------------
-class CompetitorExecutor:
-    """Replays the data-structure steps of a scenario on a benchmark backend.
-
-    SpGEMM steps are not expressible through the uniform
-    :class:`repro.competitors.base.Backend` interface and raise
-    :class:`~repro.competitors.base.UnsupportedOperation`, truncating the
-    replay (mirroring how the paper's figures drop unsupported systems).
-    """
-
-    name = "competitor"
-    supports_layouts = False
-    #: competitor backends expose no incremental application state
-    app = None
-
-    def __init__(
-        self,
-        comm: Communicator,
-        grid: ProcessGrid,
-        scenario: Scenario,
-        *,
-        layout: str = "csr",
-        backend_name: str = "ours",
-        **backend_kwargs,
-    ) -> None:
-        from repro.competitors import get_backend
-
-        self.comm = comm
-        self.grid = grid
-        self.scenario = scenario
-        self.layout = layout
-        self.backend_name = backend_name
-        self.backend = get_backend(backend_name)(
-            comm, grid, scenario.shape, scenario.semiring, **backend_kwargs
-        )
-
-    @classmethod
-    def factory(cls, backend_name: str, **backend_kwargs) -> Callable:
-        """An ``executor_factory`` for :func:`replay` bound to a backend."""
-
-        def make(comm, grid, scenario, *, layout="csr"):
-            return cls(
-                comm,
-                grid,
-                scenario,
-                layout=layout,
-                backend_name=backend_name,
-                **backend_kwargs,
-            )
-
-        return make
-
-    # ------------------------------------------------------------------
-    def prepare(self) -> None:
-        """Scatter the construction tuples (outside the timed region)."""
-        scenario = self.scenario
-        initial = (
-            scenario.initial_tuples
-            if scenario.initial_tuples is not None
-            else (
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.float64),
-            )
-        )
-        self._initial_per_rank = partition_tuples_round_robin(
-            *initial, self.grid.n_ranks, seed=scenario.construct_seed
-        )
-
-    def construct(self) -> None:
-        self.backend.construct(self._initial_per_rank)
-
-    def apply(self, step: ScenarioStep, per_rank: dict[int, TupleArrays]) -> int:
-        from repro.competitors import UnsupportedOperation
-
-        if isinstance(step, SpGEMMStep):
-            raise UnsupportedOperation(
-                f"backend {self.backend_name!r} cannot replay SpGEMM steps "
-                "through the uniform update interface"
-            )
-        if step.kind == "insert":
-            self.backend.insert_batch(per_rank)
-        elif step.kind == "update":
-            self.backend.update_batch(per_rank)
-        else:
-            self.backend.delete_batch(per_rank)
-        # The uniform backend interface does not report created/changed
-        # counts; the batch size is the comparable volume measure.
-        return step.n_tuples
-
-    def query(self, step: AppQueryStep, *, check: bool = True) -> tuple[int, object]:
-        """Application queries are outside the uniform backend interface."""
-        from repro.competitors import UnsupportedOperation
-
-        raise UnsupportedOperation(
-            f"backend {self.backend_name!r} cannot answer application "
-            f"queries ({step.kind})"
-        )
-
-    def snapshot(self, step: SnapshotCheck) -> None:
-        if step.expect_nnz is not None:
-            got = self.backend.nnz()
-            if got != step.expect_nnz:
-                raise ScenarioCheckError(
-                    f"snapshot {step.label!r}: expected nnz {step.expect_nnz}, "
-                    f"got {got}"
-                )
-        if step.verify_product:
-            raise ScenarioCheckError(
-                "verify_product snapshots require the native executor"
-            )
-
-    def final_a(self) -> TupleArrays:
-        return canonical_tuples(self.backend.to_coo_global())
-
-    def final_c(self) -> TupleArrays | None:
-        return None
-
-
-# ----------------------------------------------------------------------
-# the driver
-# ----------------------------------------------------------------------
-#: built-in communicator classes -> registered backend names, so results
-#: carry the same backend labels whether a comm or a name was passed
-_COMM_CLASS_NAMES = {"SimMPI": "sim", "MPIBackend": "mpi"}
-
-
-def _registry_name_of(comm: Communicator) -> str:
-    cls = type(comm).__name__
-    return _COMM_CLASS_NAMES.get(cls, cls.lower())
-
-
-def _scenario_nnz_weights(
-    scenario: Scenario, grid: ProcessGrid, n_ranks: int
-) -> dict[int, float]:
-    """Per-rank nnz estimates from the initial matrix and a step prefix.
-
-    Counts how many tuples of the initial matrix plus the first few
-    insert/update steps land on each grid rank under the block
-    distribution — the weights the ``nnz_aware`` partitioner bin-packs on.
-    Pure host-side arithmetic on the scenario description (identical on
-    every process), no communication.
-    """
-    dist = BlockDistribution(*scenario.shape, grid)
-    weights = np.zeros(n_ranks, dtype=np.float64)
-    sources: list[tuple[np.ndarray, np.ndarray]] = []
-    if scenario.initial_tuples is not None:
-        sources.append(scenario.initial_tuples[:2])
-    prefix = 0
-    for step in scenario.steps:
-        if isinstance(step, ScenarioStep) and step.kind in ("insert", "update"):
-            sources.append((step.rows, step.cols))
-            prefix += 1
-            if prefix >= 8:
-                break
-    for rows, cols in sources:
-        rows = np.asarray(rows, dtype=np.int64)
-        if rows.size == 0:
-            continue
-        owners = dist.owner_of(rows, cols)
-        counts = np.bincount(owners, minlength=n_ranks)
-        weights += counts[:n_ranks]
-    return {rank: float(weights[rank]) for rank in range(n_ranks)}
-
-
-def _install_placement(
-    comm: Communicator,
-    scenario: Scenario,
-    grid: ProcessGrid,
-    partitioner: str | Partitioner | None,
-) -> None:
-    """Resolve the requested partitioner and install its placement.
-
-    Strategy names are validated even when the communicator has no
-    placement surface (the simulator), so ``REPRO_PARTITIONER`` typos fail
-    loudly on every backend.  The placement is only *installed* when one
-    was explicitly requested (argument or environment): a caller-provided
-    communicator may already carry a custom placement that an unsolicited
-    reset to the default would silently destroy.
-    """
-    requested = (
-        partitioner
-        if partitioner is not None
-        else (os.environ.get(PARTITIONER_ENV_VAR) or None)
-    )
-    if requested is None:
-        return
-    strategy = make_partitioner(requested)
-    if not hasattr(comm, "set_placement"):
-        return
-    weights = (
-        _scenario_nnz_weights(scenario, grid, comm.p)
-        if strategy.uses_weights
-        else None
-    )
-    comm.set_placement(
-        strategy.placement(comm.p, comm.world_size, grid=grid, weights=weights)
-    )
-
-
-def _global_stats_diff(comm: Communicator, since):
-    """Statistics accumulated since ``since``, merged over all processes.
-
-    On a multi-process backend each process records only the traffic of its
-    owned ranks; folding the per-process diffs through the control plane
-    yields the same global per-category volume the simulator reports, which
-    is what the differential harness compares.
-    """
-    return comm.host_fold(comm.stats.diff(since), lambda a, b: a.merge(b))
-
-
-def _merged_stats(
-    prefix: "dict[str, dict[str, float]] | None", comm: Communicator, since
-) -> CommStats:
-    """Global statistics since ``since``, merged onto a snapshot prefix."""
-    suffix = _global_stats_diff(comm, since)
-    if prefix:
-        return CommStats.from_dict(prefix).merge(suffix)
-    return suffix
+# Historical private aliases: these helpers lived here before the engine
+# extraction and external code may still import them by the old names.
+_registry_name_of = registry_name_of
+_scenario_nnz_weights = scenario_nnz_weights
+_install_placement = install_placement
+_global_stats_diff = global_stats_diff
+_merged_stats = merged_stats
 
 
 def replay(
     scenario: Scenario,
     *,
-    backend: str | None = None,
-    n_ranks: int = 16,
-    machine: MachineModel | None = None,
-    layout: str = "csr",
+    options: ReplayOptions | None = None,
     comm: Communicator | None = None,
-    partitioner: str | Partitioner | None = None,
-    executor_factory: Callable | None = None,
-    check_snapshots: bool = True,
-    collect_final: bool = True,
-    checkpoint_store=None,
-    resume_from=None,
-    faults: "FaultPlan | FaultInjector | str | None" = None,
-    on_crash: str = "raise",
-    max_recoveries: int = 8,
-    **backend_kwargs,
+    **kwargs,
 ) -> ScenarioResult:
     """Replay ``scenario`` and return its structured result.
 
     Parameters
     ----------
+    options:
+        A bundled :class:`~repro.scenarios.options.ReplayOptions`.  Any
+        keyword below overrides the bundled value; unknown keywords are
+        forwarded to :func:`repro.runtime.make_communicator`.
     backend:
         Communicator backend name (``"sim"``, ``"mpi"``, …); resolved like
         :func:`repro.runtime.make_communicator` when ``comm`` is not given.
@@ -734,8 +115,8 @@ def replay(
         ``CompetitorExecutor.factory("combblas")`` to replay against a
         benchmark backend.
     check_snapshots:
-        When False, :class:`SnapshotCheck` steps are recorded but not
-        evaluated (useful while benchmarking competitors).
+        When False, :class:`~repro.scenarios.model.SnapshotCheck` steps are
+        recorded but not evaluated (useful while benchmarking competitors).
     collect_final:
         When False, skip assembling the global final tuples (cheaper for
         timing-only replays).
@@ -765,26 +146,26 @@ def replay(
         scratch when none exists yet) or ``"retry"`` (always restart the
         replay from scratch).  In-process backends only.
     """
-    if on_crash not in ("raise", "retry", "restore"):
-        raise ValueError(
-            f"unknown on_crash policy {on_crash!r} (use 'raise', 'retry' or 'restore')"
-        )
     from repro.scenarios.checkpoint import CheckpointStore, load_snapshot
+    from repro.scenarios.model import CheckpointStep, RestoreStep
 
+    opts = (options if options is not None else ReplayOptions()).merged(**kwargs)
+    opts.validate()
     if comm is None:
-        backend_name = resolve_backend_name(backend)
+        backend_name = resolve_backend_name(opts.backend)
         comm = make_communicator(
-            backend_name, n_ranks=n_ranks, machine=machine, **backend_kwargs
+            backend_name,
+            n_ranks=opts.n_ranks,
+            machine=opts.machine,
+            **opts.backend_kwargs,
         )
     else:
         backend_name = (
-            resolve_backend_name(backend)
-            if backend
-            else _registry_name_of(comm)
+            resolve_backend_name(opts.backend)
+            if opts.backend
+            else registry_name_of(comm)
         )
-        n_ranks = comm.p
-    if faults is None:
-        faults = faults_from_env()
+    faults = opts.faults if opts.faults is not None else faults_from_env()
     if isinstance(faults, str):
         faults = FaultPlan.parse(faults)
     injector = (
@@ -792,12 +173,12 @@ def replay(
         if isinstance(faults, FaultInjector)
         else (FaultInjector(faults) if faults is not None else None)
     )
-    store = checkpoint_store
+    store = opts.checkpoint_store
     if store is None and any(
         isinstance(s, (CheckpointStep, RestoreStep)) for s in scenario.steps
     ):
         store = CheckpointStore()
-    resume = resume_from
+    resume = opts.resume_from
     if isinstance(resume, (str, os.PathLike)):
         resume = load_snapshot(resume)
     world_rank = int(getattr(comm, "world_rank", 0))
@@ -809,26 +190,21 @@ def replay(
                 scenario,
                 comm=comm,
                 backend_name=backend_name,
-                n_ranks=n_ranks,
-                layout=layout,
-                partitioner=partitioner,
-                executor_factory=executor_factory,
-                check_snapshots=check_snapshots,
-                collect_final=collect_final,
+                opts=opts,
                 store=store,
                 resume=resume,
                 injector=injector,
                 world_rank=world_rank,
             )
         except SimulatedCrash:
-            if on_crash == "raise":
+            if opts.on_crash == "raise":
                 raise
             recoveries += 1
-            if recoveries > max_recoveries:
+            if recoveries > opts.max_recoveries:
                 raise
             resume = (
                 store.latest(world_rank)
-                if (on_crash == "restore" and store is not None)
+                if (opts.on_crash == "restore" and store is not None)
                 else None
             )
 
@@ -838,328 +214,27 @@ def _replay_once(
     *,
     comm: Communicator,
     backend_name: str,
-    n_ranks: int,
-    layout: str,
-    partitioner,
-    executor_factory,
-    check_snapshots: bool,
-    collect_final: bool,
+    opts: ReplayOptions,
     store,
     resume,
     injector,
     world_rank: int,
 ) -> ScenarioResult:
     """One replay attempt (the crash/recovery loop lives in :func:`replay`)."""
-    from repro.competitors import UnsupportedOperation
-    from repro.scenarios.checkpoint import (
-        SnapshotFormatError,
-        build_snapshot,
-        check_snapshot,
-        restore_state,
-        scenario_fingerprint,
+    engine = ScenarioEngine(
+        scenario,
+        comm,
+        backend_name=backend_name,
+        layout=opts.layout,
+        partitioner=opts.partitioner,
+        executor_factory=opts.executor_factory,
+        check_snapshots=opts.check_snapshots,
+        store=store,
+        injector=injector,
+        world_rank=world_rank,
     )
-
-    # Non-square rank counts degrade to the largest q×q subgrid (surplus
-    # ranks idle), so e.g. `mpiexec -n 6` replays on a 2×2 grid instead of
-    # aborting inside grid construction.  Everything downstream — tuple
-    # scattering, per-step batches, the reported rank count — uses the
-    # effective grid ranks, so trimmed replays stay comparable to runs that
-    # asked for the square count directly.
-    grid = ProcessGrid.fit(n_ranks)
-    n_ranks = grid.n_ranks
-    # Placement must be agreed before any per-rank state is materialised.
-    _install_placement(comm, scenario, grid, partitioner)
-    repartition_at = repartition_threshold()
-    factory = executor_factory or NativeExecutor
-    executor = factory(comm, grid, scenario, layout=layout)
-
-    step_stats: list[StepStats] = []
-    applied_counts: dict[str, int] = {}
-    app_results: list[AppQueryResult] = []
-    truncated_at: int | None = None
-    cursor = 0
-    prefix_comm: dict[str, dict[str, float]] | None = None
-    prefix_update: dict[str, dict[str, float]] | None = None
-    prefix_elapsed = 0.0
-    elapsed_start = comm.elapsed()
-    start = comm.stats.snapshot()
     armed = injector.activate(world_rank) if injector is not None else nullcontext()
-
     with armed:
-        if resume is not None:
-            # ------------ resume: rebuild instead of constructing -------
-            check_snapshot(resume)
-            fingerprint = scenario_fingerprint(scenario)
-            if resume["fingerprint"] != fingerprint:
-                raise SnapshotFormatError(
-                    f"snapshot fingerprint {resume['fingerprint']} does not match "
-                    f"scenario {scenario.name!r} ({fingerprint}); refusing to "
-                    "continue a different trace"
-                )
-            if resume["layout"] != layout:
-                raise SnapshotFormatError(
-                    f"snapshot was taken with layout {resume['layout']!r}; "
-                    f"resuming with {layout!r} would diverge"
-                )
-            progress = resume["progress"]
-            cursor = int(resume["cursor"])
-            step_stats = [StepStats(**dict(s)) for s in progress["step_stats"]]
-            applied_counts = dict(progress["applied_counts"])
-            app_results = [
-                AppQueryResult(
-                    index=int(r["index"]),
-                    kind=str(r["kind"]),
-                    label=str(r["label"]),
-                    payload=r["payload"],
-                )
-                for r in progress["app_results"]
-            ]
-            prefix_comm = progress["comm_stats"]
-            prefix_update = progress["update_stats"]
-            prefix_elapsed = float(progress["elapsed"])
-            with perf_phase("replay_restore"):
-                restore_state(executor, resume)
-            # Recovery traffic lands between `start` and here: it shows up
-            # in the run's comm_stats (recovery category only) but not in
-            # the update-phase statistics.
-            post_construct = comm.stats.snapshot()
-        else:
-            # ------------ construction (optionally timed) ---------------
-            # The round-robin scatter is measurement infrastructure, not
-            # part of the construction protocol: it always stays outside
-            # the timed region.
-            with perf_phase("replay_prepare"):
-                executor.prepare()
-            if scenario.timed_construction:
-                before = comm.stats.snapshot()
-                with comm.timer() as timer, perf_phase("replay_construct"):
-                    executor.construct()
-                diff = _global_stats_diff(comm, before)
-                n_initial = (
-                    int(scenario.initial_tuples[0].size)
-                    if scenario.initial_tuples is not None
-                    else 0
-                )
-                step_stats.append(
-                    StepStats(
-                        index=-1,
-                        kind="construct",
-                        label="construct",
-                        n_tuples=n_initial,
-                        applied=n_initial,
-                        seconds=timer.seconds,
-                        comm_messages=diff.total_messages(),
-                        comm_bytes=diff.total_bytes(),
-                    )
-                )
-            else:
-                with perf_phase("replay_construct"):
-                    executor.construct()
-            post_construct = comm.stats.snapshot()
-
-        # ---------------- the trace ------------------------------------
-        for index, step in enumerate(scenario.steps):
-            if index < cursor:
-                continue
-            if injector is not None:
-                injector.check_step(index, process=world_rank)
-            if isinstance(step, CheckpointStep):
-                # The checkpoint's own (untimed, zero-comm) statistics are
-                # part of the snapshot, so the restored run replays it as
-                # already-done.
-                step_stats.append(
-                    StepStats(
-                        index=index,
-                        kind="checkpoint",
-                        label=step.label,
-                        n_tuples=0,
-                        applied=0,
-                        seconds=0.0,
-                    )
-                )
-                snapshot = build_snapshot(
-                    executor,
-                    cursor=index + 1,
-                    step_stats=step_stats,
-                    applied_counts=applied_counts,
-                    app_results=app_results,
-                    comm_stats=_merged_stats(prefix_comm, comm, start).as_dict(),
-                    update_stats=_merged_stats(
-                        prefix_update, comm, post_construct
-                    ).as_dict(),
-                    elapsed=prefix_elapsed + comm.elapsed() - elapsed_start,
-                )
-                if store is not None:
-                    store.save(step.tag, world_rank, snapshot)
-                continue
-            if isinstance(step, RestoreStep):
-                if store is None:
-                    raise ScenarioCheckError(
-                        f"step {step.label!r}: RestoreStep needs a checkpoint "
-                        "store (did a CheckpointStep run first?)"
-                    )
-                snapshot = store.load(step.tag, world_rank)
-                before = comm.stats.snapshot()
-                with perf_phase("replay_restore"):
-                    n_blocks = restore_state(executor, snapshot)
-                diff = _global_stats_diff(comm, before)
-                step_stats.append(
-                    StepStats(
-                        index=index,
-                        kind="restore",
-                        label=step.label,
-                        n_tuples=0,
-                        applied=int(n_blocks),
-                        seconds=0.0,
-                        comm_messages=diff.total_messages(),
-                        comm_bytes=diff.total_bytes(),
-                    )
-                )
-                continue
-            if isinstance(step, CrashStep):
-                if injector is not None:
-                    injector.fire_crash(index, step.process, process=world_rank)
-                step_stats.append(
-                    StepStats(
-                        index=index,
-                        kind="crash",
-                        label=step.label,
-                        n_tuples=0,
-                        applied=0,
-                        seconds=0.0,
-                    )
-                )
-                continue
-            if isinstance(step, SnapshotCheck):
-                if check_snapshots:
-                    executor.snapshot(step)
-                step_stats.append(
-                    StepStats(
-                        index=index,
-                        kind="snapshot",
-                        label=step.label,
-                        n_tuples=0,
-                        applied=0,
-                        seconds=0.0,
-                    )
-                )
-                continue
-            if isinstance(step, AppQueryStep):
-                before = comm.stats.snapshot()
-                try:
-                    with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
-                        applied, payload = executor.query(step, check=check_snapshots)
-                except UnsupportedOperation:
-                    step_stats.append(
-                        StepStats(
-                            index=index,
-                            kind=step.kind,
-                            label=step.label,
-                            n_tuples=0,
-                            applied=0,
-                            seconds=0.0,
-                            supported=False,
-                        )
-                    )
-                    truncated_at = index
-                    break
-                diff = _global_stats_diff(comm, before)
-                step_stats.append(
-                    StepStats(
-                        index=index,
-                        kind=step.kind,
-                        label=step.label,
-                        n_tuples=0,
-                        applied=int(applied),
-                        seconds=timer.seconds,
-                        comm_messages=diff.total_messages(),
-                        comm_bytes=diff.total_bytes(),
-                    )
-                )
-                app_results.append(
-                    AppQueryResult(
-                        index=index, kind=step.kind, label=step.label, payload=payload
-                    )
-                )
-                applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
-                continue
-            # the applications re-scatter their (transformed) batches themselves
-            per_rank = (
-                step.per_rank(n_ranks)
-                if getattr(executor, "app", None) is None
-                else {}
-            )
-            before = comm.stats.snapshot()
-            try:
-                with comm.timer() as timer, perf_phase(f"replay_{step.kind}"):
-                    applied = executor.apply(step, per_rank)
-            except UnsupportedOperation:
-                step_stats.append(
-                    StepStats(
-                        index=index,
-                        kind=step.kind,
-                        label=step.label,
-                        n_tuples=step.n_tuples,
-                        applied=0,
-                        seconds=0.0,
-                        supported=False,
-                    )
-                )
-                truncated_at = index
-                break
-            diff = _global_stats_diff(comm, before)
-            step_stats.append(
-                StepStats(
-                    index=index,
-                    kind=step.kind,
-                    label=step.label,
-                    n_tuples=step.n_tuples,
-                    applied=int(applied),
-                    seconds=timer.seconds,
-                    comm_messages=diff.total_messages(),
-                    comm_bytes=diff.total_bytes(),
-                )
-            )
-            applied_counts[step.kind] = applied_counts.get(step.kind, 0) + int(applied)
-            # Online repartitioning (REPRO_REPARTITION): only for pure-update
-            # replays on a placement-aware backend — with SpGEMM state or an
-            # application in play, more matrices than `a` would have to move
-            # in lock-step, which the hook deliberately does not attempt.
-            if (
-                repartition_at is not None
-                and isinstance(executor, NativeExecutor)
-                and executor.app is None
-                and executor.product is None
-                and executor.b_static is None
-                and executor.c is None
-                and executor.a is not None
-            ):
-                with perf_phase("replay_repartition"):
-                    maybe_repartition(
-                        comm, grid, [executor.a], threshold=repartition_at
-                    )
-
-    # ---------------- result -------------------------------------------
-    empty = (
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.float64),
-    )
-    final_a: TupleArrays = executor.final_a() if collect_final else empty
-    final_c = executor.final_c() if collect_final else None
-    return ScenarioResult(
-        scenario=scenario.name,
-        backend=backend_name,
-        n_ranks=n_ranks,
-        layout=layout,
-        semiring_name=scenario.semiring_name,
-        steps=step_stats,
-        final_a=final_a,
-        final_c=final_c,
-        applied_counts=applied_counts,
-        comm_stats=_merged_stats(prefix_comm, comm, start).as_dict(),
-        update_stats=_merged_stats(prefix_update, comm, post_construct).as_dict(),
-        truncated_at=truncated_at,
-        elapsed_modeled=prefix_elapsed + comm.elapsed() - elapsed_start,
-        app_results=app_results,
-    )
+        engine.begin(resume=resume)
+        engine.advance()
+    return engine.result(collect_final=opts.collect_final)

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Service soak: one long-lived world, many tenants, many micro-batches.
+
+The unit and differential suites exercise short tenant lifetimes; this
+driver soaks the always-on service the way it is meant to run — a single
+persistent world serving several tenants through many ingestion rounds
+with periodic consistent-snapshot queries — and verifies at the end (and
+at periodic sampled flush points) that every tenant's live state still
+matches a cold ``replay()`` of its request log byte-identically: final
+tuples, application query payloads and per-category comm volume.
+
+    env PYTHONPATH=src python tools/service_soak.py --rounds 12 --tenants 3
+    mpiexec -n 2 env PYTHONPATH=src python tools/service_soak.py --rounds 8
+
+Without ``mpiexec`` the soak runs on a single-process world of the
+requested backend (``sim`` by default); under ``mpiexec`` it serves from
+the genuine ``MPI.COMM_WORLD`` with the ``mpi`` backend, every process
+driving the identical SPMD request stream.  Exits 1 on the first
+divergence between service state and its replayed log.  Used by the CI
+soak leg; see ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import warnings
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.runtime import ServiceWorld, world_rank, world_size
+from repro.scenarios import AppSpec, ReplayOptions, replay
+from repro.service import GraphService, ServiceConfig
+
+N = 64
+N_RANKS = 4
+
+
+def _fail(message: str) -> None:
+    print(f"service_soak: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _check_oracle(tenant, world: ServiceWorld, *, what: str) -> None:
+    """Service state must equal a cold replay of the tenant's log."""
+    from dataclasses import replace
+
+    live = tenant.result()
+    log = replace(tenant.log, steps=list(tenant.log.steps))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        cold = replay(
+            log,
+            options=tenant.replay_options(),
+            comm=world.communicator(tenant.comm.p),
+        )
+    for live_arr, cold_arr, axis in zip(live.final_a, cold.final_a, "rcv"):
+        if not np.array_equal(live_arr, cold_arr):
+            _fail(f"{what}: final tuples diverge on axis {axis!r}")
+    if live.comm_signature() != cold.comm_signature():
+        _fail(
+            f"{what}: comm volume diverges "
+            f"({live.comm_signature()} != {cold.comm_signature()})"
+        )
+    if live.applied_counts != cold.applied_counts:
+        _fail(f"{what}: applied counts diverge")
+    if len(live.app_results) != len(cold.app_results):
+        _fail(f"{what}: app query counts diverge")
+    for got, want in zip(live.app_results, cold.app_results):
+        matches = (
+            np.array_equal(got.payload[i], want.payload[i]) for i in range(3)
+        ) if isinstance(want.payload, tuple) else (got.payload == want.payload,)
+        if not all(matches):
+            _fail(f"{what}: app payload diverges at {got.label!r}")
+
+
+def soak(
+    *,
+    backend: str | None,
+    rounds: int,
+    n_tenants: int,
+    seed: int,
+    check_every: int,
+) -> tuple[int, str]:
+    """Run the soak; returns (oracle checks passed, resolved backend)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        world = ServiceWorld(backend)
+    config = ServiceConfig(
+        replay=ReplayOptions(n_ranks=N_RANKS), flush_max_requests=4,
+        flush_max_delay=3.0,
+    )
+    checks = 0
+    with GraphService(world, config=config) as service:
+        tenants = []
+        for i in range(n_tenants):
+            app = None
+            semiring = "plus_times"
+            if i % 3 == 1:
+                app = AppSpec(name="triangle")
+            elif i % 3 == 2:
+                app = AppSpec(name="sssp", sources=np.array([0, 1], dtype=np.int64))
+                semiring = "min_plus"
+            tenants.append(
+                service.create_tenant(
+                    f"tenant{i}", (N, N), seed=seed + i, app=app,
+                    semiring_name=semiring,
+                )
+            )
+        rngs = [np.random.default_rng(seed + 1000 + i) for i in range(n_tenants)]
+        for r in range(rounds):
+            for i, (tenant, rng) in enumerate(zip(tenants, rngs)):
+                for _ in range(3):
+                    rows = rng.integers(0, N, 6)
+                    cols = rng.integers(0, N, 6)
+                    if tenant.log.app is None and rng.random() < 0.2:
+                        tenant.delete(rows, cols)
+                    else:
+                        keep = rows != cols
+                        tenant.insert(
+                            rows[keep], cols[keep], rng.random(int(keep.sum())) + 0.1
+                        )
+                if tenant.log.app is not None and r % 3 == 2:
+                    if tenant.log.app.name == "triangle":
+                        tenant.triangle_count()
+                    else:
+                        tenant.shortest_paths()
+            service.advance_time(1.0)
+            if (r + 1) % check_every == 0 or r == rounds - 1:
+                for i, tenant in enumerate(tenants):
+                    _check_oracle(
+                        tenant, world, what=f"round {r + 1}, tenant{i}"
+                    )
+                    checks += 1
+                if world_rank() == 0:
+                    print(
+                        f"service_soak: round {r + 1}/{rounds}: "
+                        f"{n_tenants} tenants verified "
+                        f"({sum(t.n_steps for t in tenants)} steps applied, "
+                        f"{world.minted} communicators minted)"
+                    )
+    world.shutdown()
+    return checks, world.backend_name
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "mpi"),
+        default=None,
+        help="world backend; defaults to mpi under mpiexec, otherwise to "
+        "the REPRO_BACKEND resolution (sim)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=12, help="ingestion rounds (default %(default)s)"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=3, help="tenant count (default %(default)s)"
+    )
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        default=4,
+        help="verify the oracle every N rounds (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=2022, help="base seed")
+    args = parser.parse_args(argv)
+    backend = args.backend
+    if backend is None and world_size() > 1:
+        backend = "mpi"
+    checks, backend = soak(
+        backend=backend,
+        rounds=args.rounds,
+        n_tenants=args.tenants,
+        seed=args.seed,
+        check_every=args.check_every,
+    )
+    if world_rank() == 0:
+        print(
+            f"service_soak: OK ({checks} oracle checks on backend {backend!r}, "
+            f"world size {world_size()})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
