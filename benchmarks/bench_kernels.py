@@ -1,0 +1,334 @@
+#!/usr/bin/env python
+"""Kernel-tier benchmark: compiled cores vs the pure-Python oracles.
+
+Measures the three hot local kernels behind the
+:mod:`repro.sparse.kernels` tier switch on single-process workloads and
+emits a schema-validated ``BENCH_kernels.json``:
+
+``spgemm_rmat``
+    Row-wise Gustavson SpGEMM (``use_scipy=False``) over a pair of
+    R-MAT-skewed operands — the workload the compiled
+    ``_gustavson_core`` exists for.  Measured once without and once with
+    the Bloom fold (``:bloom`` tag), since the bit expansion is its own
+    inner loop.
+
+``dhb_batch_insert``
+    Whole-batch vectorised insertion of a dense update into a DHB matrix
+    whose touched rows already exist — the hit/miss probe
+    (:func:`repro.sparse.kernels.dhb_insert.probe_existing_rows`) is the
+    hot path.  The SPA bulk merge is exercised implicitly by the SpGEMM
+    cells.
+
+Each cell runs under one explicit ``kernel_tier``; the recorded
+``kernels.tier_*`` counters prove which tier actually executed.  With
+``--tier python`` / ``--tier compiled`` the scenario tags are tier-free,
+so two single-tier documents can be matched run for run by
+``repro.perf.compare`` — the CI numba leg gates::
+
+    python benchmarks/bench_kernels.py --tier python \
+        --out bench_out --filename BENCH_kernels_python.json
+    python benchmarks/bench_kernels.py --tier compiled \
+        --out bench_out --filename BENCH_kernels_compiled.json
+    python -m repro.perf.compare bench_out/BENCH_kernels_python.json \
+        bench_out/BENCH_kernels_compiled.json --expect-speedup 0.5
+
+``--tier both`` emits one combined document with ``:<tier>`` tag
+suffixes — the ``kernels`` figure of ``benchmarks/run_suite.py``.
+``--tier compiled`` without numba fails loudly (RuntimeError from
+``resolve_kernel_tier``) rather than silently benchmarking Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Any
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.perf import PerfRecorder, bench_document, bench_run_entry, use_recorder
+from repro.semirings import MIN_PLUS, PLUS_TIMES
+from repro.sparse import CSRMatrix, DHBMatrix, spgemm_local
+from repro.sparse.kernels import numba_available
+
+DEFAULT_REPEATS = 5
+DEFAULT_SEED = 2022
+
+#: SpGEMM operand scale: n×n R-MAT-skewed operands with ~AVG_DEG·n terms.
+SPGEMM_N = 1500
+SPGEMM_AVG_DEG = 8
+
+#: DHB insert scale: rows of the seeded matrix hit by the dense batch.
+DHB_ROWS = 600
+DHB_COLS = 4096
+DHB_BATCH = 24_000
+
+
+def _rmat_coo(n: int, nnz: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """R-MAT-style skewed edge endpoints (power-law rows and columns)."""
+    rng = np.random.default_rng(seed)
+    # squaring a uniform variate biases ids towards 0 — the bursty-hub
+    # degree profile that makes Gustavson rows collide heavily
+    rows = np.minimum((rng.random(nnz) ** 2 * n).astype(np.int64), n - 1)
+    cols = np.minimum((rng.random(nnz) ** 2 * n).astype(np.int64), n - 1)
+    return rows, cols
+
+
+def _spgemm_operands(seed: int) -> tuple[CSRMatrix, CSRMatrix]:
+    from repro.sparse import COOMatrix
+
+    n, nnz = SPGEMM_N, SPGEMM_N * SPGEMM_AVG_DEG
+    mats = []
+    for offset in (0, 1):
+        rows, cols = _rmat_coo(n, nnz, seed + offset)
+        vals = np.random.default_rng(seed + 10 + offset).random(nnz) + 0.1
+        coo = COOMatrix((n, n), rows, cols, vals).sum_duplicates()
+        mats.append(CSRMatrix.from_coo(coo, dedup=False))
+    return mats[0], mats[1]
+
+
+def _dhb_workload(seed: int):
+    rng = np.random.default_rng(seed)
+    base_rows = np.repeat(np.arange(DHB_ROWS, dtype=np.int64), 8)
+    base_cols = rng.integers(0, DHB_COLS, size=base_rows.size)
+    base_vals = rng.random(base_rows.size) + 0.1
+    batch_rows = rng.integers(0, DHB_ROWS, size=DHB_BATCH)
+    batch_cols = rng.integers(0, DHB_COLS, size=DHB_BATCH)
+    batch_vals = rng.random(DHB_BATCH) + 0.1
+    return (base_rows, base_cols, base_vals), (batch_rows, batch_cols, batch_vals)
+
+
+def _measure(workload, *, repeats: int) -> tuple[float, PerfRecorder]:
+    """Median wall time of ``workload()`` plus one run's counters.
+
+    A workload may return its own measured seconds (to exclude untiered
+    per-run setup such as building the matrix a batch lands in);
+    returning ``None`` times the whole call.
+    """
+    workload()  # warm-up: imports, caches and (with numba) JIT compiles
+    elapsed: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        inner = workload()
+        outer = time.perf_counter() - started
+        elapsed.append(outer if inner is None else float(inner))
+    recorder = PerfRecorder()
+    with use_recorder(recorder):
+        workload()
+    return float(statistics.median(elapsed)), recorder
+
+
+def _entry(
+    tag: str,
+    layout: str,
+    tier: str,
+    median: float,
+    recorder: PerfRecorder,
+    *,
+    repeats: int,
+    tag_mode: bool,
+) -> dict[str, Any]:
+    expected = f"kernels.tier_{tier}"
+    if expected not in recorder.counters:
+        raise RuntimeError(
+            f"cell {tag!r} requested the {tier!r} tier but never dispatched it"
+        )
+    return {
+        **bench_run_entry(
+            backend="local",
+            layout=layout,
+            repeats=repeats,
+            elapsed_seconds_median=median,
+            phase_seconds_median={
+                path: recorder.phase_seconds(path) for path in recorder.phases
+            },
+            phase_calls={
+                path: recorder.phases[path].calls for path in recorder.phases
+            },
+            counters=dict(recorder.counters),
+            comm={"messages": 0.0, "bytes": 0.0},
+        ),
+        "scenario": f"{tag}:{tier}" if tag_mode else tag,
+    }
+
+
+def measure_spgemm_cell(
+    tier: str,
+    *,
+    compute_bloom: bool,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    tag_mode: bool = False,
+) -> dict[str, Any]:
+    """One ``runs[]`` entry: rowwise SpGEMM under ``tier``."""
+    a, b = _spgemm_operands(seed)
+    semiring = MIN_PLUS if compute_bloom else PLUS_TIMES
+
+    def workload():
+        spgemm_local(
+            a,
+            b,
+            semiring,
+            use_scipy=False,
+            compute_bloom=compute_bloom,
+            kernel_tier=tier,
+        )
+
+    median, recorder = _measure(workload, repeats=repeats)
+    tag = "spgemm_rmat:bloom" if compute_bloom else "spgemm_rmat"
+    return _entry(
+        tag, "csr", tier, median, recorder, repeats=repeats, tag_mode=tag_mode
+    )
+
+
+def measure_dhb_cell(
+    tier: str,
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    tag_mode: bool = False,
+) -> dict[str, Any]:
+    """One ``runs[]`` entry: whole-batch DHB insertion under ``tier``."""
+    base, batch = _dhb_workload(seed)
+
+    def workload():
+        # base construction is tier-independent setup — only the batch
+        # insertion is timed
+        mat = DHBMatrix((DHB_ROWS, DHB_COLS))
+        mat.insert_batch(*base)
+        started = time.perf_counter()
+        mat.insert_batch(*batch, strategy="vectorized", kernel_tier=tier)
+        return time.perf_counter() - started
+
+    median, recorder = _measure(workload, repeats=repeats)
+    return _entry(
+        "dhb_batch_insert",
+        "dhb",
+        tier,
+        median,
+        recorder,
+        repeats=repeats,
+        tag_mode=tag_mode,
+    )
+
+
+def build_document(
+    *,
+    tiers: tuple[str, ...] | None = None,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, Any]:
+    """Assemble the ``BENCH_kernels`` document for the requested tiers.
+
+    ``tiers=None`` measures both tiers when numba is importable and only
+    the Python oracles otherwise (the ``run_suite`` default — the suite
+    must stay green on numba-free hosts).
+    """
+    if tiers is None:
+        tiers = ("python", "compiled") if numba_available() else ("python",)
+    tag_mode = len(tiers) > 1
+    runs: list[dict[str, Any]] = []
+    for tier in tiers:
+        runs.append(
+            measure_spgemm_cell(
+                tier,
+                compute_bloom=False,
+                repeats=repeats,
+                seed=seed,
+                tag_mode=tag_mode,
+            )
+        )
+        if tag_mode:
+            # The Bloom fold shares its per-entry filter-build cost across
+            # tiers, diluting the measured ratio — informative in the
+            # combined figure, excluded from the gated single-tier
+            # documents so ``--expect-speedup`` gates exactly the two
+            # acceptance workloads.
+            runs.append(
+                measure_spgemm_cell(
+                    tier,
+                    compute_bloom=True,
+                    repeats=repeats,
+                    seed=seed,
+                    tag_mode=tag_mode,
+                )
+            )
+        runs.append(
+            measure_dhb_cell(tier, repeats=repeats, seed=seed, tag_mode=tag_mode)
+        )
+    extras: dict[str, Any] = {
+        "tiers": list(tiers),
+        "numba_available": numba_available(),
+        "spgemm_n": SPGEMM_N,
+        "spgemm_avg_degree": SPGEMM_AVG_DEG,
+        "dhb_batch": DHB_BATCH,
+    }
+    return bench_document(
+        figure="kernels",
+        title="Compiled kernel tier vs pure-Python oracles",
+        seed=seed,
+        profile="kernels",
+        n_ranks=1,
+        runs=runs,
+        extras=extras,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier",
+        choices=("python", "compiled", "both", "auto"),
+        default="auto",
+        help="kernel tier to measure: a single tier for comparable "
+        "documents, 'both' for one combined document with per-tier tags, "
+        "'auto' for both-if-numba-else-python (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="repeats per cell; medians are reported (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="bench_out", help="output directory (default %(default)s)"
+    )
+    parser.add_argument(
+        "--filename",
+        default="BENCH_kernels.json",
+        help="output file name (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="base seed")
+    args = parser.parse_args(argv)
+    tiers: tuple[str, ...] | None
+    if args.tier == "auto":
+        tiers = None
+    elif args.tier == "both":
+        tiers = ("python", "compiled")
+    else:
+        tiers = (args.tier,)
+    started = time.perf_counter()
+    document = build_document(tiers=tiers, repeats=args.repeats, seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, args.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {path}  ({len(document['runs'])} runs, "
+        f"{time.perf_counter() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

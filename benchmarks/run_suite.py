@@ -72,6 +72,7 @@ KNOWN_FIGS = (
     "partition",
     "checkpoint",
     "service",
+    "kernels",
 )
 
 
@@ -344,6 +345,23 @@ def run_suite(
                 partitioners=tuple(available_partitioners()),
                 repeats=repeats,
                 seed=seed if seed else 2022,
+            )
+            if _write_document(document, fig, out_dir, started, len(document["runs"])):
+                written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))
+            continue
+        if fig == "kernels":
+            # Delegates to benchmarks/bench_kernels.py: the three hot
+            # local kernels behind the REPRO_KERNEL_TIER switch, measured
+            # per tier with per-tier scenario tags.  On numba-free hosts
+            # only the pure-Python oracles are measured (the compiled
+            # column would just re-run the shimmed Python code); the
+            # gated two-document comparison is driven by bench_kernels.py
+            # directly in the CI numba leg (see its docstring).
+            sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+            from bench_kernels import build_document as build_kernels_document
+
+            document = build_kernels_document(
+                repeats=repeats, seed=seed if seed else 2022
             )
             if _write_document(document, fig, out_dir, started, len(document["runs"])):
                 written.append(os.path.join(out_dir, f"BENCH_{fig}.json"))

@@ -27,12 +27,16 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, replace
 
+from repro.sparse.kernels.tier import KERNEL_TIER_ENV_VAR, resolve_kernel_tier
+
 __all__ = [
+    "KERNEL_TIER_ENV_VAR",
     "MachineModel",
     "NODE_CONFIGS",
     "OVERLAP_ENV_VAR",
     "overlap_enabled",
     "ranks_for_nodes",
+    "resolve_kernel_tier",
 ]
 
 #: Environment variable selecting the communication schedule: ``on``
@@ -40,6 +44,12 @@ __all__ = [
 #: pipelined C* broadcasts, overlapped redistribution); ``off`` keeps the
 #: synchronous schedule, which serves as the differential oracle.
 OVERLAP_ENV_VAR = "REPRO_OVERLAP"
+
+# ``KERNEL_TIER_ENV_VAR`` (``REPRO_KERNEL_TIER``) and
+# ``resolve_kernel_tier`` are re-exported from
+# :mod:`repro.sparse.kernels.tier` so runtime configuration has one
+# import home for the environment switches; see that module for the
+# ``python`` / ``compiled`` / ``auto`` semantics.
 
 
 def overlap_enabled() -> bool:

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse.coo import COOMatrix
-from repro.sparse.layout import register_row_layout
+from repro.sparse.layout import FlatRows, register_flat_rows, register_row_layout
 
 __all__ = ["CSRMatrix"]
 
@@ -240,3 +240,13 @@ class CSRMatrix:
 
 
 register_row_layout(CSRMatrix)
+register_flat_rows(
+    CSRMatrix,
+    # zero-copy: every row is a segment, empty rows included
+    lambda m: FlatRows(
+        row_ids=np.arange(m.shape[0], dtype=np.int64),
+        row_ptr=m.indptr,
+        cols=m.indices,
+        vals=m.values,
+    ),
+)

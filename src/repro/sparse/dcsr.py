@@ -23,7 +23,7 @@ import numpy as np
 from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.layout import register_row_layout
+from repro.sparse.layout import FlatRows, register_flat_rows, register_row_layout
 
 __all__ = ["DCSRMatrix"]
 
@@ -211,3 +211,10 @@ class DCSRMatrix:
 
 
 register_row_layout(DCSRMatrix)
+register_flat_rows(
+    DCSRMatrix,
+    # zero-copy: DCSR storage *is* the flat non-empty-row form
+    lambda m: FlatRows(
+        row_ids=m.nz_rows, row_ptr=m.indptr, cols=m.indices, vals=m.values
+    ),
+)

@@ -27,6 +27,8 @@ from repro.semirings import PLUS_TIMES, Semiring
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.dcsr import DCSRMatrix
+from repro.sparse.kernels.dhb_insert import probe_existing_rows
+from repro.sparse.kernels.tier import count_tier, resolve_kernel_tier
 from repro.sparse.layout import register_row_layout
 
 __all__ = [
@@ -337,7 +339,9 @@ class DHBMatrix:
                 grows += row.grow_count - before
         return grows
 
-    def insert_batch(self, rows, cols, values, combine=None, *, strategy="auto") -> int:
+    def insert_batch(
+        self, rows, cols, values, combine=None, *, strategy="auto", kernel_tier=None
+    ) -> int:
         """Insert a batch of triplets; returns the number of new non-zeros.
 
         ``combine`` handles collisions with existing entries (and between
@@ -364,6 +368,11 @@ class DHBMatrix:
         With ``strategy="auto"`` the :data:`DHB_INSERT_STRATEGY_ENV_VAR`
         environment variable, when set, overrides the heuristic dispatch
         (scattered-batch detection via :data:`AUTO_SCATTERED_FACTOR`).
+
+        ``kernel_tier`` overrides ``REPRO_KERNEL_TIER`` per call for the
+        vectorised path's hit/miss probe (see
+        :mod:`repro.sparse.kernels`); the per-element and bulk-build paths
+        are pure Python in every tier.
         """
         if strategy not in ("auto", "vectorized", "per_element"):
             raise ValueError(
@@ -382,11 +391,15 @@ class DHBMatrix:
             raise IndexError(f"batch entry outside matrix of shape {self.shape}")
         with perf_phase("dhb_insert"):
             perf_count("dhb.insert.entries", rows.size)
-            created = self._insert_batch_dispatch(rows, cols, values, combine, strategy)
+            created = self._insert_batch_dispatch(
+                rows, cols, values, combine, strategy, kernel_tier
+            )
             perf_count("dhb.insert.created", created)
             return created
 
-    def _insert_batch_dispatch(self, rows, cols, values, combine, strategy) -> int:
+    def _insert_batch_dispatch(
+        self, rows, cols, values, combine, strategy, kernel_tier=None
+    ) -> int:
         """Pick and run the insertion path for a validated batch.
 
         The per-element loop consumes the batch in its original order (the
@@ -402,7 +415,9 @@ class DHBMatrix:
             return self._insert_scattered(rows, cols, values, combine)
         if strategy == "vectorized":
             perf_count("dhb.insert.path_vectorized")
-            return self._insert_batch_vectorized(rows, cols, values, combine)
+            return self._insert_batch_vectorized(
+                rows, cols, values, combine, kernel_tier=kernel_tier
+            )
         # auto: one lexsort serves the heuristic and both dispatch targets
         if self._nnz == 0:
             perf_count("dhb.insert.path_bulk_build")
@@ -420,9 +435,11 @@ class DHBMatrix:
             perf_count("dhb.insert.path_per_element")
             return self._insert_scattered(rows_s, cols_s, vals_s, combine)
         perf_count("dhb.insert.path_vectorized")
-        return self._insert_batch_sorted(rows_s, cols_s, vals_s, combine)
+        return self._insert_batch_sorted(
+            rows_s, cols_s, vals_s, combine, kernel_tier=kernel_tier
+        )
 
-    def _insert_batch_vectorized(self, rows, cols, values, combine) -> int:
+    def _insert_batch_vectorized(self, rows, cols, values, combine, *, kernel_tier=None) -> int:
         """Whole-batch vectorised insertion (sorts, then applies).
 
         One stable ``(row, col)`` lexsort orders the entire batch, one
@@ -435,10 +452,12 @@ class DHBMatrix:
         """
         order = np.lexsort((cols, rows))
         return self._insert_batch_sorted(
-            rows[order], cols[order], values[order], combine
+            rows[order], cols[order], values[order], combine, kernel_tier=kernel_tier
         )
 
-    def _insert_batch_sorted(self, rows_s, cols_s, vals_s, combine) -> int:
+    def _insert_batch_sorted(
+        self, rows_s, cols_s, vals_s, combine, *, kernel_tier=None
+    ) -> int:
         """The vectorised application over ``(row, col)``-lexsorted arrays."""
         same = (rows_s[1:] == rows_s[:-1]) & (cols_s[1:] == cols_s[:-1])
         if not np.any(same):
@@ -448,24 +467,31 @@ class DHBMatrix:
             # each (row, col) in sorted order is the last in batch order
             keep = np.concatenate((~same, [True]))
             rows_u, cols_u, vals_u = rows_s[keep], cols_s[keep], vals_s[keep]
-        else:
+        elif combine == self.semiring.plus:
             starts = np.flatnonzero(np.concatenate(([True], ~same)))
             rows_u, cols_u = rows_s[starts], cols_s[starts]
-            if combine == self.semiring.plus:
-                vals_u = self.semiring.add_reduceat(vals_s, starts)
-            else:
-                # arbitrary combiner: fold duplicate groups in a loop
-                vals_u = vals_s[starts].copy()
-                ends = np.append(starts[1:], vals_s.size)
-                for gi, (s, e) in enumerate(zip(starts, ends)):
-                    acc = vals_s[s]
-                    for t in range(s + 1, e):
-                        acc = combine(acc, vals_s[t])
-                    vals_u[gi] = acc
+            vals_u = self.semiring.add_reduceat(vals_s, starts)
+        else:
+            # An arbitrary combiner cannot be pre-folded over duplicate
+            # groups: combining the group first and the existing entry
+            # second computes combine(existing, fold(v1..vk)), whereas the
+            # per-element baseline computes fold(combine(existing, v1)..vk)
+            # — these differ for non-associative combiners.  The stable
+            # lexsort keeps each group's batch order and distinct keys are
+            # independent, so the per-element loop over the sorted batch
+            # reproduces the baseline exactly.
+            perf_count("dhb.insert.path_combine_fallback")
+            return self._insert_scattered(rows_s, cols_s, vals_s, combine)
         row_starts = np.flatnonzero(
             np.concatenate(([True], rows_u[1:] != rows_u[:-1]))
         )
         row_ends = np.append(row_starts[1:], rows_u.size)
+        tier = resolve_kernel_tier(kernel_tier)
+        count_tier("dhb_insert", tier)
+        if tier == "compiled":
+            return self._apply_sorted_compiled(
+                rows_u, cols_u, vals_u, row_starts, row_ends, combine
+            )
         created = 0
         get_row = self._rows.get
         for i, lo, hi in zip(
@@ -477,6 +503,80 @@ class DHBMatrix:
                 created += hi - lo
             else:
                 created += _merge_into_row(row, cols_u[lo:hi], vals_u[lo:hi], combine)
+        self._nnz += created
+        return created
+
+    def _apply_sorted_compiled(
+        self, rows_u, cols_u, vals_u, row_starts, row_ends, combine
+    ) -> int:
+        """Compiled-tier application of a deduplicated, sorted batch.
+
+        Absent rows are bulk-loaded exactly as in the Python tier; for the
+        touched *existing* rows, one jitted call
+        (:func:`repro.sparse.kernels.dhb_insert.probe_existing_rows`)
+        replaces the per-element dict probes of :func:`_merge_into_row`,
+        and the value application reuses the Python tier's vectorised
+        NumPy expressions — outputs, adjacency orders and created-counts
+        are byte-identical between tiers.
+        """
+        created = 0
+        get_row = self._rows.get
+        touched: list[DHBRow] = []
+        seg_bounds: list[tuple[int, int]] = []
+        ex_sizes: list[int] = []
+        ex_chunks: list[np.ndarray] = []
+        for i, lo, hi in zip(
+            rows_u[row_starts].tolist(), row_starts.tolist(), row_ends.tolist()
+        ):
+            row = get_row(i)
+            if row is None:
+                self._rows[i] = DHBRow.from_arrays(cols_u[lo:hi], vals_u[lo:hi])
+                created += hi - lo
+            else:
+                touched.append(row)
+                seg_bounds.append((lo, hi))
+                ex_sizes.append(row.size)
+                ex_chunks.append(row.cols[: row.size])
+        if not touched:
+            self._nnz += created
+            return created
+        ex_ptr = np.zeros(len(touched) + 1, dtype=np.int64)
+        np.cumsum(ex_sizes, out=ex_ptr[1:])
+        ex_cols = np.ascontiguousarray(np.concatenate(ex_chunks))
+        new_ptr = np.zeros(len(touched) + 1, dtype=np.int64)
+        np.cumsum([hi - lo for lo, hi in seg_bounds], out=new_ptr[1:])
+        new_cols = np.ascontiguousarray(
+            np.concatenate([cols_u[lo:hi] for lo, hi in seg_bounds])
+        )
+        slots = probe_existing_rows(ex_cols, ex_ptr, new_cols, new_ptr)
+        for r, (row, (lo, hi)) in enumerate(zip(touched, seg_bounds)):
+            seg_slots = slots[new_ptr[r] : new_ptr[r + 1]]
+            cols_seg = cols_u[lo:hi]
+            vals_seg = vals_u[lo:hi]
+            hit = seg_slots >= 0
+            if np.any(hit):
+                hs = seg_slots[hit]
+                hv = vals_seg[hit]
+                if combine is None:
+                    row.vals[hs] = hv
+                else:
+                    row.vals[hs] = combine(row.vals[hs], hv)
+            k = int(np.count_nonzero(~hit))
+            if k:
+                if k == cols_seg.size:
+                    miss_cols, miss_vals = cols_seg, vals_seg
+                else:
+                    miss_cols, miss_vals = cols_seg[~hit], vals_seg[~hit]
+                row.reserve(k)
+                start = row.size
+                row.cols[start : start + k] = miss_cols
+                row.vals[start : start + k] = miss_vals
+                if row.index is not None:
+                    row.index.update(
+                        zip(miss_cols.tolist(), range(start, start + k))
+                    )
+                row.size += k
+                created += k
         self._nnz += created
         return created
 

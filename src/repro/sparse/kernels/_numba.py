@@ -1,0 +1,45 @@
+"""Import guard around :mod:`numba` for the compiled kernel tier.
+
+The compiled tier is strictly optional: the repository must import, test
+and run correctly on machines without numba.  This module is the single
+place that touches the import, exposing
+
+* :data:`NUMBA_AVAILABLE` — whether a working numba import succeeded, and
+* :func:`njit` — numba's ``njit`` when available, otherwise an *identity*
+  decorator.
+
+The identity fallback is deliberate: every ``@njit`` kernel body remains a
+plain (slow) Python function when numba is absent, so the parity suite can
+execute the compiled-tier code paths byte-for-byte on machines without a
+JIT — tier selection (see :mod:`repro.sparse.kernels.tier`) guarantees the
+fallback is never *dispatched to* for performance, only for testing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NUMBA_AVAILABLE", "njit"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _numba_njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # ImportError, or a broken numba/numpy pairing
+    _numba_njit = None
+    NUMBA_AVAILABLE = False
+
+
+def njit(*args, **kwargs):
+    """``numba.njit`` when numba is importable, identity decorator otherwise.
+
+    Supports both the bare (``@njit``) and the parametrised
+    (``@njit(cache=True)``) decorator forms.
+    """
+    if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+        return _numba_njit(*args, **kwargs)
+    if len(args) == 1 and callable(args[0]) and not kwargs:
+        return args[0]
+
+    def decorate(func):
+        return func
+
+    return decorate

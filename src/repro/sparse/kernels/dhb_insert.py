@@ -1,0 +1,69 @@
+"""Compiled DHB whole-batch insert core: the hit/miss split.
+
+The vectorised DHB insert path applies a deduplicated, ``(row, col)``-
+sorted batch row by row: each touched *existing* row needs to know which
+incoming columns are already present (hits — combined in place) and which
+are new (misses — appended to the adjacency array).  The pure-Python tier
+probes the row's dict hash index per element; this core answers the same
+question for *all* touched rows in one jitted call by building a
+transient open-addressing table per row over its adjacency columns.
+
+Only the probe is compiled.  The value application — overwrite or
+``combine`` of hits, vectorised append of misses — stays in
+:mod:`repro.sparse.dhb` with the exact NumPy expressions of the Python
+tier, so both tiers produce byte-identical matrices, created-counts and
+adjacency orders for any ``combine`` callable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.kernels._numba import njit
+
+__all__ = ["probe_existing_rows"]
+
+
+@njit(cache=True)
+def probe_existing_rows(ex_cols, ex_ptr, new_cols, new_ptr):
+    """Adjacency slot of each incoming column, ``-1`` for misses.
+
+    ``ex_cols`` holds the concatenated live adjacency columns of the
+    touched existing rows (delimited by ``ex_ptr``); ``new_cols`` holds
+    the rows' incoming column segments (delimited by ``new_ptr``, aligned
+    with ``ex_ptr``).  Returns ``slots`` aligned with ``new_cols``:
+    ``slots[t]`` is the position of ``new_cols[t]`` within its row's live
+    adjacency array, or ``-1`` when the column is new to the row.
+    """
+    slots = np.full(new_cols.size, -1, dtype=np.int64)
+    n_rows = ex_ptr.size - 1
+    for r in range(n_rows):
+        lo = ex_ptr[r]
+        hi = ex_ptr[r + 1]
+        size = hi - lo
+        nlo = new_ptr[r]
+        nhi = new_ptr[r + 1]
+        if size == 0 or nlo == nhi:
+            continue
+        cap = 8
+        while cap < 2 * size:
+            cap *= 2
+        mask = cap - 1
+        table = np.full(cap, -1, dtype=np.int64)
+        for s in range(size):
+            h = (int(ex_cols[lo + s]) * 2654435761) & mask
+            while table[h] != -1:
+                h = (h + 1) & mask
+            table[h] = s
+        for t in range(nlo, nhi):
+            c = new_cols[t]
+            h = (int(c) * 2654435761) & mask
+            while True:
+                s = table[h]
+                if s == -1:
+                    break
+                if ex_cols[lo + s] == c:
+                    slots[t] = s
+                    break
+                h = (h + 1) & mask
+    return slots

@@ -1,0 +1,75 @@
+"""Compiled SPA scatter/merge primitives.
+
+The sparse-accumulator bulk load and the SpGEMM dedup both reduce to the
+same shape of work: stably sort a row's column indices, find the segment
+boundaries of equal columns, then ⊕-fold each segment.  The fold stays in
+NumPy at the caller (``Semiring.add_reduceat`` — the byte-exact oracle
+operation); this module compiles the integer part:
+
+* :func:`sort_merge_order` — the stable permutation plus segment starts
+  for one column array (used by
+  :meth:`repro.sparse.spa.SparseAccumulator._bulk_load`);
+* :func:`mask_keep` — sorted-membership filter used by the compiled
+  masked SpGEMM path (the compiled analogue of ``np.isin`` against a
+  sorted allowed-columns array).
+
+A stable sort permutation is unique, so any stable algorithm (numba's
+mergesort here, NumPy's radix/timsort in the Python tier) produces the
+identical order — which is what makes the two tiers byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.kernels._numba import njit
+
+__all__ = ["mask_keep", "sort_merge_order"]
+
+
+@njit(cache=True)
+def sort_merge_order(cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Stable sort permutation of ``cols`` plus equal-column segment starts.
+
+    Returns ``(order, starts)`` where ``cols[order]`` is stably sorted and
+    ``starts`` indexes the first element of each run of equal columns in
+    the sorted array (the ``reduceat`` offsets).
+    """
+    order = np.argsort(cols, kind="mergesort")
+    n = cols.size
+    if n == 0:
+        return order, np.empty(0, dtype=np.int64)
+    n_seg = 1
+    for t in range(1, n):
+        if cols[order[t]] != cols[order[t - 1]]:
+            n_seg += 1
+    starts = np.empty(n_seg, dtype=np.int64)
+    starts[0] = 0
+    s = 1
+    for t in range(1, n):
+        if cols[order[t]] != cols[order[t - 1]]:
+            starts[s] = t
+            s += 1
+    return order, starts
+
+
+@njit(cache=True)
+def mask_keep(cols: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``cols`` in the *sorted* array ``allowed``.
+
+    Semantically ``np.isin(cols, allowed)`` specialised to a sorted
+    needle-stack: each column is located with a binary search.
+    """
+    keep = np.empty(cols.size, dtype=np.bool_)
+    hi_all = allowed.size
+    for t in range(cols.size):
+        c = cols[t]
+        lo, hi = 0, hi_all
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if allowed[mid] < c:
+                lo = mid + 1
+            else:
+                hi = mid
+        keep[t] = lo < hi_all and allowed[lo] == c
+    return keep

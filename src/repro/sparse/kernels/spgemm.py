@@ -1,0 +1,416 @@
+"""Compiled Gustavson rowwise SpGEMM (plain and masked).
+
+The compiled tier splits the Python kernel's work in two:
+
+* a jitted **core** does everything integer- and permutation-shaped —
+  term expansion over the flattened operand rows (including the ⊗ scaling
+  and the Bloom bit ``(k + inner_offset) mod 64``), the optional mask
+  filter, and the per-row *stable* sort by output column;
+* the Python **wrapper** performs the single order-sensitive float
+  operation — the ⊕-fold of equal-column runs — with exactly the same
+  ``Semiring.add_reduceat`` call the pure-Python tier uses, over the
+  globally concatenated sorted terms.
+
+``ufunc.reduceat`` segments are independent of their position in the
+buffer (each segment is reduced from its own slice), so one global
+``reduceat`` is byte-identical to the Python tier's per-row calls; a
+stable sort permutation is unique, so the core's mergesort reproduces the
+oracle's stable argsort exactly.  The ⊗ scaling uses scalar expressions
+chosen to match the NumPy ufuncs bit-for-bit (including NaN propagation
+and the ``±0.0`` tie behaviour of ``np.minimum``).
+
+Only semirings whose ⊗ is ``np.multiply``, ``np.add`` or ``np.minimum``
+over ``float64`` are supported — that covers all six standard semirings;
+:func:`compiled_supported` gates dispatch, and unsupported semirings fall
+back to the Python tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semirings import Semiring
+from repro.sparse.bloom import BLOOM_BITS, BloomFilterMatrix
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels._numba import njit
+from repro.sparse.layout import flat_rows
+
+__all__ = [
+    "compiled_supported",
+    "mul_opcode",
+    "spgemm_rowwise_compiled",
+    "spgemm_rowwise_masked_compiled",
+]
+
+#: ⊗ ufunc → opcode understood by the jitted cores.
+_MUL_OPCODES: tuple[tuple[np.ufunc, int], ...] = (
+    (np.multiply, 0),
+    (np.add, 1),
+    (np.minimum, 2),
+)
+
+
+def mul_opcode(semiring: Semiring) -> int | None:
+    """Core opcode for the semiring's ⊗, or ``None`` when unsupported."""
+    for ufunc, code in _MUL_OPCODES:
+        if semiring.mul is ufunc:
+            return code
+    return None
+
+
+def compiled_supported(semiring: Semiring) -> bool:
+    """Whether the compiled SpGEMM cores can run this semiring exactly."""
+    return semiring.dtype == np.dtype(np.float64) and mul_opcode(semiring) is not None
+
+
+@njit(cache=True)
+def _mul(av: float, bv: float, mul_op: int) -> float:
+    """Scalar ⊗ matching the NumPy ufunc bit-for-bit (see module docstring)."""
+    if mul_op == 0:
+        return av * bv
+    if mul_op == 1:
+        return av + bv
+    # np.minimum: first operand on strict less-than or NaN, else second
+    # (ties — including ±0.0 — take the second operand).
+    return av if (av < bv or av != av) else bv
+
+
+@njit(cache=True)
+def _sort_row_slice(out_cols, out_vals, out_bits, lo, hi, with_bits):
+    """Stably sort one row's term slice ``[lo, hi)`` by output column."""
+    m = hi - lo
+    order = np.argsort(out_cols[lo:hi], kind="mergesort")
+    tmp_c = np.empty(m, dtype=np.int64)
+    tmp_v = np.empty(m, dtype=np.float64)
+    for t in range(m):
+        tmp_c[t] = out_cols[lo + order[t]]
+        tmp_v[t] = out_vals[lo + order[t]]
+    for t in range(m):
+        out_cols[lo + t] = tmp_c[t]
+        out_vals[lo + t] = tmp_v[t]
+    if with_bits:
+        tmp_b = np.empty(m, dtype=np.uint64)
+        for t in range(m):
+            tmp_b[t] = out_bits[lo + order[t]]
+        for t in range(m):
+            out_bits[lo + t] = tmp_b[t]
+
+
+@njit(cache=True)
+def _gustavson_core(
+    a_ids,
+    a_ptr,
+    a_cols,
+    a_vals,
+    b_start,
+    b_end,
+    b_cols,
+    b_vals,
+    mul_op,
+    inner_offset,
+    compute_bloom,
+):
+    """Expand, scale and per-row stably sort all Gustavson terms.
+
+    Returns ``(sorted_cols, sorted_vals, sorted_bits, seg_rows, seg_ptr)``
+    where ``seg_ptr`` delimits each non-empty output row's term run in the
+    sorted arrays (``sorted_bits`` is empty unless ``compute_bloom``).
+    """
+    n_seg_in = a_ids.size
+    total = 0
+    n_out = 0
+    for s in range(n_seg_in):
+        t = 0
+        for p in range(a_ptr[s], a_ptr[s + 1]):
+            k = a_cols[p]
+            t += b_end[k] - b_start[k]
+        if t > 0:
+            n_out += 1
+            total += t
+    out_cols = np.empty(total, dtype=np.int64)
+    out_vals = np.empty(total, dtype=np.float64)
+    out_bits = np.empty(total if compute_bloom else 0, dtype=np.uint64)
+    seg_rows = np.empty(n_out, dtype=np.int64)
+    seg_ptr = np.empty(n_out + 1, dtype=np.int64)
+    seg_ptr[0] = 0
+    pos = 0
+    seg = 0
+    for s in range(n_seg_in):
+        row_start = pos
+        for p in range(a_ptr[s], a_ptr[s + 1]):
+            k = a_cols[p]
+            av = a_vals[p]
+            bit = np.uint64(0)
+            if compute_bloom:
+                bit = np.uint64(1) << np.uint64((k + inner_offset) % BLOOM_BITS)
+            for q in range(b_start[k], b_end[k]):
+                out_cols[pos] = b_cols[q]
+                out_vals[pos] = _mul(av, b_vals[q], mul_op)
+                if compute_bloom:
+                    out_bits[pos] = bit
+                pos += 1
+        if pos > row_start:
+            _sort_row_slice(out_cols, out_vals, out_bits, row_start, pos, compute_bloom)
+            seg_rows[seg] = a_ids[s]
+            seg += 1
+            seg_ptr[seg] = pos
+    return out_cols, out_vals, out_bits, seg_rows, seg_ptr
+
+
+@njit(cache=True)
+def _gustavson_masked_core(
+    a_ids,
+    a_ptr,
+    a_cols,
+    a_vals,
+    b_start,
+    b_end,
+    b_cols,
+    b_vals,
+    mask_ids,
+    mask_ptr,
+    mask_cols,
+    mul_op,
+    inner_offset,
+    compute_bloom,
+):
+    """Masked term expansion: only mask-present rows and allowed columns.
+
+    Returns ``(n_terms, n_kept, n_seg, cols, vals, bits, seg_rows,
+    seg_ptr)`` with the output arrays oversized (trim to ``n_kept`` /
+    ``n_seg`` at the caller); ``n_terms`` counts expanded terms *before*
+    the mask filter, matching the Python tier's ``spgemm.masked_terms``.
+    """
+    n_seg_in = a_ids.size
+    n_mask = mask_ids.size
+    # pass 1: locate each A row's mask slice and count pre-filter terms
+    mask_slot = np.empty(n_seg_in, dtype=np.int64)
+    total = 0
+    n_masked_rows = 0
+    for s in range(n_seg_in):
+        i = a_ids[s]
+        lo, hi = 0, n_mask
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if mask_ids[mid] < i:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= n_mask or mask_ids[lo] != i or mask_ptr[lo] == mask_ptr[lo + 1]:
+            mask_slot[s] = -1
+            continue
+        mask_slot[s] = lo
+        n_masked_rows += 1
+        for p in range(a_ptr[s], a_ptr[s + 1]):
+            k = a_cols[p]
+            total += b_end[k] - b_start[k]
+    out_cols = np.empty(total, dtype=np.int64)
+    out_vals = np.empty(total, dtype=np.float64)
+    out_bits = np.empty(total if compute_bloom else 0, dtype=np.uint64)
+    seg_rows = np.empty(n_masked_rows, dtype=np.int64)
+    seg_ptr = np.empty(n_masked_rows + 1, dtype=np.int64)
+    seg_ptr[0] = 0
+    pos = 0
+    seg = 0
+    for s in range(n_seg_in):
+        slot = mask_slot[s]
+        if slot < 0:
+            continue
+        alo = mask_ptr[slot]
+        ahi = mask_ptr[slot + 1]
+        row_start = pos
+        for p in range(a_ptr[s], a_ptr[s + 1]):
+            k = a_cols[p]
+            av = a_vals[p]
+            bit = np.uint64(0)
+            if compute_bloom:
+                bit = np.uint64(1) << np.uint64((k + inner_offset) % BLOOM_BITS)
+            for q in range(b_start[k], b_end[k]):
+                c = b_cols[q]
+                # binary search in the row's sorted allowed columns
+                lo, hi = alo, ahi
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if mask_cols[mid] < c:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo >= ahi or mask_cols[lo] != c:
+                    continue
+                out_cols[pos] = c
+                out_vals[pos] = _mul(av, b_vals[q], mul_op)
+                if compute_bloom:
+                    out_bits[pos] = bit
+                pos += 1
+        if pos > row_start:
+            _sort_row_slice(out_cols, out_vals, out_bits, row_start, pos, compute_bloom)
+            seg_rows[seg] = a_ids[s]
+            seg += 1
+            seg_ptr[seg] = pos
+    return total, pos, seg, out_cols, out_vals, out_bits, seg_rows, seg_ptr
+
+
+def _b_row_bounds(b) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dense per-row ``[start, end)`` bounds into B's flattened rows."""
+    fb = flat_rows(b)
+    n_b = int(b.shape[0])
+    b_start = np.zeros(n_b, dtype=np.int64)
+    b_end = np.zeros(n_b, dtype=np.int64)
+    if fb.row_ids.size:
+        b_start[fb.row_ids] = fb.row_ptr[:-1]
+        b_end[fb.row_ids] = fb.row_ptr[1:]
+    return b_start, b_end, fb.cols, np.asarray(fb.vals, dtype=np.float64)
+
+
+def _finish(
+    sorted_cols,
+    sorted_vals,
+    sorted_bits,
+    seg_rows,
+    seg_ptr,
+    semiring: Semiring,
+    shape: tuple[int, int],
+    compute_bloom: bool,
+) -> tuple[COOMatrix, BloomFilterMatrix | None]:
+    """⊕-fold equal-column runs and assemble the COO / Bloom outputs.
+
+    This is the one float-order-sensitive step, performed with the exact
+    NumPy calls of the Python tier (``Semiring.add_reduceat`` and
+    ``np.bitwise_or.reduceat``) so both tiers stay byte-identical.
+    """
+    bloom = BloomFilterMatrix(shape) if compute_bloom else None
+    if sorted_cols.size == 0:
+        return COOMatrix.empty(shape, semiring), bloom
+    boundary = np.zeros(sorted_cols.size, dtype=bool)
+    boundary[1:] = sorted_cols[1:] != sorted_cols[:-1]
+    boundary[seg_ptr[:-1]] = True
+    starts = np.flatnonzero(boundary)
+    out_cols = sorted_cols[starts]
+    out_vals = semiring.add_reduceat(sorted_vals, starts)
+    counts = np.diff(np.searchsorted(starts, seg_ptr))
+    out_rows = np.repeat(seg_rows, counts)
+    result = COOMatrix(
+        shape=shape,
+        rows=out_rows,
+        cols=out_cols,
+        values=out_vals,
+        semiring=semiring,
+    )
+    if compute_bloom:
+        merged = np.bitwise_or.reduceat(sorted_bits, starts.astype(np.intp))
+        bloom = BloomFilterMatrix.from_arrays(shape, out_rows, out_cols, merged)
+    return result, bloom
+
+
+def spgemm_rowwise_compiled(
+    a,
+    b,
+    semiring: Semiring,
+    shape: tuple[int, int],
+    *,
+    compute_bloom: bool,
+    inner_offset: int,
+) -> tuple[COOMatrix, BloomFilterMatrix | None, int, int]:
+    """Compiled rowwise SpGEMM; returns ``(result, bloom, n_terms, n_rows)``.
+
+    The trailing counts feed the caller's ``spgemm.terms`` /
+    ``spgemm.rows`` perf counters (the Python tier counts the same
+    quantities inline).
+    """
+    fa = flat_rows(a)
+    b_start, b_end, b_cols, b_vals = _b_row_bounds(b)
+    sorted_cols, sorted_vals, sorted_bits, seg_rows, seg_ptr = _gustavson_core(
+        fa.row_ids,
+        fa.row_ptr,
+        fa.cols,
+        np.asarray(fa.vals, dtype=np.float64),
+        b_start,
+        b_end,
+        b_cols,
+        b_vals,
+        mul_opcode(semiring),
+        int(inner_offset),
+        compute_bloom,
+    )
+    result, bloom = _finish(
+        sorted_cols,
+        sorted_vals,
+        sorted_bits,
+        seg_rows,
+        seg_ptr,
+        semiring,
+        shape,
+        compute_bloom,
+    )
+    return result, bloom, int(sorted_cols.size), int(seg_rows.size)
+
+
+def _flatten_mask(mask_rows: dict) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a mask dict into sorted row ids + per-row sorted columns."""
+    ids = sorted(int(i) for i in mask_rows)
+    counts = []
+    chunks = []
+    for i in ids:
+        allowed = np.asarray(mask_rows[i], dtype=np.int64)
+        if allowed.size > 1 and np.any(allowed[1:] < allowed[:-1]):
+            allowed = np.sort(allowed)
+        counts.append(allowed.size)
+        chunks.append(allowed)
+    mask_ids = np.asarray(ids, dtype=np.int64)
+    mask_ptr = np.zeros(len(ids) + 1, dtype=np.int64)
+    if ids:
+        np.cumsum(counts, out=mask_ptr[1:])
+        mask_cols = np.ascontiguousarray(np.concatenate(chunks), dtype=np.int64)
+    else:
+        mask_cols = np.empty(0, dtype=np.int64)
+    return mask_ids, mask_ptr, mask_cols
+
+
+def spgemm_rowwise_masked_compiled(
+    a,
+    b,
+    semiring: Semiring,
+    mask_rows: dict,
+    shape: tuple[int, int],
+    *,
+    compute_bloom: bool,
+    inner_offset: int,
+) -> tuple[COOMatrix, BloomFilterMatrix | None, int, int]:
+    """Compiled masked SpGEMM; returns ``(result, bloom, n_terms, n_rows)``.
+
+    ``n_terms`` counts expanded terms before the mask filter and
+    ``n_rows`` the output rows that survive it — the quantities behind the
+    Python tier's ``spgemm.masked_terms`` / ``spgemm.masked_rows``.
+    """
+    fa = flat_rows(a)
+    b_start, b_end, b_cols, b_vals = _b_row_bounds(b)
+    mask_ids, mask_ptr, mask_cols = _flatten_mask(mask_rows)
+    n_terms, n_kept, n_seg, cols, vals, bits, seg_rows, seg_ptr = (
+        _gustavson_masked_core(
+            fa.row_ids,
+            fa.row_ptr,
+            fa.cols,
+            np.asarray(fa.vals, dtype=np.float64),
+            b_start,
+            b_end,
+            b_cols,
+            b_vals,
+            mask_ids,
+            mask_ptr,
+            mask_cols,
+            mul_opcode(semiring),
+            int(inner_offset),
+            compute_bloom,
+        )
+    )
+    result, bloom = _finish(
+        cols[:n_kept],
+        vals[:n_kept],
+        bits[:n_kept] if compute_bloom else bits,
+        seg_rows[:n_seg],
+        seg_ptr[: n_seg + 1],
+        semiring,
+        shape,
+        compute_bloom,
+    )
+    return result, bloom, int(n_terms), int(n_seg)

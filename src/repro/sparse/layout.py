@@ -20,17 +20,30 @@ plugged in through a type registry: :func:`register_row_layout` maps a class
 to an adapter factory, and :func:`row_reader` resolves an operand by walking
 its MRO through the registry before falling back to the native protocol.
 This replaces the ``isinstance`` dispatch chains the kernels used to carry.
+
+The compiled kernel tier (:mod:`repro.sparse.kernels`) needs a third view:
+the operand's non-empty rows as *flat arrays* it can hand to a jitted
+core.  :func:`flat_rows` produces a :class:`FlatRows` record through a
+second per-type registry (:func:`register_flat_rows` — CSR and DCSR expose
+their storage zero-copy) with a generic fallback that concatenates
+``iter_rows()`` output, preserving each row's native within-row order —
+which is what keeps the compiled tier byte-identical to the Python tier
+for layouts like DHB whose rows are in adjacency (insertion) order.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Protocol, runtime_checkable
+from typing import Any, Callable, Iterator, NamedTuple, Protocol, runtime_checkable
 
 import numpy as np
 
 __all__ = [
+    "FlatRows",
     "RowReader",
+    "flat_rows",
+    "register_flat_rows",
     "register_row_layout",
+    "registered_flat_rows_layouts",
     "registered_row_layouts",
     "row_reader",
 ]
@@ -67,6 +80,76 @@ def register_row_layout(
 def registered_row_layouts() -> tuple[type, ...]:
     """The registered layout classes (mainly for introspection/tests)."""
     return tuple(_ROW_LAYOUT_REGISTRY)
+
+
+class FlatRows(NamedTuple):
+    """An operand's rows flattened into kernel-ready arrays.
+
+    ``row_ids[s]`` is the matrix row of segment ``s``; its columns and
+    values occupy ``cols[row_ptr[s]:row_ptr[s + 1]]`` /
+    ``vals[row_ptr[s]:row_ptr[s + 1]]`` in the row's native order (sorted
+    for CSR/DCSR, adjacency order for DHB).  Segments may be empty (CSR
+    exposes every row zero-copy); consumers must treat the arrays as
+    read-only views of the operand's storage.
+    """
+
+    row_ids: np.ndarray
+    row_ptr: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+
+#: type -> extractor returning a :class:`FlatRows` view of an instance.
+_FLAT_ROWS_REGISTRY: dict[type, Callable[[Any], FlatRows]] = {}
+
+
+def register_flat_rows(cls: type, extractor: Callable[[Any], FlatRows]) -> None:
+    """Register a zero-copy (or cheap) flat-row extractor for ``cls``."""
+    _FLAT_ROWS_REGISTRY[cls] = extractor
+
+
+def registered_flat_rows_layouts() -> tuple[type, ...]:
+    """The layout classes with a registered flat-row extractor."""
+    return tuple(_FLAT_ROWS_REGISTRY)
+
+
+def flat_rows(mat: Any) -> FlatRows:
+    """Resolve a :class:`FlatRows` view of ``mat``.
+
+    Resolution order mirrors :func:`row_reader`: exact type then MRO walk
+    through the extractor registry, then a generic fallback that
+    concatenates the operand's ``iter_rows()`` output (one copy, native
+    within-row order preserved).
+    """
+    for base in type(mat).__mro__:
+        extractor = _FLAT_ROWS_REGISTRY.get(base)
+        if extractor is not None:
+            return extractor(mat)
+    reader = row_reader(mat)
+    ids: list[int] = []
+    counts: list[int] = []
+    col_chunks: list[np.ndarray] = []
+    val_chunks: list[np.ndarray] = []
+    for i, cols, vals in reader.iter_rows():
+        ids.append(int(i))
+        counts.append(int(cols.size))
+        col_chunks.append(np.asarray(cols, dtype=np.int64))
+        val_chunks.append(np.asarray(vals))
+    if not ids:
+        return FlatRows(
+            row_ids=np.empty(0, dtype=np.int64),
+            row_ptr=np.zeros(1, dtype=np.int64),
+            cols=np.empty(0, dtype=np.int64),
+            vals=np.empty(0, dtype=np.float64),
+        )
+    row_ptr = np.zeros(len(ids) + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    return FlatRows(
+        row_ids=np.asarray(ids, dtype=np.int64),
+        row_ptr=row_ptr,
+        cols=np.ascontiguousarray(np.concatenate(col_chunks)),
+        vals=np.ascontiguousarray(np.concatenate(val_chunks)),
+    )
 
 
 def row_reader(mat: Any) -> RowReader:

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.perf.recorder import perf_count
 from repro.semirings import Semiring
+from repro.sparse.kernels.spa import sort_merge_order
+from repro.sparse.kernels.tier import count_tier, resolve_kernel_tier
 
 __all__ = ["SparseAccumulator"]
 
@@ -106,18 +108,30 @@ class SparseAccumulator:
         column, so the result matches the per-element oracle (up to the
         floating-point reassociation ``ufunc.reduceat`` is free to apply
         inside a segment).
+
+        The compiled kernel tier replaces only the sort/segmentation with
+        :func:`repro.sparse.kernels.spa.sort_merge_order`; the ⊕-fold uses
+        the same ``Semiring.add_reduceat`` call in both tiers, and a
+        stable sort permutation is unique, so the tiers are
+        byte-identical.
         """
         if cols.size == 0:
             return
         perf_count("spa.scatter_bulk")
         vals = self.semiring.coerce(scaled)
-        order = np.argsort(cols, kind="stable")
-        cols_s = cols[order]
+        tier = resolve_kernel_tier()
+        count_tier("spa_bulk_load", tier)
+        if tier == "compiled":
+            order, starts = sort_merge_order(cols)
+            cols_s = cols[order]
+        else:
+            order = np.argsort(cols, kind="stable")
+            cols_s = cols[order]
+            boundary = np.empty(cols_s.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(cols_s[1:], cols_s[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
         vals_s = vals[order]
-        boundary = np.empty(cols_s.size, dtype=bool)
-        boundary[0] = True
-        np.not_equal(cols_s[1:], cols_s[:-1], out=boundary[1:])
-        starts = np.flatnonzero(boundary)
         if starts.size != cols_s.size:
             cols_s = cols_s[starts]
             vals_s = self.semiring.add_reduceat(vals_s, starts)

@@ -25,6 +25,12 @@ from repro.perf.recorder import perf_count, perf_phase
 from repro.semirings import Semiring
 from repro.sparse.bloom import BLOOM_BITS, BloomFilterMatrix
 from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels.spgemm import (
+    compiled_supported,
+    spgemm_rowwise_compiled,
+    spgemm_rowwise_masked_compiled,
+)
+from repro.sparse.kernels.tier import count_tier, resolve_kernel_tier
 from repro.sparse.layout import row_reader
 from repro.sparse.spa import SparseAccumulator
 
@@ -64,6 +70,11 @@ def _dedup_row(
     return out_cols, out_vals, out_bits
 
 
+def _scipy_convertible(mat) -> bool:
+    """Whether the scipy fast path can convert ``mat`` at all."""
+    return hasattr(mat, "to_scipy") or hasattr(mat, "to_csr")
+
+
 def _scipy_fast_path(a, b, semiring: Semiring) -> COOMatrix:
     """``(+, ·)`` fast path via scipy.sparse CSR multiplication."""
 
@@ -97,6 +108,7 @@ def spgemm_local(
     compute_bloom: bool = False,
     use_scipy: bool | None = None,
     inner_offset: int = 0,
+    kernel_tier: str | None = None,
 ) -> tuple[COOMatrix, BloomFilterMatrix | None]:
     """Local SpGEMM ``C = A ⊗.⊕ B`` returning ``(C as COO, bloom or None)``.
 
@@ -121,15 +133,27 @@ def spgemm_local(
         Bloom bitfield.  Distributed callers pass the global column offset
         of the left operand's block so that bits refer to *global* inner
         indices.
+    kernel_tier:
+        Per-call override of the kernel tier (``'python'``, ``'compiled'``
+        or ``'auto'``); ``None`` defers to ``REPRO_KERNEL_TIER``.  The
+        compiled tier only applies to the rowwise path and falls back to
+        Python for semirings its cores cannot represent exactly.
     """
     n, m = _check_shapes(a.shape, b.shape)
     eligible = semiring.name == "plus_times" and not compute_bloom
-    if use_scipy is None:
-        use_scipy = eligible and getattr(a, "nnz", 0) > 0 and getattr(b, "nnz", 0) > 0
-    elif use_scipy and not eligible:
-        # A caller-forced fast path is clamped when the semiring or the
-        # Bloom request makes scipy inapplicable.
-        use_scipy = False
+    # scipy is applicable only when the semiring/Bloom request permit it,
+    # both operands are non-empty, and both are convertible — a *forced*
+    # request is clamped on all three (an empty operand or a duck-typed
+    # layout without to_scipy()/to_csr() used to slip past the clamp and
+    # raise TypeError inside the fast path).
+    can_scipy = (
+        eligible
+        and getattr(a, "nnz", 0) > 0
+        and getattr(b, "nnz", 0) > 0
+        and _scipy_convertible(a)
+        and _scipy_convertible(b)
+    )
+    use_scipy = can_scipy if use_scipy is None else (use_scipy and can_scipy)
     if use_scipy:
         with perf_phase("spgemm_local"):
             result = _scipy_fast_path(a, b, semiring)
@@ -138,6 +162,23 @@ def spgemm_local(
         return result, None
 
     perf_count("spgemm.rowwise_calls")
+    tier = resolve_kernel_tier(kernel_tier)
+    if tier == "compiled" and compiled_supported(semiring):
+        count_tier("spgemm_rowwise", "compiled")
+        with perf_phase("spgemm_local"):
+            result, bloom, n_terms, n_rows = spgemm_rowwise_compiled(
+                a,
+                b,
+                semiring,
+                (n, m),
+                compute_bloom=compute_bloom,
+                inner_offset=inner_offset,
+            )
+        perf_count("spgemm.terms", n_terms)
+        perf_count("spgemm.rows", n_rows)
+        perf_count("spgemm.output_nnz", result.nnz)
+        return result, bloom
+    count_tier("spgemm_rowwise", "python")
     with perf_phase("spgemm_local"):
         return _spgemm_rowwise(
             a,
@@ -224,6 +265,7 @@ def spgemm_local_masked(
     *,
     compute_bloom: bool = True,
     inner_offset: int = 0,
+    kernel_tier: str | None = None,
 ) -> tuple[COOMatrix, BloomFilterMatrix | None]:
     """Masked local SpGEMM: only output positions present in the mask.
 
@@ -232,7 +274,26 @@ def spgemm_local_masked(
     :func:`repro.sparse.elementwise.pattern_row_index`); rows absent from
     the mapping produce no output.  This is the kernel of Algorithm 2's
     local step ``Z, H ← A^R_{k,i} B'_{i,j} masked at C*_{k,j}``.
+    ``kernel_tier`` overrides ``REPRO_KERNEL_TIER`` per call.
     """
+    tier = resolve_kernel_tier(kernel_tier)
+    if tier == "compiled" and compiled_supported(semiring):
+        count_tier("spgemm_masked", "compiled")
+        shape = _check_shapes(a.shape, b.shape)
+        with perf_phase("spgemm_local_masked"):
+            result, bloom, n_terms, n_rows = spgemm_rowwise_masked_compiled(
+                a,
+                b,
+                semiring,
+                mask_rows,
+                shape,
+                compute_bloom=compute_bloom,
+                inner_offset=inner_offset,
+            )
+        perf_count("spgemm.masked_terms", n_terms)
+        perf_count("spgemm.masked_rows", n_rows)
+        return result, bloom
+    count_tier("spgemm_masked", "python")
     with perf_phase("spgemm_local_masked"):
         return _spgemm_rowwise_masked(
             a,

@@ -222,3 +222,46 @@ class TestDHBMatrix:
             scattered.insert(int(r), int(c), v, combine=PLUS_TIMES.plus)
         assert bulk.nnz == scattered.nnz
         assert np.allclose(bulk.to_dense(), scattered.to_dense())
+
+
+class TestDuplicateCombineSemantics:
+    """The vectorised path must reproduce the per-element baseline for
+    arbitrary combiners over duplicate (row, col) keys (it used to
+    pre-fold duplicate groups, which computes ``combine(existing,
+    fold(v1..vk))`` instead of ``fold(combine(existing, v1)..vk)``)."""
+
+    @staticmethod
+    def _run(strategy, combine):
+        mat = DHBMatrix((4, 4))
+        mat.insert_batch([1, 2], [1, 2], [10.0, 20.0])
+        # three duplicates of (1, 1) plus a duplicate pair on a new key
+        created = mat.insert_batch(
+            [1, 1, 3, 1, 3],
+            [1, 1, 0, 1, 0],
+            [1.0, 2.0, 5.0, 3.0, 7.0],
+            lambda a, b: a - 2.0 * b,
+            strategy=strategy,
+        )
+        return mat, created
+
+    def test_vectorized_matches_per_element_for_noncommutative_combine(self):
+        ref, created_ref = self._run("per_element", lambda a, b: a - 2.0 * b)
+        got, created_got = self._run("vectorized", lambda a, b: a - 2.0 * b)
+        assert created_ref == created_got
+        assert np.array_equal(ref.to_dense(), got.to_dense())
+        # sequential fold: ((((10-2·1)-2·2)-2·3) = -2, (5-2·7) = -9
+        assert ref.get(1, 1) == -2.0
+        assert got.get(1, 1) == -2.0
+        assert got.get(3, 0) == -9.0
+
+    def test_arbitrary_combine_reroutes_to_per_element_loop(self):
+        from repro.perf import PerfRecorder, use_recorder
+
+        mat = DHBMatrix((4, 4))
+        mat.insert_batch([0], [0], [1.0])
+        rec = PerfRecorder()
+        with use_recorder(rec):
+            mat.insert_batch(
+                [0, 0], [0, 0], [1.0, 2.0], lambda a, b: a - b, strategy="vectorized"
+            )
+        assert rec.counters.get("dhb.insert.path_combine_fallback") == 1
